@@ -1,0 +1,128 @@
+"""Shared benchmark fixtures: the paper's three designs, fully implemented.
+
+Everything heavy is session-scoped so each figure's benchmark only pays for
+the step it actually measures.  Set ``REPRO_BENCH_SMALL=1`` to run the whole
+harness on reduced operator sizes (useful on slow machines); the shapes of
+all results are preserved, only absolute numbers shrink.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.dvas import dvas_explore
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import (
+    implement_base,
+    implement_with_domains,
+    select_clock_for,
+)
+from repro.operators import booth_multiplier, fft_butterfly, fir_filter
+from repro.operators.fir import FirParameters
+from repro.pnr.grid import GridPartition
+from repro.techlib.library import Library
+
+SMALL = bool(int(os.environ.get("REPRO_BENCH_SMALL", "0")))
+
+#: Operator width (the paper uses 16-bit fixed point).
+WIDTH = 8 if SMALL else 16
+#: FIR tap count (the paper uses 30).
+TAPS = 8 if SMALL else 30
+#: Grid configurations from Table I.
+TABLE1_GRIDS = {"booth": (2, 2), "butterfly": (3, 3), "fir": (3, 3)}
+
+
+def _fresh_name(counters, base):
+    counters[base] = counters.get(base, 0) + 1
+    return f"{base}_{counters[base]}"
+
+
+@pytest.fixture(scope="session")
+def library():
+    return Library()
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return ExplorationSettings(bitwidths=tuple(range(1, WIDTH + 1)))
+
+
+@pytest.fixture(scope="session")
+def factories(library):
+    counters = {}
+    return {
+        "booth": lambda: booth_multiplier(
+            library, WIDTH, name=_fresh_name(counters, "booth")
+        ),
+        "butterfly": lambda: fft_butterfly(
+            library, WIDTH, name=_fresh_name(counters, "butterfly")
+        ),
+        "fir": lambda: fir_filter(
+            library,
+            FirParameters(taps=TAPS, width=WIDTH),
+            name=_fresh_name(counters, "fir"),
+        ),
+    }
+
+
+class DesignBundle:
+    """Lazily built implementation + exploration results for one design."""
+
+    def __init__(self, name, factory, library, settings):
+        self.name = name
+        self.factory = factory
+        self.library = library
+        self.settings = settings
+        self._cache = {}
+
+    def constraint(self):
+        if "constraint" not in self._cache:
+            self._cache["constraint"] = select_clock_for(
+                self.factory, self.library
+            )
+        return self._cache["constraint"]
+
+    def base(self):
+        if "base" not in self._cache:
+            self._cache["base"] = implement_base(
+                self.factory, self.library, constraint=self.constraint()
+            )
+        return self._cache["base"]
+
+    def domained(self, grid=None):
+        grid = grid or TABLE1_GRIDS[self.name]
+        key = ("domained", grid)
+        if key not in self._cache:
+            self._cache[key] = implement_with_domains(
+                self.factory,
+                self.library,
+                GridPartition(*grid),
+                constraint=self.constraint(),
+            )
+        return self._cache[key]
+
+    def proposed(self, grid=None):
+        grid = grid or TABLE1_GRIDS[self.name]
+        key = ("proposed", grid)
+        if key not in self._cache:
+            self._cache[key] = ExhaustiveExplorer(self.domained(grid)).run(
+                self.settings
+            )
+        return self._cache[key]
+
+    def dvas(self, fbb):
+        key = ("dvas", fbb)
+        if key not in self._cache:
+            self._cache[key] = dvas_explore(
+                self.base(), fbb=fbb, settings=self.settings
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def bundles(factories, library, settings):
+    return {
+        name: DesignBundle(name, factory, library, settings)
+        for name, factory in factories.items()
+    }

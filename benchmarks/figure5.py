@@ -1,0 +1,114 @@
+"""Shared machinery for the Fig. 5 Pareto benchmarks.
+
+Each Fig. 5 sub-figure compares three curves on the accuracy/power plane:
+
+* Proposed method (grid Vth domains, exhaustive BB x VDD exploration),
+* DVAS (NoBB) -- the standard implementation from [14],
+* DVAS (FBB) -- all cells boosted.
+
+Absolute watts differ from the paper (synthetic PDK); the reproduction
+targets are the curve *shapes*: NoBB truncation, FBB step-wise front,
+proposed at-or-below FBB through the mid-range accuracy band.
+"""
+
+import csv
+import os
+
+from repro.core.pareto import power_saving
+from repro.core.report import format_pareto_table, format_savings
+
+
+def maybe_write_csv(filename, header, rows):
+    """Dump a benchmark series to $REPRO_ARTIFACTS_DIR/<filename>, if set.
+
+    Lets plotting scripts regenerate the paper's figures from the exact
+    numbers a benchmark run produced.
+    """
+    directory = os.environ.get("REPRO_ARTIFACTS_DIR")
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def run_figure5(bundle, grid=None):
+    """Produce the three Fig. 5 curves for one design bundle."""
+    proposed = bundle.proposed(grid)
+    dvas_nobb = bundle.dvas(fbb=False)
+    dvas_fbb = bundle.dvas(fbb=True)
+    return proposed, dvas_nobb, dvas_fbb
+
+
+def print_figure5(name, settings, proposed, dvas_nobb, dvas_fbb):
+    bitwidths = settings.bitwidths
+    rows = []
+    for bits in sorted(bitwidths):
+        entry = [bits]
+        for frontier in (proposed, dvas_nobb, dvas_fbb):
+            point = frontier.best_per_bitwidth.get(bits)
+            entry.extend(
+                [point.total_power_w, point.vdd] if point else ["", ""]
+            )
+        rows.append(entry)
+    slug = name.lower().replace(" ", "_")
+    maybe_write_csv(
+        f"fig5_{slug}.csv",
+        ["bits", "proposed_w", "proposed_vdd", "dvas_nobb_w",
+         "dvas_nobb_vdd", "dvas_fbb_w", "dvas_fbb_vdd"],
+        rows,
+    )
+    print(f"\n--- Fig. 5 ({name}): bitwidth vs power Pareto frontiers ---")
+    print(
+        format_pareto_table(
+            {
+                "Proposed": proposed.best_per_bitwidth,
+                "DVAS (NoBB)": dvas_nobb.best_per_bitwidth,
+                "DVAS (FBB)": dvas_fbb.best_per_bitwidth,
+            },
+            bitwidths,
+        )
+    )
+    print()
+    print(
+        format_savings(
+            dvas_fbb.best_per_bitwidth,
+            proposed.best_per_bitwidth,
+            bitwidths,
+        )
+    )
+
+
+def assert_figure5_shape(settings, proposed, dvas_nobb, dvas_fbb,
+                         min_peak_saving=0.10):
+    """The qualitative claims every Fig. 5 sub-figure shares."""
+    max_bits = max(settings.bitwidths)
+
+    # DVAS (NoBB) cannot reach maximum accuracy (all three designs).
+    assert dvas_nobb.max_reachable_bits < max_bits
+
+    # DVAS (FBB) reaches maximum accuracy and its front steps down in VDD.
+    assert dvas_fbb.max_reachable_bits == max_bits
+    fbb_vdds = [p.vdd for p in dvas_fbb.pareto()]
+    assert min(fbb_vdds) < max(fbb_vdds)
+
+    # The proposed method covers every accuracy mode.
+    assert sorted(proposed.best_per_bitwidth) == sorted(settings.bitwidths)
+
+    # And it beats DVAS (FBB) by a clear margin somewhere in the range.
+    savings = [
+        power_saving(
+            dvas_fbb.best_per_bitwidth, proposed.best_per_bitwidth, bits
+        )
+        for bits in settings.bitwidths
+    ]
+    savings = [s for s in savings if s is not None]
+    assert max(savings) > min_peak_saving
+
+    # Power grows with accuracy overall (front endpoints ordered).
+    front = proposed.pareto()
+    assert front[0].total_power_w < front[-1].total_power_w

@@ -1,0 +1,48 @@
+"""Ablation: how much dynamic power does zero-delay activity miss?
+
+The flow's power analysis annotates switching activity from a zero-delay
+(levelized) simulation, as the paper's VCD-based flow does.  Real logic
+glitches; this bench quantifies the underestimate with the timed
+event-driven simulator and reports the glitch factor per accuracy mode of
+the (unregistered core of the) Booth multiplier.
+"""
+
+from repro.operators import booth_multiplier
+from repro.sim.event import measure_glitch_activity
+from benchmarks.conftest import WIDTH
+
+
+def test_glitch_power_ablation(benchmark, library, settings):
+    netlist = booth_multiplier(
+        library, WIDTH, name="booth_glitch", registered=False
+    )
+    probe_bits = sorted(
+        {max(settings.bitwidths), max(settings.bitwidths) // 2, 2}
+    )
+
+    def run():
+        return {
+            bits: measure_glitch_activity(netlist, bits, samples=24)
+            for bits in probe_bits
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n--- glitch factor (timed / zero-delay activity) ---")
+    for bits, report in sorted(reports.items(), reverse=True):
+        print(
+            f"{bits:3d} bits: factor {report.glitch_factor:.2f} "
+            f"(timed {report.timed_rates.sum():.1f} vs settled "
+            f"{report.settled_rates.sum():.1f} toggles/vector)"
+        )
+    print(
+        "interpretation: the paper-style zero-delay activity annotation "
+        "underestimates the multiplier's dynamic power by roughly this "
+        "factor; the Pareto *comparisons* are unaffected (the same "
+        "activity model feeds every method)."
+    )
+
+    for report in reports.values():
+        assert 1.0 <= report.glitch_factor < 6.0
+    full = reports[max(probe_bits)]
+    assert full.glitch_factor > 1.2  # multipliers demonstrably glitch

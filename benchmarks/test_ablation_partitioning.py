@@ -1,0 +1,86 @@
+"""Ablation: regular grid vs slack-oracle Vth-domain construction.
+
+Section III-B argues the regular grid "might fail to isolate gates
+belonging to the paths that require speedup", forcing whole domains to
+boost; better partitions are future work.  This bench quantifies the gap
+by re-running the exploration with a non-physical slack-quantile oracle
+partition (same die, same sizing, same domain count).
+"""
+
+from repro.core.exploration import ExhaustiveExplorer
+from repro.pnr.partition import (
+    slack_banded_partition,
+    slack_oracle_domains,
+    with_custom_domains,
+)
+
+
+def test_grid_vs_oracle_partitioning(benchmark, bundles, settings):
+    bundle = bundles["booth"]
+    design = bundle.domained()
+    grid_result = bundle.proposed()
+    max_bits = max(settings.bitwidths)
+    probe_bits = max_bits * 3 // 4  # a mid/high accuracy mode
+
+    def run():
+        oracle = with_custom_domains(
+            design,
+            slack_oracle_domains(design, probe_bits, design.num_domains),
+            design.num_domains,
+        )
+        banded = with_custom_domains(
+            design,
+            slack_banded_partition(design, probe_bits, design.num_domains),
+            design.num_domains,
+        )
+        return (
+            ExhaustiveExplorer(oracle).run(settings),
+            ExhaustiveExplorer(banded).run(settings),
+        )
+
+    oracle_result, banded_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print(
+        "\n--- partitioning ablation (same domain count): regular grid vs "
+        "slack-banded (implementable) vs slack-oracle (upper bound) ---"
+    )
+    print(
+        f"{'bits':>4s} {'grid [mW]':>10s} {'banded [mW]':>12s} "
+        f"{'oracle [mW]':>12s} {'oracle gap':>11s}"
+    )
+    gaps = {}
+    for bits in sorted(settings.bitwidths, reverse=True):
+        grid_point = grid_result.best_per_bitwidth.get(bits)
+        oracle_point = oracle_result.best_per_bitwidth.get(bits)
+        banded_point = banded_result.best_per_bitwidth.get(bits)
+        if grid_point is None or oracle_point is None:
+            continue
+        gap = 1.0 - oracle_point.total_power_w / grid_point.total_power_w
+        gaps[bits] = gap
+        banded_text = (
+            f"{banded_point.total_power_w * 1e3:12.3f}"
+            if banded_point
+            else f"{'--':>12s}"
+        )
+        print(
+            f"{bits:4d} {grid_point.total_power_w * 1e3:10.3f} "
+            f"{banded_text} "
+            f"{oracle_point.total_power_w * 1e3:12.3f} {gap * 100:10.1f}%"
+        )
+
+    # The oracle (clustered by criticality at probe_bits) beats the grid
+    # somewhere -- the headroom the paper's future-work partitioning
+    # research targets -- and must not lose at the accuracy it was built
+    # for.  It MAY lose at other bitwidths: Section III-B's observation
+    # that "a solution that is optimal for a given input bitwidth might
+    # not be optimal for another bitwidth" applies to any single-mode
+    # partition, oracle included.
+    assert max(gaps.values()) > 0.0
+    assert gaps[probe_bits] > -0.02
+    losers = [bits for bits, gap in gaps.items() if gap < -0.02]
+    print(
+        f"\nbitwidths where the {probe_bits}-bit oracle loses to the grid "
+        f"(Section III-B cross-mode effect): {losers or 'none'}"
+    )

@@ -1,0 +1,44 @@
+"""Extension: automatic selection of the domain configuration.
+
+The paper's conclusion calls for "an investigation of the optimal number
+and configuration of domains", observing that the automated flow makes
+exhaustive sweeps feasible for <= 10 groups.  This bench runs that sweep
+on the Booth multiplier under a 20% area budget and reports the ranking.
+"""
+
+from repro.core.domains_dse import explore_domain_configurations
+
+CANDIDATES = ((1, 1), (1, 2), (2, 1), (2, 2), (3, 3))
+AREA_BUDGET = 0.20
+
+
+def test_domain_configuration_dse(benchmark, bundles, settings, library):
+    bundle = bundles["booth"]
+    constraint = bundle.constraint()
+
+    def run():
+        return explore_domain_configurations(
+            bundle.factory,
+            library,
+            constraint,
+            candidates=CANDIDATES,
+            settings=settings,
+            area_budget=AREA_BUDGET,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n--- domain-configuration DSE (Booth, 20% area budget) ---")
+    print(result.format_text())
+    best = result.best()
+    print(f"\nrecommended: {best.describe()}")
+    print(f"sweep wall time: {result.runtime_s:.1f} s")
+
+    # The 3x3 grid busts the 20% budget; the winner must respect it.
+    assert best.area_overhead <= AREA_BUDGET
+    # Partitioned grids beat the trivial 1x1 on mean power (the 1x1 cannot
+    # trim any leakage, it is effectively DVAS with guard overhead 0).
+    one_by_one = next(
+        c for c in result.candidates if c.partition.label == "1x1"
+    )
+    assert best.mean_power_w <= one_by_one.mean_power_w

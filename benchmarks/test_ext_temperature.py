@@ -1,0 +1,89 @@
+"""Extension: how temperature changes the method's value.
+
+Sub-threshold leakage roughly doubles every 20 degC.  The proposed method's
+savings come from *leakage* trimming (un-boosting domains), so at a hot
+corner the same design saves more vs DVAS (FBB), while at a cold corner
+the advantage shrinks.  The paper evaluates one (unstated) temperature;
+this bench sweeps it.
+"""
+
+from repro.core.config import ExplorationSettings
+from repro.core.dvas import dvas_explore
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import (
+    implement_base,
+    implement_with_domains,
+    select_clock_for,
+)
+from repro.core.pareto import power_saving
+from repro.operators import booth_multiplier
+from repro.pnr.grid import GridPartition
+from repro.techlib.library import Library
+from benchmarks.conftest import WIDTH
+
+TEMPERATURES_C = (0.0, 25.0, 85.0)
+
+
+def test_temperature_sweep(benchmark, settings):
+    probe_bits = max(settings.bitwidths) // 2
+
+    def run():
+        savings = {}
+        for temperature in TEMPERATURES_C:
+            library = Library(temperature_c=temperature)
+            counter = {"n": 0}
+
+            def factory():
+                counter["n"] += 1
+                return booth_multiplier(
+                    library, WIDTH, name=f"t{int(temperature)}_{counter['n']}"
+                )
+
+            constraint = select_clock_for(factory, library)
+            base = implement_base(factory, library, constraint=constraint)
+            domained = implement_with_domains(
+                factory, library, GridPartition(2, 2), constraint=constraint
+            )
+            proposed = ExhaustiveExplorer(domained).run(settings)
+            dvas = dvas_explore(base, fbb=True, settings=settings)
+            savings[temperature] = (
+                power_saving(
+                    dvas.best_per_bitwidth,
+                    proposed.best_per_bitwidth,
+                    probe_bits,
+                ),
+                proposed.best_per_bitwidth.get(probe_bits),
+                dvas.best_per_bitwidth.get(probe_bits),
+            )
+        return savings
+
+    savings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(
+        f"\n--- proposed vs DVAS (FBB) at {probe_bits} bits across "
+        "temperature ---"
+    )
+    for temperature, (saving, ours, theirs) in savings.items():
+        ours_text = (
+            f"{ours.total_power_w * 1e3:7.3f} mW "
+            f"(leak {ours.leakage_power_w / ours.total_power_w * 100:4.1f}%)"
+            if ours
+            else "--"
+        )
+        print(
+            f"{temperature:5.0f} C: proposed {ours_text}, DVAS "
+            f"{theirs.total_power_w * 1e3:7.3f} mW, saving "
+            f"{(saving or 0) * 100:+5.1f}%"
+        )
+
+    # Leakage fraction and therefore the method's edge grow with heat.
+    fractions = [
+        point.leakage_power_w / point.total_power_w
+        for _s, point, _d in savings.values()
+        if point is not None
+    ]
+    assert fractions == sorted(fractions)
+    cold_saving = savings[TEMPERATURES_C[0]][0]
+    hot_saving = savings[TEMPERATURES_C[-1]][0]
+    if cold_saving is not None and hot_saving is not None:
+        assert hot_saving >= cold_saving - 0.02

@@ -1,0 +1,31 @@
+"""Fig. 5b: FFT butterfly, proposed (3x3 domains) vs DVAS.
+
+Paper headline: 16.5% power saving vs DVAS at 8-bit accuracy; the butterfly
+is the least affected by the wall of slack (most linear DVAS curves) and
+the only design where DVAS is marginally better at the accuracy extremes.
+"""
+
+from benchmarks.figure5 import assert_figure5_shape, print_figure5, run_figure5
+from repro.core.pareto import power_saving
+
+
+def test_fig5b_butterfly(benchmark, bundles, settings):
+    bundle = bundles["butterfly"]
+
+    def run():
+        return run_figure5(bundle)
+
+    proposed, dvas_nobb, dvas_fbb = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_figure5("FFT butterfly", settings, proposed, dvas_nobb, dvas_fbb)
+    assert_figure5_shape(settings, proposed, dvas_nobb, dvas_fbb)
+
+    mid = max(settings.bitwidths) // 2
+    saving = power_saving(
+        dvas_fbb.best_per_bitwidth, proposed.best_per_bitwidth, mid
+    )
+    print(
+        f"\nsaving vs DVAS (FBB) at {mid} bits: {saving * 100:.2f}% "
+        f"(paper: 16.5% at 8 bits)"
+    )

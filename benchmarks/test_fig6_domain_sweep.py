@@ -1,0 +1,109 @@
+"""Fig. 6: impact of the number/shape of Vth domains (Booth multiplier).
+
+Fig. 6a plots the proposed method's power at accuracies 8..16 bits for the
+grid configurations 1x2, 2x1, 1x3, 3x1, 2x2, 3x3; Fig. 6b their guardband
+area overheads.  Expected shape: more domains generally reduce power
+(especially at high accuracy), while area overhead grows with the domain
+count and depends only weakly on the grid shape.
+"""
+
+import numpy as np
+
+from benchmarks.figure5 import maybe_write_csv
+from repro.core.exploration import ExhaustiveExplorer
+
+GRIDS = [(1, 2), (2, 1), (1, 3), (3, 1), (2, 2), (3, 3)]
+
+
+def test_fig6_domain_sweep(benchmark, bundles, settings):
+    bundle = bundles["booth"]
+    max_bits = max(settings.bitwidths)
+    # Fig. 6a reports accuracies 8..16 ("< 8 bits are seldom needed").
+    shown_bits = [b for b in settings.bitwidths if b >= max_bits // 2]
+
+    def run():
+        results = {}
+        for grid in GRIDS:
+            design = bundle.domained(grid)
+            results[grid] = (design, bundle.proposed(grid))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n--- Fig. 6a: power [mW] at each accuracy, per grid config ---")
+    header = "config | " + " | ".join(f"{b:>7d}b" for b in shown_bits)
+    print(header)
+    print("-" * len(header))
+    for grid, (design, result) in results.items():
+        cells = []
+        for bits in shown_bits:
+            point = result.best_per_bitwidth.get(bits)
+            cells.append(
+                f"{point.total_power_w * 1e3:8.3f}" if point else "      --"
+            )
+        print(f"{grid[0]}x{grid[1]:<4d} | " + " | ".join(cells))
+
+    print("\n--- Fig. 6b: area overhead per grid config ---")
+    for grid, (design, _result) in results.items():
+        print(f"{grid[0]}x{grid[1]}: {design.area_overhead * 100:5.1f}%")
+
+    maybe_write_csv(
+        "fig6a_power.csv",
+        ["grid"] + [f"bits_{b}" for b in shown_bits],
+        [
+            [f"{g[0]}x{g[1]}"]
+            + [
+                results[g][1].best_per_bitwidth[b].total_power_w
+                if b in results[g][1].best_per_bitwidth
+                else ""
+                for b in shown_bits
+            ]
+            for g in GRIDS
+        ],
+    )
+    maybe_write_csv(
+        "fig6b_overhead.csv",
+        ["grid", "area_overhead"],
+        [[f"{g[0]}x{g[1]}", results[g][0].area_overhead] for g in GRIDS],
+    )
+
+    # Fig. 6b: overhead grows with domain count; shape is secondary.
+    overhead = {g: results[g][0].area_overhead for g in GRIDS}
+    assert overhead[(3, 3)] > overhead[(2, 2)] > overhead[(1, 2)]
+    assert abs(overhead[(1, 2)] - overhead[(2, 1)]) < 0.08
+    assert abs(overhead[(1, 3)] - overhead[(3, 1)]) < 0.08
+
+    # Fig. 6a: within every grid configuration, power rises with accuracy.
+    for grid, (_design, result) in results.items():
+        powers = [
+            result.best_per_bitwidth[b].total_power_w for b in shown_bits
+        ]
+        assert powers[0] < powers[-1], grid
+        # Weak monotonicity (a 2% tolerance absorbs activity noise).
+        assert all(
+            b <= a * 1.02 for a, b in zip(powers[1:], powers)
+        ), grid
+
+    # The paper notes the domain-count trend "is not always respected";
+    # in this reproduction the guardband timing/power penalty is relatively
+    # larger (smaller synthetic die), so count-vs-power flips are common.
+    # Quantify and report them instead of asserting a direction; the
+    # *orientation* effect (1x2 vs 2x1 at equal overhead) is the clearest
+    # instance of the paper's structure-dependence observation.
+    flips = 0
+    for bits in shown_bits:
+        p_22 = results[(2, 2)][1].best_per_bitwidth.get(bits)
+        p_33 = results[(3, 3)][1].best_per_bitwidth.get(bits)
+        if p_22 and p_33 and p_33.total_power_w > p_22.total_power_w:
+            flips += 1
+    print(f"\naccuracies where 3x3 loses to 2x2 (paper: happens): {flips}")
+    p_12 = results[(1, 2)][1].best_per_bitwidth
+    p_21 = results[(2, 1)][1].best_per_bitwidth
+    deltas = [
+        abs(1.0 - p_21[b].total_power_w / p_12[b].total_power_w)
+        for b in shown_bits
+    ]
+    print(
+        f"orientation effect |1x2 vs 2x1| at equal overhead: "
+        f"up to {max(deltas) * 100:.1f}% power"
+    )

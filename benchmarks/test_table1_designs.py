@@ -1,0 +1,65 @@
+"""Table I: post-P&R design characteristics and groups configurations.
+
+Regenerates the paper's Table I: silicon area, nominal clock frequency,
+grid configuration and guardband area overhead per design.  Absolute area
+and frequency depend on the synthetic library; the orderings and the
+overhead range are the reproduction targets.
+"""
+
+from benchmarks.conftest import TABLE1_GRIDS
+from benchmarks.figure5 import maybe_write_csv
+from repro.core.report import format_table1
+
+#: Paper values for reference printing: (area mm^2, fclk GHz, grid, ovh %).
+PAPER_TABLE1 = {
+    "booth": (2.59e-3, 1.25, "2x2", 15.0),
+    "butterfly": (7.71e-3, 1.00, "3x3", 17.0),
+    "fir": (9.10e-3, 0.75, "3x3", 16.0),
+}
+
+
+def test_table1(benchmark, bundles):
+    def run():
+        return {name: bundles[name].domained() for name in TABLE1_GRIDS}
+
+    designs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n--- Table I (measured) ---")
+    print(format_table1(designs.values()))
+    maybe_write_csv(
+        "table1.csv",
+        ["design", "area_um2", "fclk_ghz", "grid", "area_overhead"],
+        [
+            [
+                name,
+                design.area_um2,
+                design.fclk_ghz,
+                design.insertion.partition.label,
+                design.area_overhead,
+            ]
+            for name, design in designs.items()
+        ],
+    )
+    print("\n--- Table I (paper) ---")
+    for name, (area, fclk, grid, ovh) in PAPER_TABLE1.items():
+        print(f"{name:12s} {area:12.2e} {fclk:11.2f} {grid:>7s} {ovh:9.1f}")
+
+    booth = designs["booth"]
+    butterfly = designs["butterfly"]
+    fir = designs["fir"]
+
+    # The multiplier is the smallest and fastest design, as in the paper.
+    assert booth.area_um2 < butterfly.area_um2
+    assert booth.area_um2 < fir.area_um2
+    assert booth.fclk_ghz >= butterfly.fclk_ghz
+    assert booth.fclk_ghz >= fir.fclk_ghz
+
+    # Grid configurations match the paper's Table I.
+    assert booth.insertion.partition.label == "2x2"
+    assert butterfly.insertion.partition.label == "3x3"
+    assert fir.insertion.partition.label == "3x3"
+
+    # Guardband overheads land in the paper's 15-17% band (+/- tolerance
+    # for the synthetic die sizes).
+    for design in designs.values():
+        assert 0.05 < design.area_overhead < 0.45

@@ -1,0 +1,68 @@
+"""repro -- dynamic accuracy operators by runtime back bias.
+
+A from-scratch Python reproduction of Jahier Pagliari et al., *A
+Methodology for the Design of Dynamic Accuracy Operators by Runtime Back
+Bias* (DATE 2017), including every substrate the flow needs: a synthetic
+28nm-FDSOI-like standard-cell library, gate-level operator generators,
+logic simulation, placement with Vth-domain guardband insertion, static
+timing analysis with case-analysis and batched back-bias evaluation, power
+analysis, and the exhaustive knob exploration the paper proposes.
+
+Quick start::
+
+    from repro import quick_flow
+    from repro.operators import booth_multiplier
+    from repro.techlib.library import Library
+
+    library = Library()
+    base, domained, proposed, dvas_fbb = quick_flow(
+        lambda: booth_multiplier(library), library, grid=(2, 2)
+    )
+    for point in proposed.pareto():
+        print(point.describe())
+"""
+
+from repro.core import (
+    ExhaustiveExplorer,
+    ExplorationSettings,
+    OperatingPoint,
+    dvas_explore,
+    implement_base,
+    implement_with_domains,
+)
+from repro.pnr.grid import GridPartition
+from repro.techlib.library import Library
+
+__version__ = "1.0.0"
+
+
+def quick_flow(netlist_factory, library, grid=(2, 2), settings=None):
+    """One-call convenience: implement + explore a design both ways.
+
+    Returns ``(base_design, domained_design, proposed_result,
+    dvas_fbb_result)``.  See the package docstring for an example; the
+    examples directory shows the full-control version.
+    """
+    settings = settings or ExplorationSettings()
+    partition = GridPartition(*grid)
+    base = implement_base(netlist_factory, library)
+    domained = implement_with_domains(
+        netlist_factory, library, partition, constraint=base.constraint
+    )
+    proposed = ExhaustiveExplorer(domained).run(settings)
+    dvas_fbb = dvas_explore(base, fbb=True, settings=settings)
+    return base, domained, proposed, dvas_fbb
+
+
+__all__ = [
+    "ExhaustiveExplorer",
+    "ExplorationSettings",
+    "OperatingPoint",
+    "dvas_explore",
+    "implement_base",
+    "implement_with_domains",
+    "GridPartition",
+    "Library",
+    "quick_flow",
+    "__version__",
+]

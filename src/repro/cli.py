@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``explore``      -- implement a design with Vth domains and run the
+                      exhaustive optimization; prints the Pareto frontier
+                      and optionally saves the mode table as JSON.
+* ``compare``      -- Fig. 5-style comparison of the proposed method
+                      against DVAS (NoBB / FBB) on one design.
+* ``report-timing``-- print the worst timing paths of an implemented
+                      design at a chosen corner.
+* ``characterize`` -- dump the synthetic library at a corner, as a text
+                      table or as a Liberty (.lib) file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import ExplorationSettings
+from repro.core.dvas import dvas_explore
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import (
+    implement_base,
+    implement_with_domains,
+    select_clock_for,
+)
+from repro.core.report import format_pareto_table, format_savings
+from repro.operators import (
+    adequate_adder,
+    booth_multiplier,
+    cordic_rotator,
+    divider,
+    fft_butterfly,
+    fir_filter,
+    l1_norm,
+)
+from repro.operators.fir import FirParameters
+from repro.pnr.grid import GridPartition
+from repro.techlib.characterize import characterize, default_corner_grid
+from repro.techlib.library import Library
+
+
+def _design_factory(name: str, width: int, library: Library) -> Callable:
+    builders = {
+        "booth": lambda: booth_multiplier(library, width),
+        "butterfly": lambda: fft_butterfly(library, width),
+        "fir": lambda: fir_filter(
+            library, FirParameters(taps=30, width=width)
+        ),
+        "adder": lambda: adequate_adder(library, width),
+        "l1norm": lambda: l1_norm(library, elements=4, width=width),
+        "cordic": lambda: cordic_rotator(
+            library, width, iterations=min(12, width)
+        ),
+        "booth-pipelined": lambda: booth_multiplier(
+            library, width, pipelined=True
+        ),
+        "divider": lambda: divider(library, width),
+    }
+    try:
+        return builders[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown design {name!r}; choose from {sorted(builders)}"
+        )
+
+
+def _parse_grid(text: str) -> GridPartition:
+    try:
+        rows, cols = text.lower().split("x")
+        return GridPartition(int(rows), int(cols))
+    except (ValueError, TypeError):
+        raise SystemExit(f"bad grid {text!r}; expected e.g. 2x2")
+
+
+def _settings(args) -> ExplorationSettings:
+    return ExplorationSettings(bitwidths=tuple(range(1, args.width + 1)))
+
+
+def cmd_explore(args) -> int:
+    library = Library()
+    factory = _design_factory(args.design, args.width, library)
+    constraint = select_clock_for(factory, library)
+    design = implement_with_domains(
+        factory, library, _parse_grid(args.grid), constraint=constraint
+    )
+    print(design.describe())
+    result = ExhaustiveExplorer(design).run(_settings(args))
+    print(
+        f"explored {result.points_evaluated} points, filtered "
+        f"{result.filtered_fraction * 100:.1f}%, {result.runtime_s:.1f} s"
+    )
+    for point in result.pareto():
+        print(" ", point.describe())
+    if args.output:
+        from repro.io.results import save_exploration
+
+        with open(args.output, "w") as stream:
+            save_exploration(result, stream)
+        print(f"mode table written to {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    library = Library()
+    factory = _design_factory(args.design, args.width, library)
+    constraint = select_clock_for(factory, library)
+    base = implement_base(factory, library, constraint=constraint)
+    domained = implement_with_domains(
+        factory, library, _parse_grid(args.grid), constraint=constraint
+    )
+    settings = _settings(args)
+    proposed = ExhaustiveExplorer(domained).run(settings)
+    nobb = dvas_explore(base, fbb=False, settings=settings)
+    fbb = dvas_explore(base, fbb=True, settings=settings)
+    print(base.describe())
+    print(domained.describe())
+    print(
+        format_pareto_table(
+            {
+                "Proposed": proposed.best_per_bitwidth,
+                "DVAS (NoBB)": nobb.best_per_bitwidth,
+                "DVAS (FBB)": fbb.best_per_bitwidth,
+            },
+            settings.bitwidths,
+        )
+    )
+    print()
+    print(
+        format_savings(
+            fbb.best_per_bitwidth,
+            proposed.best_per_bitwidth,
+            settings.bitwidths,
+        )
+    )
+    return 0
+
+
+def cmd_report_timing(args) -> int:
+    from repro.sta.engine import StaEngine
+    from repro.sta.report_timing import report_timing
+
+    library = Library()
+    factory = _design_factory(args.design, args.width, library)
+    design = implement_base(factory, library)
+    print(design.describe())
+    engine = StaEngine(design.timing_graph(), library)
+    fbb_cells = np.full(
+        len(design.netlist.cells), not args.nobb, dtype=bool
+    )
+    case = None
+    if args.bits is not None:
+        from repro.sta.caseanalysis import dvas_case
+
+        case = dvas_case(design.netlist, args.bits)
+    paths = report_timing(
+        engine, design.constraint, args.vdd, fbb_cells,
+        case=case, max_paths=args.paths,
+    )
+    for i, path in enumerate(paths):
+        print(f"\n--- path {i + 1} (endpoint {path.endpoint_net}) ---")
+        print(path.format_text())
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    library = Library()
+    if args.lib:
+        from repro.io.liberty import write_liberty
+        from repro.techlib.library import Corner
+
+        corner = Corner(args.vdd, args.vbb)
+        with open(args.lib, "w") as stream:
+            write_liberty(library, corner, stream)
+        print(f"Liberty written to {args.lib} ({corner.label})")
+        return 0
+    table = characterize(library, default_corner_grid(library))
+    print(table.format_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic accuracy operators by runtime back bias "
+        "(DATE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_design_args(p):
+        p.add_argument("--design", default="booth")
+        p.add_argument("--width", type=int, default=16)
+
+    p = sub.add_parser("explore", help="implement + optimize one design")
+    add_design_args(p)
+    p.add_argument("--grid", default="2x2")
+    p.add_argument("--output", help="write the mode table as JSON")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("compare", help="proposed vs DVAS (Fig. 5)")
+    add_design_args(p)
+    p.add_argument("--grid", default="2x2")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("report-timing", help="worst paths at a corner")
+    add_design_args(p)
+    p.add_argument("--vdd", type=float, default=1.0)
+    p.add_argument("--nobb", action="store_true", help="analyze at NoBB")
+    p.add_argument("--bits", type=int, help="active bitwidth (case analysis)")
+    p.add_argument("--paths", type=int, default=3)
+    p.set_defaults(func=cmd_report_timing)
+
+    p = sub.add_parser("characterize", help="dump the library")
+    p.add_argument("--lib", help="write a Liberty file to this path")
+    p.add_argument("--vdd", type=float, default=1.0)
+    p.add_argument("--vbb", type=float, default=1.1)
+    p.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's methodology: implementation flow + exhaustive optimization.
+
+* :mod:`repro.core.flow` -- the two-phase implementation flow of Fig. 4:
+  placement, Vth-domain insertion with guardbands, incremental placement,
+  sizing, clock selection.
+* :mod:`repro.core.exploration` -- the optimization phase: exhaustive
+  (BB assignment x bitwidth x VDD) exploration with the STA feasibility
+  filter and power ranking.
+* :mod:`repro.core.dvas` -- the DVAS baseline (Moons & Verhelst, ISLPED'15):
+  VDD scaling + bitwidth reduction only, in NoBB and FBB flavours.
+* :mod:`repro.core.pareto` -- Pareto/frontier utilities for the Fig. 5/6
+  curves.
+* :mod:`repro.core.report` -- text tables mirroring the paper's Table I and
+  figures.
+"""
+
+from repro.core.config import ExplorationSettings, OperatingPoint
+from repro.core.flow import (
+    ImplementedDesign,
+    implement_base,
+    implement_with_domains,
+)
+from repro.core.exploration import ExhaustiveExplorer, ExplorationResult
+from repro.core.dvas import dvas_explore, DvasResult
+from repro.core.pareto import pareto_points, dominated_mask, power_saving
+from repro.core.report import (
+    format_pareto_table,
+    format_table1,
+    format_savings,
+)
+
+__all__ = [
+    "ExplorationSettings",
+    "OperatingPoint",
+    "ImplementedDesign",
+    "implement_base",
+    "implement_with_domains",
+    "ExhaustiveExplorer",
+    "ExplorationResult",
+    "dvas_explore",
+    "DvasResult",
+    "pareto_points",
+    "dominated_mask",
+    "power_saving",
+    "format_pareto_table",
+    "format_table1",
+    "format_savings",
+]

@@ -1,0 +1,70 @@
+"""Exploration settings and operating points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExplorationSettings:
+    """Knob ranges of the optimization phase.
+
+    Defaults mirror the paper's experimental setup: bitwidths 1..16, five
+    supply voltages from 1.0 V down to 0.6 V in 0.1 V steps, switching
+    activity annotated from random stimulus.
+    """
+
+    bitwidths: Tuple[int, ...] = tuple(range(1, 17))
+    vdd_values: Tuple[float, ...] = (1.0, 0.9, 0.8, 0.7, 0.6)
+    activity_cycles: int = 40
+    activity_batch: int = 48
+    seed: int = 2017
+
+    def __post_init__(self):
+        if not self.bitwidths:
+            raise ValueError("need at least one bitwidth")
+        if any(b < 1 for b in self.bitwidths):
+            raise ValueError("bitwidths must be >= 1")
+        if not self.vdd_values:
+            raise ValueError("need at least one supply voltage")
+        if any(v <= 0.0 for v in self.vdd_values):
+            raise ValueError("supply voltages must be positive")
+
+    @property
+    def num_knob_points(self) -> int:
+        """Bitwidth x VDD grid size (BB assignments multiply on top)."""
+        return len(self.bitwidths) * len(self.vdd_values)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One fully specified runtime configuration and its analysis results.
+
+    ``bb_config`` is the per-domain FBB flags (length = number of Vth
+    domains; a design without domains uses a single entry).
+    """
+
+    active_bits: int
+    vdd: float
+    bb_config: Tuple[bool, ...]
+    total_power_w: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    worst_slack_ps: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.worst_slack_ps >= 0.0
+
+    @property
+    def num_boosted_domains(self) -> int:
+        return sum(self.bb_config)
+
+    def describe(self) -> str:
+        bb = "".join("F" if f else "-" for f in self.bb_config)
+        return (
+            f"{self.active_bits:2d} bits @ {self.vdd:.1f} V, BB[{bb}]: "
+            f"{self.total_power_w * 1e3:.3f} mW "
+            f"(slack {self.worst_slack_ps:+.0f} ps)"
+        )

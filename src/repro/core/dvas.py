@@ -1,0 +1,68 @@
+"""The DVAS baseline (Moons & Verhelst, ISLPED 2015).
+
+DVAS scales accuracy by zeroing input LSBs and recovers the resulting
+timing slack by lowering the single global supply voltage; there are no
+Vth domains.  The paper evaluates two flavours on the domain-less base
+implementation:
+
+* **DVAS (NoBB)** -- the standard implementation from [14]: every cell at
+  SVT.  Because timing was closed with the FBB characterization, this
+  flavour cannot reach maximum accuracy at the nominal clock (Fig. 5).
+* **DVAS (FBB)** -- every cell boosted: reaches full accuracy but pays the
+  full boosted leakage everywhere, and its Pareto front is step-wise (one
+  step per usable VDD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.config import ExplorationSettings, OperatingPoint
+from repro.core.exploration import ExhaustiveExplorer, ExplorationResult
+from repro.core.flow import ImplementedDesign
+
+
+@dataclass
+class DvasResult:
+    """DVAS Pareto data for one flavour on one design."""
+
+    design_name: str
+    fbb: bool
+    best_per_bitwidth: Dict[int, OperatingPoint]
+
+    @property
+    def label(self) -> str:
+        return f"DVAS ({'FBB' if self.fbb else 'NoBB'})"
+
+    def pareto(self) -> List[OperatingPoint]:
+        return [self.best_per_bitwidth[b] for b in sorted(self.best_per_bitwidth)]
+
+    @property
+    def max_reachable_bits(self) -> int:
+        """Highest accuracy mode with any feasible configuration (0 if none)."""
+        return max(self.best_per_bitwidth, default=0)
+
+
+def dvas_explore(
+    design: ImplementedDesign,
+    fbb: bool,
+    settings: ExplorationSettings = ExplorationSettings(),
+) -> DvasResult:
+    """Explore the DVAS knobs (bitwidth x VDD) for one back-bias flavour.
+
+    *design* should be the base implementation (no Vth domains, no
+    guardband overheads); passing a domained design is allowed -- all its
+    domains are simply driven to the same state -- which is useful for
+    what-if analyses.
+    """
+    explorer = ExhaustiveExplorer(design)
+    configs = np.full((1, design.num_domains), fbb, dtype=bool)
+    result: ExplorationResult = explorer.run(settings, configs=configs)
+    return DvasResult(
+        design_name=design.netlist.name,
+        fbb=fbb,
+        best_per_bitwidth=result.best_per_bitwidth,
+    )

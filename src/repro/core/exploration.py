@@ -1,0 +1,166 @@
+"""The optimization phase: exhaustive knob exploration (Fig. 4, blue part).
+
+For every accuracy mode (bitwidth) of interest the explorer
+
+1. runs case analysis (zeroed LSBs -> deactivated paths),
+2. annotates switching activity by simulating the netlist in that mode,
+3. for every supply voltage, evaluates *all* 2^NMAX back-bias assignments
+   in one batched STA sweep (the feasibility filter -- the paper reports
+   ~75 % of points rejected here),
+4. ranks the feasible points by total (leakage + dynamic) power,
+
+and reports the minimum-power configuration per bitwidth: the data behind
+the paper's Fig. 5 Pareto curves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ExplorationSettings, OperatingPoint
+from repro.core.flow import ImplementedDesign
+from repro.power.analysis import PowerAnalyzer
+from repro.sim.activity import ActivityReport, measure_activity
+from repro.sta.batch import BatchStaEngine, all_bb_configs
+from repro.sta.caseanalysis import dvas_case
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the optimization phase produced."""
+
+    design_name: str
+    settings: ExplorationSettings
+    num_domains: int
+    best_per_bitwidth: Dict[int, OperatingPoint]
+    points_evaluated: int
+    points_feasible: int
+    runtime_s: float
+    # Per (bitwidth, vdd): number of feasible BB assignments.
+    feasible_counts: Dict[Tuple[int, float], int] = field(default_factory=dict)
+    # Per (bitwidth, vdd): the minimum-power feasible point, when any.
+    best_per_knob_point: Dict[Tuple[int, float], OperatingPoint] = field(
+        default_factory=dict
+    )
+
+    @property
+    def filtered_fraction(self) -> float:
+        """Fraction of design points the STA filter rejected (paper: ~75%)."""
+        if self.points_evaluated == 0:
+            return 0.0
+        return 1.0 - self.points_feasible / self.points_evaluated
+
+    def pareto(self) -> List[OperatingPoint]:
+        """Best operating point per bitwidth, sorted by bitwidth."""
+        return [self.best_per_bitwidth[b] for b in sorted(self.best_per_bitwidth)]
+
+    def power_at(self, bits: int) -> float:
+        return self.best_per_bitwidth[bits].total_power_w
+
+    def best_at(self, bits: int, vdd: float) -> Optional[OperatingPoint]:
+        """Cheapest feasible point at one (bitwidth, VDD), or None.
+
+        Lets system-level composition (several operators sharing one
+        supply) pick per-operator BB configurations at a common VDD.
+        """
+        return self.best_per_knob_point.get((bits, vdd))
+
+
+class ExhaustiveExplorer:
+    """Runs the optimization phase on one implemented design."""
+
+    def __init__(self, design: ImplementedDesign):
+        self.design = design
+        self.graph = design.timing_graph()
+        self.library = design.netlist.library
+        self.batch_engine = BatchStaEngine(
+            self.graph, self.library, design.domains, design.num_domains
+        )
+        self.power = PowerAnalyzer(design.netlist, design.parasitics)
+
+    def _activity(
+        self, bits: int, settings: ExplorationSettings
+    ) -> ActivityReport:
+        return measure_activity(
+            self.design.netlist,
+            bits,
+            cycles=settings.activity_cycles,
+            batch=settings.activity_batch,
+            seed=settings.seed,
+        )
+
+    def run(
+        self,
+        settings: ExplorationSettings = ExplorationSettings(),
+        configs: Optional[np.ndarray] = None,
+    ) -> ExplorationResult:
+        """Explore every (BB assignment, bitwidth, VDD) combination.
+
+        *configs* restricts the BB assignments (used by the DVAS baseline
+        and by ablations); by default all 2^NMAX assignments are explored.
+        """
+        start = time.perf_counter()
+        design = self.design
+        if configs is None:
+            configs = all_bb_configs(design.num_domains)
+        config_tuples = [tuple(bool(x) for x in row) for row in configs]
+
+        best: Dict[int, OperatingPoint] = {}
+        best_per_knob: Dict[Tuple[int, float], OperatingPoint] = {}
+        feasible_counts: Dict[Tuple[int, float], int] = {}
+        evaluated = 0
+        feasible_total = 0
+
+        for bits in settings.bitwidths:
+            case = dvas_case(design.netlist, bits)
+            activity = self._activity(bits, settings)
+            for vdd in settings.vdd_values:
+                result = self.batch_engine.analyze(
+                    design.constraint, vdd, configs=configs, case=case
+                )
+                evaluated += len(config_tuples)
+                feasible = result.feasible
+                count = int(np.count_nonzero(feasible))
+                feasible_counts[(bits, vdd)] = count
+                feasible_total += count
+                if count == 0:
+                    continue
+                powers = self.power.total_batch(
+                    activity,
+                    vdd,
+                    design.fclk_ghz,
+                    design.domains,
+                    configs,
+                )
+                powers = np.where(feasible, powers, np.inf)
+                winner = int(np.argmin(powers))
+                dynamic = self.power.dynamic.total(activity, vdd, design.fclk_ghz)
+                point = OperatingPoint(
+                    active_bits=bits,
+                    vdd=vdd,
+                    bb_config=config_tuples[winner],
+                    total_power_w=float(powers[winner]),
+                    dynamic_power_w=dynamic,
+                    leakage_power_w=float(powers[winner]) - dynamic,
+                    worst_slack_ps=float(result.worst_slack_ps[winner]),
+                )
+                best_per_knob[(bits, vdd)] = point
+                incumbent = best.get(bits)
+                if incumbent is None or point.total_power_w < incumbent.total_power_w:
+                    best[bits] = point
+
+        return ExplorationResult(
+            design_name=design.netlist.name,
+            settings=settings,
+            num_domains=design.num_domains,
+            best_per_bitwidth=best,
+            points_evaluated=evaluated,
+            points_feasible=feasible_total,
+            runtime_s=time.perf_counter() - start,
+            feasible_counts=feasible_counts,
+            best_per_knob_point=best_per_knob,
+        )

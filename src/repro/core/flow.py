@@ -1,0 +1,247 @@
+"""The implementation phase of the paper's flow (its Fig. 4, green part).
+
+Two entry points:
+
+* :func:`implement_base` -- the reference implementation without Vth
+  domains: place, extract, pick the nominal clock, fix timing at the
+  all-FBB corner, recover power.  This is the design DVAS runs on.
+* :func:`implement_with_domains` -- the proposed flow: re-build the same
+  RTL, place it identically, insert the regular grid of Vth domains with
+  guardbands, incrementally re-place, re-extract and re-close timing at
+  the same clock.  This is the design the exhaustive optimization runs on.
+
+Both return an :class:`ImplementedDesign`, the bundle every downstream
+analysis (exploration, DVAS, benchmarks) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import buffer_high_fanout
+from repro.netlist.validate import validate_netlist
+from repro.pnr.grid import DomainInsertionResult, GridPartition, insert_domains
+from repro.pnr.incremental import incremental_place
+from repro.pnr.parasitics import Parasitics, extract_parasitics
+from repro.pnr.placer import GlobalPlacer, PlacementResult
+from repro.pnr.sizing import power_recovery, timing_fix
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import StaEngine
+from repro.sta.graph import TimingGraph, compile_timing_graph
+from repro.techlib.library import Library
+
+
+@dataclass
+class ImplementedDesign:
+    """A placed, sized, timing-closed design ready for the optimization phase."""
+
+    netlist: Netlist
+    placement: PlacementResult
+    parasitics: Parasitics
+    constraint: ClockConstraint
+    fclk_ghz: float
+    insertion: Optional[DomainInsertionResult] = None
+
+    @property
+    def num_domains(self) -> int:
+        if self.insertion is None:
+            return 1
+        return self.insertion.partition.num_domains
+
+    @property
+    def domains(self) -> np.ndarray:
+        """Per-cell domain ids (all zero for a domain-less design)."""
+        if self.insertion is None:
+            return np.zeros(len(self.netlist.cells), dtype=np.int64)
+        return self.insertion.domains
+
+    @property
+    def area_um2(self) -> float:
+        return self.placement.floorplan.area_um2
+
+    @property
+    def area_overhead(self) -> float:
+        return self.insertion.area_overhead if self.insertion else 0.0
+
+    def timing_graph(self) -> TimingGraph:
+        """Compile the current netlist/parasitics into a timing graph."""
+        return compile_timing_graph(self.netlist, self.parasitics)
+
+    def describe(self) -> str:
+        grid = self.insertion.partition.label if self.insertion else "none"
+        return (
+            f"{self.netlist.name}: {len(self.netlist.cells)} cells, "
+            f"die {self.area_um2:.0f} um^2, fclk {self.fclk_ghz:.2f} GHz, "
+            f"domains {grid}, overhead {self.area_overhead * 100:.1f}%"
+        )
+
+
+def _select_clock(
+    netlist: Netlist,
+    parasitics: Parasitics,
+    library: Library,
+    speedup_target: float = 0.88,
+    relax_step: float = 1.03,
+    max_attempts: int = 8,
+    frequency_step_ghz: float = 0.05,
+) -> ClockConstraint:
+    """Pick the nominal clock the way a designer would sign it off.
+
+    Start from the unsized critical path at the implementation corner
+    (nominal VDD, all FBB), aim slightly faster (upsizing will recover it),
+    relax a few percent at a time until timing-fix closes, then round the
+    frequency *down* to the next 50 MHz grid point, which is how Table I
+    ends up with numbers like 1.25 / 1.00 / 0.75 GHz.
+    """
+    graph = compile_timing_graph(netlist, parasitics)
+    engine = StaEngine(graph, library)
+    all_fbb = np.ones(graph.num_cells, dtype=bool)
+    nominal_vdd = library.process.vdd_nominal
+    target_ps = engine.critical_path_delay(nominal_vdd, all_fbb) * speedup_target
+
+    for _ in range(max_attempts):
+        constraint = ClockConstraint(target_ps)
+        result = timing_fix(netlist, parasitics, constraint)
+        if result.feasible:
+            fclk = floor(1000.0 / target_ps / frequency_step_ghz) * frequency_step_ghz
+            return ClockConstraint(1000.0 / fclk)
+        target_ps *= relax_step
+    raise RuntimeError(
+        f"could not close timing on {netlist.name!r} within {max_attempts} "
+        "relaxation attempts"
+    )
+
+
+def _prepare(
+    netlist_factory: Callable[[], Netlist],
+    utilization: float,
+    seed: int,
+    max_fanout: int,
+):
+    """Common front end: build, buffer, validate, place, extract."""
+    netlist = netlist_factory()
+    buffer_high_fanout(netlist, max_fanout=max_fanout)
+    validate_netlist(netlist)
+    placement = GlobalPlacer(netlist, utilization=utilization, seed=seed).run()
+    parasitics = extract_parasitics(placement)
+    return netlist, placement, parasitics
+
+
+def _close_timing(netlist, parasitics, constraint) -> None:
+    """The sign-off sizing recipe, identical for base and domained flows."""
+    fix = timing_fix(netlist, parasitics, constraint)
+    if not fix.feasible:
+        raise RuntimeError(
+            f"{netlist.name!r}: cannot close timing at "
+            f"{constraint.frequency_ghz:.2f} GHz"
+        )
+    recovery = power_recovery(netlist, parasitics, constraint)
+    if not recovery.feasible:
+        raise RuntimeError(
+            f"{netlist.name!r}: power recovery left timing violations"
+        )
+    # Hold sign-off at the fastest corner the exploration may select
+    # (boosting can only make min-delay paths faster).
+    from repro.sta.hold import HoldAnalyzer
+
+    graph = compile_timing_graph(netlist, parasitics)
+    hold = HoldAnalyzer(graph, netlist.library).analyze(
+        netlist.library.process.vdd_nominal,
+        np.ones(graph.num_cells, dtype=bool),
+    )
+    if not hold.feasible:
+        raise RuntimeError(
+            f"{netlist.name!r}: hold violations at the fast corner: "
+            f"{hold.violations()[:5]}"
+        )
+
+
+def select_clock_for(
+    netlist_factory: Callable[[], Netlist],
+    library: Library,
+    utilization: float = 0.7,
+    seed: int = 42,
+    max_fanout: int = 8,
+) -> ClockConstraint:
+    """Determine the nominal clock on a scratch implementation.
+
+    Runs the clock search on a throw-away copy of the design so the sizing
+    churn of the search never leaks into the signed-off implementations --
+    base and domained designs are then both closed against the same final
+    constraint with the same recipe, making them directly comparable.
+    """
+    netlist, _placement, parasitics = _prepare(
+        netlist_factory, utilization, seed, max_fanout
+    )
+    return _select_clock(netlist, parasitics, library)
+
+
+def implement_base(
+    netlist_factory: Callable[[], Netlist],
+    library: Library,
+    constraint: Optional[ClockConstraint] = None,
+    utilization: float = 0.7,
+    seed: int = 42,
+    max_fanout: int = 8,
+) -> ImplementedDesign:
+    """Run the implementation phase without Vth domains."""
+    if constraint is None:
+        constraint = select_clock_for(
+            netlist_factory, library, utilization, seed, max_fanout
+        )
+    netlist, placement, parasitics = _prepare(
+        netlist_factory, utilization, seed, max_fanout
+    )
+    _close_timing(netlist, parasitics, constraint)
+    return ImplementedDesign(
+        netlist=netlist,
+        placement=placement,
+        parasitics=parasitics,
+        constraint=constraint,
+        fclk_ghz=constraint.frequency_ghz,
+    )
+
+
+def implement_with_domains(
+    netlist_factory: Callable[[], Netlist],
+    library: Library,
+    partition: GridPartition,
+    constraint: Optional[ClockConstraint] = None,
+    utilization: float = 0.7,
+    seed: int = 42,
+    max_fanout: int = 8,
+) -> ImplementedDesign:
+    """Run the full proposed flow: placement + grid Vth domains.
+
+    *constraint* is normally the clock selected by the base implementation
+    (the paper compares both methods at the same nominal frequency); when
+    omitted, the clock is selected on this design before domain insertion.
+    """
+    if constraint is None:
+        constraint = select_clock_for(
+            netlist_factory, library, utilization, seed, max_fanout
+        )
+    netlist, placement, _parasitics = _prepare(
+        netlist_factory, utilization, seed, max_fanout
+    )
+    insertion = insert_domains(placement, partition, library.process)
+    incremental_place(insertion)
+    parasitics = extract_parasitics(insertion.placement)
+
+    # Close timing on the enlarged die (wires crossing guardbands grew)
+    # with the same sign-off recipe as the base implementation, at the
+    # all-FBB implementation corner.
+    _close_timing(netlist, parasitics, constraint)
+    return ImplementedDesign(
+        netlist=netlist,
+        placement=insertion.placement,
+        parasitics=parasitics,
+        constraint=constraint,
+        fclk_ghz=constraint.frequency_ghz,
+        insertion=insertion,
+    )

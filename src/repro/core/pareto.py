@@ -1,0 +1,58 @@
+"""Pareto-front utilities for the accuracy/power plane."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import OperatingPoint
+
+
+def pareto_points(points: Sequence[OperatingPoint]) -> List[OperatingPoint]:
+    """Non-dominated subset of *points* (maximize bits, minimize power).
+
+    A point is dominated when another point offers at least as many bits
+    for strictly less power, or more bits for at most the same power.
+    """
+    kept: List[OperatingPoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            better_bits = other.active_bits >= candidate.active_bits
+            better_power = other.total_power_w <= candidate.total_power_w
+            strictly = (
+                other.active_bits > candidate.active_bits
+                or other.total_power_w < candidate.total_power_w
+            )
+            if better_bits and better_power and strictly:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    return sorted(kept, key=lambda p: p.active_bits)
+
+
+def dominated_mask(points: Sequence[OperatingPoint]) -> np.ndarray:
+    """Boolean mask aligned with *points*: True where dominated."""
+    front = set(id(p) for p in pareto_points(points))
+    return np.asarray([id(p) not in front for p in points], dtype=bool)
+
+
+def power_saving(
+    reference: Dict[int, OperatingPoint],
+    improved: Dict[int, OperatingPoint],
+    bits: int,
+) -> Optional[float]:
+    """Fractional power saving of *improved* vs *reference* at *bits*.
+
+    Returns ``None`` when either frontier has no feasible point at that
+    accuracy (e.g. DVAS NoBB at high bitwidths).
+    """
+    ref = reference.get(bits)
+    new = improved.get(bits)
+    if ref is None or new is None or ref.total_power_w <= 0.0:
+        return None
+    return 1.0 - new.total_power_w / ref.total_power_w

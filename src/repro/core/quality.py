@@ -1,0 +1,114 @@
+"""Quality-aware mode selection: from error budgets to knob settings.
+
+The paper treats accuracy abstractly ("the selection of the optimal
+accuracy is determined at application level").  This module supplies that
+application-level half for numeric kernels: it converts an error budget
+(RMSE / SNR of the operator's arithmetic under LSB gating) into the
+minimum bitwidth that satisfies it, and hence into the cheapest explored
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.config import OperatingPoint
+from repro.core.exploration import ExplorationResult
+from repro.sim.errors import ErrorReport, error_metrics
+
+
+@dataclass
+class QualityTable:
+    """Per-bitwidth arithmetic quality of one operation."""
+
+    width: int
+    reports: Dict[int, ErrorReport]
+
+    def min_bits_for_snr(self, snr_db: float) -> int:
+        """Smallest bitwidth whose SNR meets *snr_db*.
+
+        Raises :class:`ValueError` when even full precision falls short.
+        """
+        for bits in sorted(self.reports):
+            if self.reports[bits].snr_db >= snr_db:
+                return bits
+        raise ValueError(
+            f"no bitwidth reaches {snr_db} dB "
+            f"(max {max(r.snr_db for r in self.reports.values()):.1f} dB)"
+        )
+
+    def min_bits_for_rmse(self, rmse: float) -> int:
+        """Smallest bitwidth whose RMSE is at most *rmse*."""
+        for bits in sorted(self.reports):
+            if self.reports[bits].rmse <= rmse:
+                return bits
+        raise ValueError(f"no bitwidth achieves RMSE <= {rmse}")
+
+    def format_text(self) -> str:
+        lines = [f"{'bits':>4s} {'RMSE':>12s} {'SNR [dB]':>9s} {'max err':>10s}"]
+        for bits in sorted(self.reports, reverse=True):
+            report = self.reports[bits]
+            lines.append(
+                f"{bits:4d} {report.rmse:12.2f} {report.snr_db:9.1f} "
+                f"{report.max_error:10.0f}"
+            )
+        return "\n".join(lines)
+
+
+def characterize_quality(
+    operation: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    width: int,
+    bitwidths: Sequence[int],
+    samples: int = 4096,
+    seed: int = 7,
+) -> QualityTable:
+    """Measure the error of *operation* under LSB gating per bitwidth."""
+    reports = {
+        bits: error_metrics(
+            operation, width, bits, samples=samples, seed=seed
+        )
+        for bits in bitwidths
+    }
+    return QualityTable(width=width, reports=reports)
+
+
+@dataclass
+class QualityModeSelection:
+    """A quality constraint resolved to a concrete operating point."""
+
+    constraint: str
+    required_bits: int
+    point: OperatingPoint
+
+    def describe(self) -> str:
+        return (
+            f"{self.constraint} -> {self.required_bits} bits -> "
+            f"{self.point.describe()}"
+        )
+
+
+def select_mode_for_snr(
+    exploration: ExplorationResult,
+    quality: QualityTable,
+    snr_db: float,
+) -> QualityModeSelection:
+    """Cheapest explored point meeting an SNR budget."""
+    required = quality.min_bits_for_snr(snr_db)
+    candidates = [
+        point
+        for bits, point in exploration.best_per_bitwidth.items()
+        if bits >= required
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no feasible operating point offers >= {required} bits"
+        )
+    point = min(candidates, key=lambda p: p.total_power_w)
+    return QualityModeSelection(
+        constraint=f"SNR >= {snr_db:.1f} dB",
+        required_bits=required,
+        point=point,
+    )

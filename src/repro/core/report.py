@@ -1,0 +1,75 @@
+"""Text reports mirroring the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.core.config import OperatingPoint
+from repro.core.flow import ImplementedDesign
+
+
+def format_pareto_table(
+    frontiers: Dict[str, Dict[int, OperatingPoint]],
+    bitwidths: Sequence[int],
+) -> str:
+    """Fig. 5 as a table: one column per method, one row per bitwidth.
+
+    Infeasible accuracy modes print ``--`` (DVAS NoBB high bitwidths).
+    """
+    methods = list(frontiers)
+    header = "bits | " + " | ".join(f"{m:>18s}" for m in methods)
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for bits in sorted(bitwidths, reverse=True):
+        cells = []
+        for method in methods:
+            point = frontiers[method].get(bits)
+            if point is None:
+                cells.append(f"{'--':>18s}")
+            else:
+                cells.append(
+                    f"{point.total_power_w * 1e3:9.3f} mW@{point.vdd:.1f}V"
+                )
+        lines.append(f"{bits:4d} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table1(designs: Iterable[ImplementedDesign]) -> str:
+    """Table I: post-P&R characteristics and grid configurations."""
+    lines = [
+        f"{'Design':12s} {'A [mm^2]':>12s} {'fclk [GHz]':>11s} "
+        f"{'Groups':>7s} {'Aovr [%]':>9s}",
+    ]
+    for design in designs:
+        grid = design.insertion.partition.label if design.insertion else "1x1"
+        lines.append(
+            f"{design.netlist.name:12s} "
+            f"{design.area_um2 * 1e-6:12.2e} "
+            f"{design.fclk_ghz:11.2f} "
+            f"{grid:>7s} "
+            f"{design.area_overhead * 100:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_savings(
+    reference: Dict[int, OperatingPoint],
+    improved: Dict[int, OperatingPoint],
+    bitwidths: Sequence[int],
+    reference_name: str = "DVAS (FBB)",
+    improved_name: str = "Proposed",
+) -> str:
+    """Per-bitwidth power saving of the proposed method vs a reference."""
+    lines = [f"power saving of {improved_name} vs {reference_name}:"]
+    for bits in sorted(bitwidths, reverse=True):
+        ref = reference.get(bits)
+        new = improved.get(bits)
+        if ref is None or new is None:
+            lines.append(f"  {bits:2d} bits: n/a")
+            continue
+        saving = 1.0 - new.total_power_w / ref.total_power_w
+        lines.append(
+            f"  {bits:2d} bits: {saving * 100:6.2f}%  "
+            f"({ref.total_power_w * 1e3:.3f} -> {new.total_power_w * 1e3:.3f} mW)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Runtime accuracy control: using the mode table in a live system.
+
+The paper produces, per operator, a table mapping each accuracy mode to its
+cheapest knob configuration (per-domain back bias + global VDD), and leaves
+the runtime selection to the application.  This module models that runtime:
+
+* :class:`BiasGeneratorModel` -- the paper's Section III hardware sketch
+  ("two DC-DC converters (e.g., charge pumps) can be used to generate FBB
+  voltages ... and some power switches to selectively connect the Well pins
+  of each domain"): switching a domain's well costs the energy to slew its
+  well capacitance and takes a settling time.
+* :class:`AccuracyController` -- replays a workload trace (phases of
+  required accuracy) against an exploration result, accounting mode-switch
+  energy/time, and reports the adaptive-vs-static energy picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import OperatingPoint
+from repro.core.exploration import ExplorationResult
+from repro.core.flow import ImplementedDesign
+
+
+@dataclass(frozen=True)
+class BiasGeneratorModel:
+    """First-order electrical model of the back-bias generation hardware.
+
+    ``well_cap_ff_per_um2`` is the junction/wiring capacitance each domain
+    presents to its bias rail per unit of domain area; slewing a well from
+    bias ``a`` to ``b`` costs ``C_well * (a - b)^2`` through the charge
+    pump (efficiency folded in) and takes ``transition_time_ns`` before
+    the domain may be timed at the new corner.
+    """
+
+    transition_time_ns: float = 100.0
+    well_cap_ff_per_um2: float = 0.08
+    pump_efficiency: float = 0.5
+
+    def transition_energy_j(
+        self, domain_area_um2: float, vbb_from: float, vbb_to: float
+    ) -> float:
+        if vbb_from == vbb_to:
+            return 0.0
+        cap_f = domain_area_um2 * self.well_cap_ff_per_um2 * 1e-15
+        swing = abs(vbb_from - vbb_to)
+        return cap_f * swing**2 / self.pump_efficiency
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A stretch of execution with a fixed accuracy requirement."""
+
+    required_bits: int
+    cycles: int
+
+
+@dataclass
+class RuntimeReport:
+    """Outcome of replaying a workload through the controller."""
+
+    phases: int
+    total_cycles: int
+    compute_energy_j: float
+    transition_energy_j: float
+    transition_time_ns: float
+    mode_switches: int
+    static_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compute_energy_j + self.transition_energy_j
+
+    @property
+    def transition_overhead(self) -> float:
+        total = self.total_energy_j
+        return self.transition_energy_j / total if total > 0.0 else 0.0
+
+    @property
+    def adaptive_saving(self) -> float:
+        """Energy saved vs running every phase at maximum accuracy."""
+        if self.static_energy_j <= 0.0:
+            return 0.0
+        return 1.0 - self.total_energy_j / self.static_energy_j
+
+    def summary(self) -> str:
+        return (
+            f"{self.phases} phases / {self.total_cycles} cycles: "
+            f"{self.total_energy_j * 1e9:.2f} nJ adaptive vs "
+            f"{self.static_energy_j * 1e9:.2f} nJ static "
+            f"({self.adaptive_saving * 100:.1f}% saved; "
+            f"{self.mode_switches} mode switches costing "
+            f"{self.transition_overhead * 100:.2f}% of energy)"
+        )
+
+
+class AccuracyController:
+    """Drives one implemented operator from its exploration mode table."""
+
+    def __init__(
+        self,
+        design: ImplementedDesign,
+        exploration: ExplorationResult,
+        generator: BiasGeneratorModel = BiasGeneratorModel(),
+    ):
+        if not exploration.best_per_bitwidth:
+            raise ValueError("exploration found no feasible operating points")
+        self.design = design
+        self.generator = generator
+        self.mode_table: Dict[int, OperatingPoint] = dict(
+            exploration.best_per_bitwidth
+        )
+        self._domain_areas = self._measure_domain_areas()
+        fbb = design.netlist.library.process.fbb_voltage
+        self._state_vbb = {False: 0.0, True: fbb}
+
+    def _measure_domain_areas(self) -> np.ndarray:
+        areas = np.zeros(self.design.num_domains)
+        domains = self.design.domains
+        for cell, domain in zip(self.design.netlist.cells, domains):
+            areas[int(domain)] += cell.area_um2
+        return areas
+
+    # -- mode selection ------------------------------------------------------
+
+    def mode_for(self, required_bits: int) -> OperatingPoint:
+        """Cheapest mode offering at least *required_bits* of accuracy."""
+        candidates = [
+            point
+            for bits, point in self.mode_table.items()
+            if bits >= required_bits
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no feasible mode provides {required_bits} bits "
+                f"(table covers up to {max(self.mode_table)})"
+            )
+        return min(candidates, key=lambda p: p.total_power_w)
+
+    def transition_cost(
+        self, old: Optional[OperatingPoint], new: OperatingPoint
+    ) -> Tuple[float, float]:
+        """(energy J, time ns) to move the hardware between two modes."""
+        if old is None or old.bb_config == new.bb_config:
+            return (0.0, 0.0)
+        energy = 0.0
+        for domain, (before, after) in enumerate(
+            zip(old.bb_config, new.bb_config)
+        ):
+            energy += self.generator.transition_energy_j(
+                self._domain_areas[domain],
+                self._state_vbb[before],
+                self._state_vbb[after],
+            )
+        return (energy, self.generator.transition_time_ns)
+
+    # -- workload replay -------------------------------------------------------
+
+    def replay(self, workload: Sequence[WorkloadPhase]) -> RuntimeReport:
+        """Replay a trace of accuracy phases; account compute + transitions."""
+        if not workload:
+            raise ValueError("empty workload")
+        fclk_hz = self.design.fclk_ghz * 1e9
+        max_bits = max(self.mode_table)
+        static_point = self.mode_table[max_bits]
+
+        compute_energy = 0.0
+        transition_energy = 0.0
+        transition_time = 0.0
+        switches = 0
+        static_energy = 0.0
+        total_cycles = 0
+        current: Optional[OperatingPoint] = None
+
+        for phase in workload:
+            point = self.mode_for(phase.required_bits)
+            energy, settle_ns = self.transition_cost(current, point)
+            if energy > 0.0 or settle_ns > 0.0:
+                switches += 1
+            transition_energy += energy
+            transition_time += settle_ns
+            current = point
+
+            duration_s = phase.cycles / fclk_hz
+            compute_energy += point.total_power_w * duration_s
+            static_energy += static_point.total_power_w * duration_s
+            total_cycles += phase.cycles
+
+        return RuntimeReport(
+            phases=len(workload),
+            total_cycles=total_cycles,
+            compute_energy_j=compute_energy,
+            transition_energy_j=transition_energy,
+            transition_time_ns=transition_time,
+            mode_switches=switches,
+            static_energy_j=static_energy,
+        )

@@ -1,0 +1,16 @@
+"""Interchange-format writers: Liberty, DEF, SPEF, VCD.
+
+These emit the standard file formats a physical-design ecosystem expects,
+so results of this flow can be inspected with ordinary EDA viewers or fed
+to external tools: the characterized library as ``.lib``, placements as
+DEF, extracted wire parasitics as SPEF, and simulation traces as VCD.
+All writers are intentionally minimal, producing the widely supported core
+of each format.
+"""
+
+from repro.io.liberty import write_liberty
+from repro.io.defio import write_def
+from repro.io.spef import write_spef
+from repro.io.vcd import write_vcd
+
+__all__ = ["write_liberty", "write_def", "write_spef", "write_vcd"]

@@ -1,0 +1,96 @@
+"""Liberty (.lib) writer for one characterized corner.
+
+Emits the linear-delay-model subset of Liberty: per cell and drive, the
+pin directions/capacitances, cell leakage, and per-output intrinsic delay
+plus drive resistance.  One file describes one (VDD, VBB) corner, exactly
+how multi-corner FDSOI libraries ship (a .lib per bias state).
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.techlib.library import Corner, Library
+
+
+def _lib_name(library_name: str, corner: Corner) -> str:
+    bias = "nobb" if corner.vbb == 0 else ("fbb" if corner.vbb > 0 else "rbb")
+    return f"{library_name}_{corner.vdd:.2f}v_{bias}".replace(".", "p")
+
+
+def write_liberty(
+    library: Library,
+    corner: Corner,
+    stream: TextIO,
+    library_name: str = "repro28fdsoi",
+) -> None:
+    """Write every (cell, drive) of *library* at *corner* as Liberty text."""
+    d_factor = library.delay_factor(corner)
+    l_factor = library.leakage_factor(corner)
+    name = _lib_name(library_name, corner)
+
+    stream.write(f'library ({name}) {{\n')
+    stream.write('  delay_model : "generic_cmos";\n')
+    stream.write('  time_unit : "1ps";\n')
+    stream.write('  capacitive_load_unit (1, "ff");\n')
+    stream.write('  leakage_power_unit : "1nW";\n')
+    stream.write(f'  nom_voltage : {corner.vdd:.2f};\n')
+    stream.write(f'  comment : "back bias {corner.vbb:+.2f} V";\n')
+
+    for cell_name in sorted(library.templates):
+        template = library.templates[cell_name]
+        for drive_name in template.drive_names:
+            drive = template.drives[drive_name]
+            stream.write(f"  cell ({cell_name}_{drive_name}) {{\n")
+            stream.write(f"    area : {drive.area_um2:.4f};\n")
+            stream.write(
+                f"    cell_leakage_power : "
+                f"{drive.leakage_nw * l_factor:.4f};\n"
+            )
+            if template.is_sequential:
+                stream.write('    ff (IQ, IQN) { clocked_on : "CK"; '
+                             'next_state : "D"; }\n')
+            for pin in template.inputs:
+                stream.write(f"    pin ({pin}) {{\n")
+                stream.write("      direction : input;\n")
+                stream.write(
+                    f"      capacitance : {drive.input_cap_ff:.4f};\n"
+                )
+                if template.is_sequential and pin == "CK":
+                    stream.write("      clock : true;\n")
+                if template.is_sequential and pin == "D":
+                    stream.write(
+                        "      timing () {\n"
+                        '        related_pin : "CK";\n'
+                        "        timing_type : setup_rising;\n"
+                        f"        intrinsic_rise : "
+                        f"{template.setup_ps * d_factor:.2f};\n"
+                        "      }\n"
+                    )
+                stream.write("    }\n")
+            for pin in template.outputs:
+                stream.write(f"    pin ({pin}) {{\n")
+                stream.write("      direction : output;\n")
+                if template.is_sequential:
+                    stream.write(
+                        "      timing () {\n"
+                        '        related_pin : "CK";\n'
+                        "        timing_type : rising_edge;\n"
+                        f"        intrinsic_rise : "
+                        f"{template.clk_to_q_ps * d_factor:.2f};\n"
+                        "      }\n"
+                    )
+                else:
+                    for related in template.inputs:
+                        stream.write(
+                            "      timing () {\n"
+                            f'        related_pin : "{related}";\n'
+                            f"        intrinsic_rise : "
+                            f"{drive.intrinsic_delay_ps * d_factor:.2f};\n"
+                            f"        rise_resistance : "
+                            f"{drive.load_coeff_ps_per_ff * d_factor:.4f};\n"
+                            "      }\n"
+                        )
+                stream.write("    }\n")
+            stream.write("  }\n")
+    stream.write("}\n")

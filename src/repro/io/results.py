@@ -1,0 +1,109 @@
+"""JSON persistence for exploration results and mode tables.
+
+Explorations of the big designs take seconds to minutes; systems built on
+the mode tables (runtime controllers, SoC composition) want to load them
+without re-running the flow.  The JSON schema is versioned and stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, TextIO
+
+from repro.core.config import ExplorationSettings, OperatingPoint
+from repro.core.exploration import ExplorationResult
+
+SCHEMA_VERSION = 1
+
+
+def _point_to_dict(point: OperatingPoint) -> Dict:
+    return {
+        "active_bits": point.active_bits,
+        "vdd": point.vdd,
+        "bb_config": list(point.bb_config),
+        "total_power_w": point.total_power_w,
+        "dynamic_power_w": point.dynamic_power_w,
+        "leakage_power_w": point.leakage_power_w,
+        "worst_slack_ps": point.worst_slack_ps,
+    }
+
+
+def _point_from_dict(data: Dict) -> OperatingPoint:
+    return OperatingPoint(
+        active_bits=int(data["active_bits"]),
+        vdd=float(data["vdd"]),
+        bb_config=tuple(bool(x) for x in data["bb_config"]),
+        total_power_w=float(data["total_power_w"]),
+        dynamic_power_w=float(data["dynamic_power_w"]),
+        leakage_power_w=float(data["leakage_power_w"]),
+        worst_slack_ps=float(data["worst_slack_ps"]),
+    )
+
+
+def save_exploration(result: ExplorationResult, stream: TextIO) -> None:
+    """Serialize an exploration result (mode tables + statistics) as JSON."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "design_name": result.design_name,
+        "num_domains": result.num_domains,
+        "points_evaluated": result.points_evaluated,
+        "points_feasible": result.points_feasible,
+        "runtime_s": result.runtime_s,
+        "settings": {
+            "bitwidths": list(result.settings.bitwidths),
+            "vdd_values": list(result.settings.vdd_values),
+            "activity_cycles": result.settings.activity_cycles,
+            "activity_batch": result.settings.activity_batch,
+            "seed": result.settings.seed,
+        },
+        "best_per_bitwidth": {
+            str(bits): _point_to_dict(point)
+            for bits, point in result.best_per_bitwidth.items()
+        },
+        "best_per_knob_point": [
+            {"bits": bits, "vdd": vdd, "point": _point_to_dict(point)}
+            for (bits, vdd), point in result.best_per_knob_point.items()
+        ],
+        "feasible_counts": [
+            {"bits": bits, "vdd": vdd, "count": count}
+            for (bits, vdd), count in result.feasible_counts.items()
+        ],
+    }
+    json.dump(payload, stream, indent=2)
+
+
+def load_exploration(stream: TextIO) -> ExplorationResult:
+    """Load an exploration result saved by :func:`save_exploration`."""
+    payload = json.load(stream)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {payload.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    settings = ExplorationSettings(
+        bitwidths=tuple(payload["settings"]["bitwidths"]),
+        vdd_values=tuple(payload["settings"]["vdd_values"]),
+        activity_cycles=int(payload["settings"]["activity_cycles"]),
+        activity_batch=int(payload["settings"]["activity_batch"]),
+        seed=int(payload["settings"]["seed"]),
+    )
+    return ExplorationResult(
+        design_name=payload["design_name"],
+        settings=settings,
+        num_domains=int(payload["num_domains"]),
+        best_per_bitwidth={
+            int(bits): _point_from_dict(point)
+            for bits, point in payload["best_per_bitwidth"].items()
+        },
+        points_evaluated=int(payload["points_evaluated"]),
+        points_feasible=int(payload["points_feasible"]),
+        runtime_s=float(payload["runtime_s"]),
+        feasible_counts={
+            (int(e["bits"]), float(e["vdd"])): int(e["count"])
+            for e in payload["feasible_counts"]
+        },
+        best_per_knob_point={
+            (int(e["bits"]), float(e["vdd"])): _point_from_dict(e["point"])
+            for e in payload["best_per_knob_point"]
+        },
+    )

@@ -1,0 +1,54 @@
+"""SPEF (Standard Parasitic Exchange Format) writer.
+
+Each net's extracted wire parasitics become a ``*D_NET`` entry with the
+total capacitance and a single lumped resistance from the driver pin to a
+merged load node -- the "wire-load" reduction of SPEF, adequate for the
+first-order RC model the timing engine uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.parasitics import Parasitics
+
+
+def write_spef(
+    netlist: Netlist,
+    parasitics: Parasitics,
+    stream: TextIO,
+    design_name: Optional[str] = None,
+) -> None:
+    """Write per-net wire RC as SPEF text."""
+    stream.write(f'*SPEF "IEEE 1481-1998"\n')
+    stream.write(f'*DESIGN "{design_name or netlist.name}"\n')
+    stream.write('*VENDOR "repro"\n*PROGRAM "repro.pnr.parasitics"\n')
+    stream.write('*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n')
+    stream.write("\n*NAME_MAP\n")
+    for net in netlist.nets:
+        stream.write(f"*{net.index + 1} {net.name}\n")
+    stream.write("\n")
+
+    for net in netlist.nets:
+        cap = float(parasitics.wire_cap_ff[net.index])
+        res = float(parasitics.wire_res_ohm[net.index])
+        if cap == 0.0 and res == 0.0:
+            continue
+        stream.write(f"*D_NET *{net.index + 1} {cap:.4f}\n")
+        stream.write("*CONN\n")
+        if net.driver is not None:
+            stream.write(
+                f"*I {net.driver.cell.name}:{net.driver.pin_name} O\n"
+            )
+        for sink in net.sinks:
+            stream.write(f"*I {sink.cell.name}:{sink.pin_name} I\n")
+        stream.write("*CAP\n")
+        stream.write(f"1 *{net.index + 1}:1 {cap:.4f}\n")
+        if res > 0.0 and net.driver is not None:
+            stream.write("*RES\n")
+            stream.write(
+                f"1 {net.driver.cell.name}:{net.driver.pin_name} "
+                f"*{net.index + 1}:1 {res:.4f}\n"
+            )
+        stream.write("*END\n\n")

@@ -1,0 +1,90 @@
+"""Cell instances."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.techlib.cells import CellTemplate, DriveVariant
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netlist.net import Net
+
+
+class CellInst:
+    """One placed instance of a library cell.
+
+    Connectivity is positional: ``input_nets[i]`` connects to
+    ``template.inputs[i]`` and ``output_nets[j]`` to ``template.outputs[j]``.
+    ``x``/``y`` hold the placement in micrometres (``None`` before
+    placement); ``domain`` is the Vth/BB domain id assigned by the grid
+    partitioner (``None`` before domain insertion).
+    """
+
+    __slots__ = ("name", "index", "template", "drive_name", "input_nets",
+                 "output_nets", "x", "y", "domain")
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        template: CellTemplate,
+        drive_name: str,
+        input_nets: List["Net"],
+        output_nets: List["Net"],
+    ):
+        if len(input_nets) != len(template.inputs):
+            raise ValueError(
+                f"cell {name!r} ({template.name}): expected "
+                f"{len(template.inputs)} inputs, got {len(input_nets)}"
+            )
+        if len(output_nets) != len(template.outputs):
+            raise ValueError(
+                f"cell {name!r} ({template.name}): expected "
+                f"{len(template.outputs)} outputs, got {len(output_nets)}"
+            )
+        if drive_name not in template.drives:
+            raise ValueError(
+                f"cell {name!r}: template {template.name} has no drive "
+                f"{drive_name!r} (has {sorted(template.drives)})"
+            )
+        self.name = name
+        self.index = index
+        self.template = template
+        self.drive_name = drive_name
+        self.input_nets = input_nets
+        self.output_nets = output_nets
+        self.x: Optional[float] = None
+        self.y: Optional[float] = None
+        self.domain: Optional[int] = None
+
+    @property
+    def drive(self) -> DriveVariant:
+        """The electrical data of the instance's current drive strength."""
+        return self.template.drives[self.drive_name]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.template.is_sequential
+
+    @property
+    def area_um2(self) -> float:
+        return self.drive.area_um2
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Placement coordinates; raises if the cell is not placed yet."""
+        if self.x is None or self.y is None:
+            raise ValueError(f"cell {self.name!r} has not been placed")
+        return (self.x, self.y)
+
+    def set_drive(self, drive_name: str) -> None:
+        """Re-size the instance to another drive strength of its template."""
+        if drive_name not in self.template.drives:
+            raise ValueError(
+                f"{self.template.name} has no drive {drive_name!r} "
+                f"(has {sorted(self.template.drives)})"
+            )
+        self.drive_name = drive_name
+
+    def __repr__(self) -> str:
+        return f"CellInst({self.name!r}, {self.template.name}/{self.drive_name})"

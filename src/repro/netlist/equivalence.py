@@ -1,0 +1,120 @@
+"""Simulation-based equivalence checking (LEC-lite).
+
+The flow transforms netlists (buffer insertion, drive re-sizing) and users
+import external ones; this module provides the confidence check that two
+netlists compute the same function.  It is *simulation-based*: exhaustive
+for narrow interfaces, randomized (with corner-value seeding) beyond that
+-- not a formal proof, but the standard quick regression between netlist
+revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.sim.vectors import random_words
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence run."""
+
+    equivalent: bool
+    vectors: int
+    exhaustive: bool
+    counterexample: Optional[Dict[str, int]] = None
+    mismatched_bus: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def describe(self) -> str:
+        if self.equivalent:
+            mode = "exhaustively" if self.exhaustive else "randomly"
+            return f"equivalent over {self.vectors} {mode} tested vectors"
+        return (
+            f"NOT equivalent: bus {self.mismatched_bus!r} differs for "
+            f"{self.counterexample}"
+        )
+
+
+def _interface(netlist: Netlist):
+    inputs = {name: bus.width for name, bus in netlist.input_buses.items()}
+    outputs = {name: bus.width for name, bus in netlist.output_buses.items()}
+    return inputs, outputs
+
+
+def check_equivalent(
+    golden: Netlist,
+    revised: Netlist,
+    max_vectors: int = 4096,
+    seed: int = 99,
+) -> EquivalenceResult:
+    """Compare two feed-forward netlists on their shared interface.
+
+    Interfaces (bus names and widths) must match exactly.  When the total
+    input width is small enough, the check is exhaustive; otherwise it
+    runs *max_vectors* random vectors seeded with the all-zeros, all-ones
+    and per-bus extreme patterns.
+    """
+    golden_if, golden_out = _interface(golden)
+    revised_if, revised_out = _interface(revised)
+    if golden_if != revised_if or golden_out != revised_out:
+        raise ValueError(
+            "interface mismatch: "
+            f"{golden_if}/{golden_out} vs {revised_if}/{revised_out}"
+        )
+
+    total_bits = sum(golden_if.values())
+    exhaustive = total_bits <= int(np.log2(max_vectors))
+    bus_names = sorted(golden_if)
+
+    if exhaustive:
+        count = 1 << total_bits
+        codes = np.arange(count, dtype=np.int64)
+        stimulus: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name in bus_names:
+            width = golden_if[name]
+            stimulus[name] = (codes >> offset) & ((1 << width) - 1)
+            offset += width
+        vectors = count
+    else:
+        rng = np.random.default_rng(seed)
+        vectors = max_vectors
+        stimulus = {}
+        for name in bus_names:
+            width = golden_if[name]
+            words = random_words(rng, vectors, width, signed=True)
+            # Seed the corners: 0, -1, min, max on the first rows.
+            corners = [0, -1, -(1 << (width - 1)), (1 << (width - 1)) - 1]
+            words[: len(corners)] = corners
+            stimulus[name] = words
+
+    sim_golden = LogicSimulator(golden, SimulationMode.TRANSPARENT)
+    sim_revised = LogicSimulator(revised, SimulationMode.TRANSPARENT)
+    out_golden = sim_golden.run_combinational(stimulus, signed=False)
+    out_revised = sim_revised.run_combinational(stimulus, signed=False)
+
+    for bus in sorted(golden_out):
+        mismatch = out_golden[bus] != out_revised[bus]
+        if np.any(mismatch):
+            index = int(np.argmax(mismatch))
+            counterexample = {
+                name: int(stimulus[name][index]) for name in bus_names
+            }
+            return EquivalenceResult(
+                equivalent=False,
+                vectors=vectors,
+                exhaustive=exhaustive,
+                counterexample=counterexample,
+                mismatched_bus=bus,
+            )
+    return EquivalenceResult(
+        equivalent=True, vectors=vectors, exhaustive=exhaustive
+    )

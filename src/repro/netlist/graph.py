@@ -1,0 +1,95 @@
+"""NetworkX interop: export a netlist as an annotated directed graph.
+
+Gives users the whole graph-algorithms toolbox (centrality, cuts,
+communities, dominator trees...) over a design without writing traversals
+against the IR.  The export is cell-level: one node per cell instance plus
+one node per primary input/output bit; edges follow signal direction
+through nets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.netlist.netlist import Netlist
+
+
+def to_networkx(
+    netlist: Netlist,
+    include_ports: bool = True,
+    include_clock: bool = False,
+) -> "nx.DiGraph":
+    """Build a :class:`networkx.DiGraph` of *netlist*.
+
+    Nodes: cell names (``kind="cell"``, with ``template``, ``drive``,
+    ``area_um2``, ``sequential``, and -- when placed/partitioned -- ``x``,
+    ``y``, ``domain``); optionally port-bit names (``kind="port"``).
+    Edges: driver -> sink per net fan-out arc, attributed with the net
+    name and its fanout.
+    """
+    graph = nx.DiGraph(name=netlist.name)
+
+    for cell in netlist.cells:
+        attributes = {
+            "kind": "cell",
+            "template": cell.template.name,
+            "drive": cell.drive_name,
+            "area_um2": cell.area_um2,
+            "sequential": cell.is_sequential,
+        }
+        if cell.x is not None and cell.y is not None:
+            attributes["x"] = cell.x
+            attributes["y"] = cell.y
+        if cell.domain is not None:
+            attributes["domain"] = cell.domain
+        graph.add_node(cell.name, **attributes)
+
+    if include_ports:
+        for bus in netlist.input_buses.values():
+            for net in bus.nets:
+                graph.add_node(net.name, kind="port", direction="input")
+        for bus in netlist.output_buses.values():
+            for net in bus.nets:
+                graph.add_node(net.name, kind="port", direction="output")
+
+    for net in netlist.nets:
+        if net.is_clock and not include_clock:
+            continue
+        if net.driver is not None:
+            source: Optional[str] = net.driver.cell.name
+        elif include_ports and net.is_primary_input:
+            source = net.name
+        elif include_clock and net.is_clock:
+            graph.add_node(net.name, kind="port", direction="clock")
+            source = net.name
+        else:
+            source = None
+        if source is None:
+            continue
+        for sink in net.sinks:
+            if not include_clock and sink.pin_name == "CK":
+                continue
+            graph.add_edge(
+                source, sink.cell.name, net=net.name, fanout=net.fanout
+            )
+        if include_ports and net.is_primary_output:
+            graph.add_edge(source, net.name, net=net.name, fanout=net.fanout)
+    return graph
+
+
+def combinational_depth(netlist: Netlist) -> int:
+    """Longest combinational path length in cells (via networkx DAG tools).
+
+    Sequential elements cut the graph, so the result is the reg-to-reg
+    logic depth -- a quick architecture metric that should track the STA
+    critical path's stage count.
+    """
+    graph = to_networkx(netlist, include_ports=False)
+    # Remove sequential nodes: their Q-side edges start new paths.
+    combinational = graph.copy()
+    for node, data in graph.nodes(data=True):
+        if data.get("sequential"):
+            combinational.remove_node(node)
+    return int(nx.dag_longest_path_length(combinational)) + 1

@@ -1,0 +1,74 @@
+"""Nets and pin references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netlist.cell import CellInst
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """A reference to one pin of one cell instance.
+
+    ``position`` is the pin's index within the cell template's input list
+    (for input pins) or output list (for output pins).
+    """
+
+    cell: "CellInst"
+    position: int
+    is_output: bool
+
+    @property
+    def pin_name(self) -> str:
+        """The template pin name this reference points at."""
+        template = self.cell.template
+        pins = template.outputs if self.is_output else template.inputs
+        return pins[self.position]
+
+
+class Net:
+    """A single-bit wire.
+
+    A net has at most one driver (a cell output pin, or none when the net is
+    a primary input or the clock) and any number of sink pins.
+    """
+
+    __slots__ = ("name", "index", "driver", "sinks", "is_primary_input",
+                 "is_primary_output", "is_clock")
+
+    def __init__(self, name: str, index: int):
+        self.name = name
+        self.index = index
+        self.driver: Optional[PinRef] = None
+        self.sinks: List[PinRef] = []
+        self.is_primary_input = False
+        self.is_primary_output = False
+        self.is_clock = False
+
+    def set_driver(self, pin: PinRef) -> None:
+        """Attach *pin* as the net's driver; rejects multiple drivers."""
+        if self.driver is not None:
+            raise ValueError(
+                f"net {self.name!r} already driven by "
+                f"{self.driver.cell.name}.{self.driver.pin_name}; cannot also be "
+                f"driven by {pin.cell.name}.{pin.pin_name}"
+            )
+        if self.is_primary_input or self.is_clock:
+            raise ValueError(
+                f"net {self.name!r} is a primary input/clock; it cannot have a driver"
+            )
+        self.driver = pin
+
+    def add_sink(self, pin: PinRef) -> None:
+        self.sinks.append(pin)
+
+    @property
+    def fanout(self) -> int:
+        """Number of cell input pins this net drives."""
+        return len(self.sinks)
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, fanout={self.fanout})"

@@ -1,0 +1,212 @@
+"""The Netlist container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.netlist.cell import CellInst
+from repro.netlist.net import Net, PinRef
+from repro.techlib.cells import CellTemplate
+from repro.techlib.library import Library
+
+
+@dataclass
+class PortBus:
+    """An ordered group of port nets, LSB first (``nets[0]`` is bit 0).
+
+    ``signed`` records the two's-complement interpretation used when the
+    simulator packs the bus back into integers.
+    """
+
+    name: str
+    nets: List[Net]
+    is_input: bool
+    signed: bool = True
+
+    @property
+    def width(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __getitem__(self, i):
+        return self.nets[i]
+
+
+class Netlist:
+    """A flat gate-level netlist bound to a library.
+
+    Cells and nets carry stable integer indices (their position in
+    :attr:`cells` / :attr:`nets`) that analysis engines use to build flat
+    numpy views.  Indices never change once assigned; removing cells is not
+    supported (the flow never needs it).
+    """
+
+    def __init__(self, name: str, library: Library):
+        self.name = name
+        self.library = library
+        self.cells: List[CellInst] = []
+        self.nets: List[Net] = []
+        self._net_by_name: Dict[str, Net] = {}
+        self._cell_by_name: Dict[str, CellInst] = {}
+        self.input_buses: Dict[str, PortBus] = {}
+        self.output_buses: Dict[str, PortBus] = {}
+        self.clock_net: Optional[Net] = None
+
+    # -- construction ---------------------------------------------------
+
+    def add_net(self, name: str) -> Net:
+        """Create a new net; names must be unique within the netlist."""
+        if name in self._net_by_name:
+            raise ValueError(f"duplicate net name {name!r}")
+        net = Net(name, len(self.nets))
+        self.nets.append(net)
+        self._net_by_name[name] = net
+        return net
+
+    def add_cell(
+        self,
+        name: str,
+        template: CellTemplate,
+        input_nets: Sequence[Net],
+        output_nets: Sequence[Net],
+        drive_name: str = "X1",
+    ) -> CellInst:
+        """Instantiate *template* and hook up its connectivity."""
+        if name in self._cell_by_name:
+            raise ValueError(f"duplicate cell name {name!r}")
+        cell = CellInst(
+            name, len(self.cells), template, drive_name,
+            list(input_nets), list(output_nets),
+        )
+        for position, net in enumerate(cell.input_nets):
+            net.add_sink(PinRef(cell, position, is_output=False))
+        for position, net in enumerate(cell.output_nets):
+            net.set_driver(PinRef(cell, position, is_output=True))
+        self.cells.append(cell)
+        self._cell_by_name[name] = cell
+        return cell
+
+    def mark_input_bus(self, name: str, nets: Sequence[Net]) -> PortBus:
+        bus = PortBus(name, list(nets), is_input=True)
+        for net in nets:
+            net.is_primary_input = True
+        self.input_buses[name] = bus
+        return bus
+
+    def mark_output_bus(
+        self, name: str, nets: Sequence[Net], signed: bool = True
+    ) -> PortBus:
+        bus = PortBus(name, list(nets), is_input=False, signed=signed)
+        for net in nets:
+            net.is_primary_output = True
+        self.output_buses[name] = bus
+        return bus
+
+    def set_clock(self, net: Net) -> None:
+        if self.clock_net is not None:
+            raise ValueError("clock already set")
+        net.is_clock = True
+        self.clock_net = net
+
+    # -- lookup ----------------------------------------------------------
+
+    def net(self, name: str) -> Net:
+        return self._net_by_name[name]
+
+    def cell(self, name: str) -> CellInst:
+        return self._cell_by_name[name]
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def combinational_cells(self) -> List[CellInst]:
+        return [c for c in self.cells if not c.is_sequential]
+
+    @property
+    def sequential_cells(self) -> List[CellInst]:
+        return [c for c in self.cells if c.is_sequential]
+
+    def topological_cells(self) -> List[CellInst]:
+        """Combinational cells in dependency order (Kahn's algorithm).
+
+        Sources are primary inputs, tie cells and flip-flop outputs; a
+        combinational cycle raises :class:`ValueError`.
+        """
+        in_degree: Dict[int, int] = {}
+        ready: List[CellInst] = []
+        for cell in self.cells:
+            if cell.is_sequential:
+                continue
+            degree = 0
+            for net in cell.input_nets:
+                driver = net.driver
+                if driver is not None and not driver.cell.is_sequential:
+                    degree += 1
+            in_degree[cell.index] = degree
+            if degree == 0:
+                ready.append(cell)
+        order: List[CellInst] = []
+        cursor = 0
+        while cursor < len(ready):
+            cell = ready[cursor]
+            cursor += 1
+            order.append(cell)
+            for net in cell.output_nets:
+                for sink in net.sinks:
+                    consumer = sink.cell
+                    if consumer.is_sequential:
+                        continue
+                    in_degree[consumer.index] -= 1
+                    if in_degree[consumer.index] == 0:
+                        ready.append(consumer)
+        expected = sum(1 for c in self.cells if not c.is_sequential)
+        if len(order) != expected:
+            raise ValueError(
+                f"netlist {self.name!r} has a combinational loop "
+                f"({expected - len(order)} cells unreachable)"
+            )
+        return order
+
+    def logic_levels(self) -> Dict[int, int]:
+        """Map cell index -> combinational logic level (sources at level 0)."""
+        levels: Dict[int, int] = {}
+        for cell in self.topological_cells():
+            level = 0
+            for net in cell.input_nets:
+                driver = net.driver
+                if driver is not None and not driver.cell.is_sequential:
+                    level = max(level, levels[driver.cell.index] + 1)
+            levels[cell.index] = level
+        return levels
+
+    # -- statistics --------------------------------------------------------
+
+    def cell_area_um2(self) -> float:
+        """Total standard-cell area (no floorplan whitespace, no guardbands)."""
+        return sum(cell.area_um2 for cell in self.cells)
+
+    def count_by_template(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.template.name] = counts.get(cell.template.name, 0) + 1
+        return counts
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used by reports and tests."""
+        return {
+            "cells": len(self.cells),
+            "nets": len(self.nets),
+            "sequential": len(self.sequential_cells),
+            "area_um2": self.cell_area_um2(),
+            "inputs": sum(b.width for b in self.input_buses.values()),
+            "outputs": sum(b.width for b in self.output_buses.values()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, cells={len(self.cells)}, "
+            f"nets={len(self.nets)})"
+        )

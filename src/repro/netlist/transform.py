@@ -1,0 +1,78 @@
+"""Netlist transforms applied between generation and placement.
+
+Currently one transform: high-fanout buffering, the equivalent of the
+buffer-tree insertion every synthesis/P&R tool performs.  Without it,
+nets like the Booth encoder selects (fanout ~17) accumulate enormous pin
+loads and distort both timing and power.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.net import Net, PinRef
+from repro.netlist.netlist import Netlist
+
+
+def reconnect_input(netlist: Netlist, pin: PinRef, new_net: Net) -> None:
+    """Move one cell input pin from its current net onto *new_net*."""
+    if pin.is_output:
+        raise ValueError("can only reconnect input pins")
+    cell = pin.cell
+    old_net = cell.input_nets[pin.position]
+    old_net.sinks = [
+        s for s in old_net.sinks
+        if not (s.cell is cell and s.position == pin.position)
+    ]
+    cell.input_nets[pin.position] = new_net
+    new_net.add_sink(PinRef(cell, pin.position, is_output=False))
+
+
+def buffer_high_fanout(
+    netlist: Netlist,
+    max_fanout: int = 8,
+    drive_name: str = "X2",
+) -> int:
+    """Insert BUF trees on nets whose fanout exceeds *max_fanout*.
+
+    Sinks are split into groups of at most *max_fanout*; each group moves
+    behind a buffer driven by the original net.  Applied repeatedly (the
+    buffer inputs themselves count as sinks) until every signal net
+    complies.  The clock (ideal tree) and tie nets (replicated tie cells
+    in a real flow) are exempt, as in validation.  Returns the number of
+    buffers inserted.
+    """
+    buf_template = netlist.library.template("BUF")
+    inserted = 0
+    # Iterate to a fixpoint; each pass may create new (compliant) nets.
+    progress = True
+    while progress:
+        progress = False
+        for net in list(netlist.nets):
+            if net.is_clock:
+                continue
+            if net.driver is not None and net.driver.cell.template.name in (
+                "TIELO",
+                "TIEHI",
+            ):
+                continue
+            if net.fanout <= max_fanout:
+                continue
+            sinks = list(net.sinks)
+            groups: List[List[PinRef]] = [
+                sinks[i:i + max_fanout] for i in range(0, len(sinks), max_fanout)
+            ]
+            if len(groups) == 1:
+                continue
+            for group in groups:
+                buf_name = f"hfbuf_{inserted}"
+                out_net = netlist.add_net(f"{buf_name}_y")
+                netlist.add_cell(
+                    buf_name, buf_template, [net], [out_net],
+                    drive_name=drive_name,
+                )
+                for pin in group:
+                    reconnect_input(netlist, pin, out_net)
+                inserted += 1
+            progress = True
+    return inserted

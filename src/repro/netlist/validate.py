@@ -1,0 +1,58 @@
+"""Netlist structural validation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.netlist import Netlist
+
+
+class NetlistError(Exception):
+    """Raised when a netlist violates a structural invariant."""
+
+
+def validate_netlist(netlist: Netlist, max_fanout: int = 64) -> List[str]:
+    """Check structural invariants; raise :class:`NetlistError` on violation.
+
+    Checks performed:
+
+    * every net has a driver (cell output, primary input, or clock),
+    * every net except primary outputs has at least one sink,
+    * no combinational loops,
+    * sequential cells see the clock on their CK pin,
+    * fanout stays below *max_fanout* (a proxy for electrical rule checks).
+
+    Returns a list of non-fatal warnings (e.g. dangling outputs of
+    multi-output cells, which are legal but worth flagging).
+    """
+    warnings: List[str] = []
+    for net in netlist.nets:
+        driven = net.driver is not None or net.is_primary_input or net.is_clock
+        if not driven:
+            raise NetlistError(f"net {net.name!r} has no driver")
+        if net.fanout == 0 and not net.is_primary_output:
+            warnings.append(f"net {net.name!r} has no sinks")
+        # The clock is distributed by a (not modelled) balanced clock tree,
+        # and tie nets correspond to replicated tie cells in a real flow, so
+        # neither is subject to the signal fanout rule.
+        is_tie = net.driver is not None and net.driver.cell.template.name in (
+            "TIELO",
+            "TIEHI",
+        )
+        if net.fanout > max_fanout and not net.is_clock and not is_tie:
+            raise NetlistError(
+                f"net {net.name!r} fanout {net.fanout} exceeds limit {max_fanout}"
+            )
+
+    for cell in netlist.sequential_cells:
+        clock_pin_pos = list(cell.template.inputs).index("CK")
+        clock_net = cell.input_nets[clock_pin_pos]
+        if not clock_net.is_clock:
+            raise NetlistError(
+                f"flip-flop {cell.name!r} CK pin tied to non-clock net "
+                f"{clock_net.name!r}"
+            )
+
+    # Raises internally if a combinational loop exists.
+    netlist.topological_cells()
+    return warnings

@@ -1,0 +1,162 @@
+"""Structural Verilog writer and reader.
+
+The writer emits flat gate-level Verilog using named port connections
+(``CELL_DRIVE name (.A(n1), .Y(n2));``), the format commercial P&R tools
+exchange.  The reader parses that same subset back, enabling round trips and
+letting users import externally generated netlists mapped to this library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.techlib.library import Library
+
+
+def _escape(name: str) -> str:
+    """Escape a net/cell name for Verilog (bracketed bus bits need escaping)."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist, stream: TextIO) -> None:
+    """Write *netlist* as flat structural Verilog to *stream*."""
+    ports: List[str] = []
+    decls: List[str] = []
+    for bus in netlist.input_buses.values():
+        ports.append(bus.name)
+        decls.append(f"  input [{bus.width - 1}:0] {bus.name};")
+    for bus in netlist.output_buses.values():
+        ports.append(bus.name)
+        signedness = "" if bus.signed else "  // repro:unsigned"
+        decls.append(
+            f"  output [{bus.width - 1}:0] {bus.name};{signedness}"
+        )
+    if netlist.clock_net is not None:
+        ports.append(netlist.clock_net.name)
+        decls.append(f"  input {netlist.clock_net.name};")
+
+    stream.write(f"module {netlist.name} ({', '.join(ports)});\n")
+    for line in decls:
+        stream.write(line + "\n")
+
+    # Nets belonging to a port bus are referenced by their bus-bit name so
+    # the module interface stays connected (an output-register Q net, for
+    # example, IS the port bit electrically).
+    rename: Dict[int, str] = {}
+    for bus in list(netlist.input_buses.values()) + list(netlist.output_buses.values()):
+        for bit, net in enumerate(bus.nets):
+            rename.setdefault(net.index, f"{bus.name}[{bit}]")
+    if netlist.clock_net is not None:
+        rename.setdefault(netlist.clock_net.index, netlist.clock_net.name)
+
+    for net in netlist.nets:
+        if net.index not in rename:
+            stream.write(f"  wire {_escape(net.name)};\n")
+
+    def ref(net) -> str:
+        return _escape(rename.get(net.index, net.name))
+
+    for cell in netlist.cells:
+        conns = []
+        for pin, net in zip(cell.template.inputs, cell.input_nets):
+            conns.append(f".{pin}({ref(net)})")
+        for pin, net in zip(cell.template.outputs, cell.output_nets):
+            conns.append(f".{pin}({ref(net)})")
+        stream.write(
+            f"  {cell.template.name}_{cell.drive_name} {_escape(cell.name)} "
+            f"({', '.join(conns)});\n"
+        )
+    stream.write("endmodule\n")
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(?P<cell>[A-Za-z0-9_]+)_(?P<drive>X[0-9.]+|X05)\s+"
+    r"(?:\\(?P<ename>\S+)\s|(?P<name>[A-Za-z_][A-Za-z0-9_]*))\s*"
+    r"\((?P<conns>.*)\)\s*;\s*$"
+)
+_CONN_RE = re.compile(r"\.(?P<pin>[A-Za-z0-9_]+)\(\s*(?:\\(?P<enet>\S+)\s*|(?P<net>[^)\s]+))\s*\)")
+_PORT_DECL_RE = re.compile(
+    r"^\s*(?P<dir>input|output)\s*(?:\[(?P<msb>\d+):(?P<lsb>\d+)\])?\s*"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*;"
+    r"(?P<pragma>\s*//\s*repro:unsigned)?\s*$"
+)
+
+
+def read_verilog(stream: TextIO, library: Library) -> Netlist:
+    """Parse flat structural Verilog (the writer's subset) into a netlist.
+
+    Restrictions: one module per file, named port connections only, all
+    cells must exist in *library* with the encoded drive, buses declared
+    with ``[msb:0]`` ranges.  The clock is recognized as the scalar input
+    named ``clk`` (if present).
+    """
+    text = stream.read()
+    header = re.search(r"module\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(", text)
+    if header is None:
+        raise ValueError("no module declaration found")
+    netlist = Netlist(header.group(1), library)
+
+    nets: Dict[str, object] = {}
+
+    def get_net(name: str):
+        if name not in nets:
+            nets[name] = netlist.add_net(name)
+        return nets[name]
+
+    pending_instances: List[Tuple[str, str, str, Dict[str, str]]] = []
+    input_buses: List[Tuple[str, int]] = []
+    output_buses: List[Tuple[str, int, bool]] = []
+    clock_name = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("//"):
+            continue
+        decl = _PORT_DECL_RE.match(line)
+        if decl:
+            name = decl.group("name")
+            if decl.group("msb") is not None:
+                width = int(decl.group("msb")) - int(decl.group("lsb")) + 1
+                if decl.group("dir") == "input":
+                    input_buses.append((name, width))
+                else:
+                    signed = decl.group("pragma") is None
+                    output_buses.append((name, width, signed))
+            elif decl.group("dir") == "input":
+                clock_name = name
+            continue
+        inst = _INSTANCE_RE.match(line)
+        if inst:
+            conns = {
+                m.group("pin"): (m.group("enet") or m.group("net"))
+                for m in _CONN_RE.finditer(inst.group("conns"))
+            }
+            pending_instances.append(
+                (
+                    inst.group("cell"),
+                    inst.group("drive"),
+                    inst.group("ename") or inst.group("name"),
+                    conns,
+                )
+            )
+
+    for name, width in input_buses:
+        bus_nets = [get_net(f"{name}[{i}]") for i in range(width)]
+        netlist.mark_input_bus(name, bus_nets)
+    if clock_name is not None:
+        netlist.set_clock(get_net(clock_name))
+
+    for cell_type, drive, inst_name, conns in pending_instances:
+        template = library.template(cell_type)
+        in_nets = [get_net(conns[p]) for p in template.inputs]
+        out_nets = [get_net(conns[p]) for p in template.outputs]
+        netlist.add_cell(inst_name, template, in_nets, out_nets, drive_name=drive)
+
+    for name, width, signed in output_buses:
+        bus_nets = [get_net(f"{name}[{i}]") for i in range(width)]
+        netlist.mark_output_bus(name, bus_nets, signed=signed)
+    return netlist

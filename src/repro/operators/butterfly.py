@@ -1,0 +1,111 @@
+"""FFT butterfly unit (decimation-in-time radix-2).
+
+The paper's third evaluation design is "a butterfly unit, i.e., the main
+datapath component of a FFT accelerator".  This implementation computes
+
+    A' = A + W * B          B' = A - W * B
+
+on 16-bit fixed-point complex operands, with the complex product using the
+three-multiplier Gauss/Karatsuba decomposition (the area-efficient form a
+DSP datapath would use, and consistent with the paper's ~3x Booth area):
+
+    k1 = wr * (br + bi)
+    k2 = br * (wi - wr)
+    k3 = bi * (wi + wr)
+    Re(W*B) = k1 - k3        Im(W*B) = k1 + k2
+
+Products are Q2.30-style full-precision words truncated back to 16 bits by
+an arithmetic right shift of ``width - 1`` (mirrored bit-exactly by
+:func:`repro.sim.golden.butterfly_reference`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.adders import (
+    carry_select_adder,
+    sign_extend,
+    subtractor,
+)
+from repro.operators.booth import booth_multiply_core
+from repro.techlib.library import Library
+
+
+def _add17(builder: NetlistBuilder, a: List[Net], b: List[Net]) -> List[Net]:
+    """Signed 16+16 -> 17-bit exact addition (operands sign-extended)."""
+    width = len(a) + 1
+    s, _ = carry_select_adder(
+        builder, sign_extend(a, width), sign_extend(b, width)
+    )
+    return s
+
+
+def _sub17(builder: NetlistBuilder, a: List[Net], b: List[Net]) -> List[Net]:
+    """Signed 16-16 -> 17-bit exact subtraction."""
+    width = len(a) + 1
+    s, _ = subtractor(
+        builder, sign_extend(a, width), sign_extend(b, width),
+        adder=carry_select_adder,
+    )
+    return s
+
+
+def fft_butterfly(
+    library: Library,
+    width: int = 16,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build the complete registered FFT butterfly netlist.
+
+    Ports (all *width*-bit signed): inputs ``AR``/``AI`` (the pass-through
+    operand), ``BR``/``BI`` (the twiddled operand), ``WR``/``WI`` (the
+    twiddle factor); outputs ``XR``/``XI`` = A + W*B and ``YR``/``YI`` =
+    A - W*B; plus ``clk``.
+    """
+    builder = NetlistBuilder(name or f"butterfly{width}", library)
+    buses = {p: builder.input_bus(p, width) for p in
+             ("AR", "AI", "BR", "BI", "WR", "WI")}
+    builder.clock()
+    regs = {p: builder.register_word(nets, f"reg{p.lower()}")
+            for p, nets in buses.items()}
+    ar, ai = regs["AR"], regs["AI"]
+    br, bi = regs["BR"], regs["BI"]
+    wr, wi = regs["WR"], regs["WI"]
+
+    # Three-multiplier complex product W * B.
+    s1 = _add17(builder, br, bi)          # br + bi
+    d1 = _sub17(builder, wi, wr)          # wi - wr
+    s2 = _add17(builder, wi, wr)          # wi + wr
+    k1 = booth_multiply_core(builder, s1, wr)   # 17 + 16 = 33 bits
+    k2 = booth_multiply_core(builder, d1, br)
+    k3 = booth_multiply_core(builder, s2, bi)
+
+    prod_width = len(k1)
+    real_full, _ = subtractor(
+        builder, k1, k3, adder=carry_select_adder, need_cout=False
+    )
+    imag_full, _ = carry_select_adder(builder, k1, k2, need_cout=False)
+
+    # Truncate Q-format products back to width bits: >> (width - 1).
+    shift = width - 1
+    wb_r = real_full[shift:shift + width]
+    wb_i = imag_full[shift:shift + width]
+
+    xr, _ = carry_select_adder(builder, ar, wb_r, need_cout=False)
+    xi, _ = carry_select_adder(builder, ai, wb_i, need_cout=False)
+    yr, _ = subtractor(
+        builder, ar, wb_r, adder=carry_select_adder, need_cout=False
+    )
+    yi, _ = subtractor(
+        builder, ai, wb_i, adder=carry_select_adder, need_cout=False
+    )
+
+    builder.output_bus("XR", builder.register_word(xr, "regxr"))
+    builder.output_bus("XI", builder.register_word(xi, "regxi"))
+    builder.output_bus("YR", builder.register_word(yr, "regyr"))
+    builder.output_bus("YI", builder.register_word(yi, "regyi"))
+    return builder.build()

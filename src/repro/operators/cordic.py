@@ -1,0 +1,134 @@
+"""Unrolled CORDIC rotator.
+
+CORDIC computes vector rotations with shift-and-add iterations -- the
+textbook error-tolerant DSP kernel (each extra iteration buys ~1 bit of
+angular precision), which makes it a natural fourth operator for the
+adequate-computing methodology: input LSB gating composes with the
+algorithm's own graceful precision behaviour.
+
+The generator unrolls *iterations* rotation stages combinationally
+(registered I/O), in circular rotation mode:
+
+    x_{i+1} = x_i - d_i * (y_i >> i)
+    y_{i+1} = y_i + d_i * (x_i >> i)
+    z_{i+1} = z_i - d_i * atan(2^-i)
+
+with ``d_i = sign(z_i)``, angles in a Q-format matching the data width.
+Outputs are the rotated (x, y) scaled by the usual CORDIC gain (~1.6468),
+and the residual angle z.  The golden model in :mod:`repro.sim.golden`
+mirrors the arithmetic bit-exactly.
+"""
+
+from __future__ import annotations
+
+from math import atan, pi
+from typing import List, Optional, Tuple
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.adders import carry_select_adder, subtractor
+from repro.techlib.library import Library
+
+
+def cordic_angle_lsbs(iterations: int, width: int) -> List[int]:
+    """atan(2^-i) for each iteration, quantized to the angle format.
+
+    The angle format maps pi radians to 2^(width-1) LSBs, so the full
+    signed range covers (-pi, pi).
+    """
+    scale = (1 << (width - 1)) / pi
+    return [int(round(atan(2.0**-i) * scale)) for i in range(iterations)]
+
+
+def _arithmetic_shift_right(word: List[Net], shift: int) -> List[Net]:
+    """Wire-only arithmetic right shift (sign bit replicated)."""
+    if shift <= 0:
+        return list(word)
+    kept = word[shift:]
+    return kept + [word[-1]] * (len(word) - len(kept))
+
+
+def _constant_word(builder: NetlistBuilder, value: int, width: int) -> List[Net]:
+    """Tie-cell encoding of a two's-complement constant."""
+    bits = []
+    unsigned = value % (1 << width)
+    for position in range(width):
+        bits.append(builder.const(bool((unsigned >> position) & 1)))
+    return bits
+
+
+def _add_sub(
+    builder: NetlistBuilder,
+    a: List[Net],
+    b: List[Net],
+    subtract_when: Net,
+) -> List[Net]:
+    """Compute ``a + b`` or ``a - b`` selected by *subtract_when*.
+
+    Implemented as ``a + (b XOR s) + s`` -- the standard shared
+    adder/subtractor, so the choice costs one XOR per bit instead of a
+    second adder.
+    """
+    conditioned = [builder.xor2(bit, subtract_when) for bit in b]
+    total, _ = carry_select_adder(
+        builder, a, conditioned, cin=subtract_when, need_cout=False
+    )
+    return total
+
+
+def cordic_rotator(
+    library: Library,
+    width: int = 16,
+    iterations: int = 12,
+    name: Optional[str] = None,
+    registered: bool = True,
+) -> Netlist:
+    """Build the unrolled CORDIC rotation netlist.
+
+    Ports (all signed *width*-bit): inputs ``X``, ``Y`` (the vector) and
+    ``Z`` (the rotation angle, pi == 2^(width-1) LSBs); outputs ``XO``,
+    ``YO`` (rotated vector times the CORDIC gain) and ``ZO`` (residual
+    angle, ideally ~0).
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if iterations > width:
+        raise ValueError("iterations beyond the data width add nothing")
+    builder = NetlistBuilder(name or f"cordic{width}x{iterations}", library)
+    x = builder.input_bus("X", width)
+    y = builder.input_bus("Y", width)
+    z = builder.input_bus("Z", width)
+    if registered:
+        builder.clock()
+        x = builder.register_word(x, "regx")
+        y = builder.register_word(y, "regy")
+        z = builder.register_word(z, "regz")
+
+    angles = cordic_angle_lsbs(iterations, width)
+    for i in range(iterations):
+        # d_i = +1 when z >= 0 (rotate positive), else -1.  The sign bit
+        # IS the "subtract" control for the x/z updates.
+        z_negative = z[-1]
+        z_non_negative = builder.inv(z_negative)
+
+        y_shifted = _arithmetic_shift_right(y, i)
+        x_shifted = _arithmetic_shift_right(x, i)
+        angle = _constant_word(builder, angles[i], width)
+
+        # x' = x - d*(y>>i):  subtract when d=+1 (z >= 0).
+        x_next = _add_sub(builder, x, y_shifted, z_non_negative)
+        # y' = y + d*(x>>i):  subtract when d=-1 (z < 0).
+        y_next = _add_sub(builder, y, x_shifted, z_negative)
+        # z' = z - d*atan:    subtract when d=+1.
+        z_next = _add_sub(builder, z, angle, z_non_negative)
+        x, y, z = x_next, y_next, z_next
+
+    if registered:
+        x = builder.register_word(x, "regxo")
+        y = builder.register_word(y, "regyo")
+        z = builder.register_word(z, "regzo")
+    builder.output_bus("XO", x)
+    builder.output_bus("YO", y)
+    builder.output_bus("ZO", z)
+    return builder.build()

@@ -1,0 +1,132 @@
+"""Additional adequate-computing datapath operators.
+
+Beyond the paper's three evaluation designs, the adequate-hardware
+literature it builds on targets other "meta-functions" (Mohapatra et al.,
+DATE'11, the paper's [12]): plain adders and distance kernels like the L1
+norm.  These generators let users apply the flow to those operators too.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.adders import (
+    carry_select_adder,
+    sign_extend,
+    subtractor,
+)
+from repro.techlib.library import Library
+
+
+def adequate_adder(
+    library: Library,
+    width: int = 16,
+    name: Optional[str] = None,
+    registered: bool = True,
+) -> Netlist:
+    """A registered signed adder operator (ports ``A``, ``B`` -> ``S``).
+
+    The sum is ``width + 1`` bits so no overflow information is lost; LSB
+    gating of A and B scales its accuracy exactly as for the multiplier.
+    """
+    builder = NetlistBuilder(name or f"adder{width}", library)
+    a_in = builder.input_bus("A", width)
+    b_in = builder.input_bus("B", width)
+    if registered:
+        builder.clock()
+        a = builder.register_word(a_in, "rega")
+        b = builder.register_word(b_in, "regb")
+    else:
+        a, b = a_in, b_in
+    total, _ = carry_select_adder(
+        builder,
+        sign_extend(a, width + 1),
+        sign_extend(b, width + 1),
+        need_cout=False,
+    )
+    if registered:
+        total = builder.register_word(total, "regs")
+    builder.output_bus("S", total)
+    return builder.build()
+
+
+def _absolute_value(builder: NetlistBuilder, word: List[Net]) -> List[Net]:
+    """|word| for a signed word: conditional invert + increment.
+
+    ``abs(x) = (x XOR s) + s`` with *s* the sign bit; the increment is a
+    half-adder chain seeded by the sign.  The result keeps the input width
+    (|INT_MIN| wraps, as in two's-complement hardware).
+    """
+    sign = word[-1]
+    flipped = [builder.xor2(bit, sign) for bit in word]
+    out: List[Net] = []
+    carry = sign
+    for bit in flipped[:-1]:
+        s, carry = builder.half_adder(bit, carry)
+        out.append(s)
+    out.append(builder.xor2(flipped[-1], carry))
+    return out
+
+
+def l1_norm(
+    library: Library,
+    elements: int = 4,
+    width: int = 8,
+    name: Optional[str] = None,
+    registered: bool = True,
+) -> Netlist:
+    """The L1-norm kernel: ``Y = sum_i |A_i - B_i|``.
+
+    Ports: one input bus per element and operand (``A0..A{n-1}``,
+    ``B0..B{n-1}``, each *width* bits signed) and the output ``Y`` wide
+    enough for the full sum.  A typical error-tolerant kernel (motion
+    estimation / nearest-neighbour search) whose accuracy scales with the
+    operand bitwidth.
+    """
+    if elements < 1:
+        raise ValueError("need at least one element")
+    builder = NetlistBuilder(name or f"l1norm{elements}x{width}", library)
+    a_buses = [builder.input_bus(f"A{i}", width) for i in range(elements)]
+    b_buses = [builder.input_bus(f"B{i}", width) for i in range(elements)]
+    if registered:
+        builder.clock()
+        a_buses = [builder.register_word(bus, f"rega{i}")
+                   for i, bus in enumerate(a_buses)]
+        b_buses = [builder.register_word(bus, f"regb{i}")
+                   for i, bus in enumerate(b_buses)]
+
+    diff_width = width + 1
+    terms: List[List[Net]] = []
+    for a, b in zip(a_buses, b_buses):
+        diff, _ = subtractor(
+            builder,
+            sign_extend(a, diff_width),
+            sign_extend(b, diff_width),
+            adder=carry_select_adder,
+            need_cout=False,
+        )
+        terms.append(_absolute_value(builder, diff))
+
+    out_width = diff_width + ceil(log2(elements)) if elements > 1 else diff_width
+    zero = builder.const(False)
+    padded = [term + [zero] * (out_width - len(term)) for term in terms]
+    while len(padded) > 1:
+        merged = []
+        for i in range(0, len(padded) - 1, 2):
+            total, _ = carry_select_adder(
+                builder, padded[i], padded[i + 1], need_cout=False
+            )
+            merged.append(total)
+        if len(padded) % 2:
+            merged.append(padded[-1])
+        padded = merged
+    result = padded[0]
+
+    if registered:
+        result = builder.register_word(result, "regy")
+    builder.output_bus("Y", result, signed=False)
+    return builder.build()

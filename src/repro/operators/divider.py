@@ -1,0 +1,93 @@
+"""Unrolled non-restoring unsigned divider.
+
+Division shows up in the same error-tolerant DSP pipelines as the paper's
+operators (normalization, AGC, projective transforms) and is the
+slowest-per-bit primitive of the set: its quotient bits resolve serially,
+so the unrolled array is deep and narrow -- an interesting stress case for
+the accuracy-scaling methodology (gating dividend LSBs deactivates the
+*late* stages rather than a significance band).
+
+Algorithm (classic non-restoring, W quotient bits):
+
+    R_0 = N (zero-extended)      for each step i = W-1 .. 0:
+    if R >= 0: R' = (R << 1 | n_i) - D   else: R' = (R << 1 | n_i) + D
+    q_i = not sign(R')
+    final fix-up: if R < 0: R += D
+
+Ports: ``N`` (dividend), ``D`` (divisor), outputs ``Q`` (quotient) and
+``R`` (remainder), all *width*-bit unsigned.  Division by zero yields
+all-ones quotient, hardware-style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.adders import carry_select_adder
+from repro.techlib.library import Library
+
+
+def _conditional_add_sub(
+    builder: NetlistBuilder,
+    r: List[Net],
+    d: List[Net],
+    subtract_when: Net,
+) -> List[Net]:
+    """``r - d`` when the control is 1, else ``r + d`` (shared adder)."""
+    conditioned = [builder.xor2(bit, subtract_when) for bit in d]
+    total, _ = carry_select_adder(
+        builder, r, conditioned, cin=subtract_when, need_cout=False
+    )
+    return total
+
+
+def divider(
+    library: Library,
+    width: int = 16,
+    name: Optional[str] = None,
+    registered: bool = True,
+) -> Netlist:
+    """Build the unrolled non-restoring divider netlist."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    builder = NetlistBuilder(name or f"div{width}", library)
+    n = builder.input_bus("N", width)
+    d = builder.input_bus("D", width)
+    if registered:
+        builder.clock()
+        n = builder.register_word(n, "regn")
+        d = builder.register_word(d, "regd")
+
+    zero = builder.const(False)
+    # Remainder register is width+1 bits (signed partial remainder).
+    r_width = width + 1
+    d_ext = list(d) + [zero]
+    remainder: List[Net] = [zero] * r_width
+    r_non_negative = builder.const(True)  # R_0 = 0 >= 0
+
+    quotient_bits: List[Net] = []
+    for i in reversed(range(width)):
+        # Shift in the next dividend bit: R = (R << 1) | n_i.
+        shifted = [n[i]] + remainder[:-1]
+        remainder = _conditional_add_sub(builder, shifted, d_ext, r_non_negative)
+        r_negative = remainder[-1]
+        r_non_negative = builder.inv(r_negative)
+        quotient_bits.append(r_non_negative)  # q_i, MSB first
+
+    # Final correction: a negative remainder gets one divisor added back.
+    masked_d = [builder.and2(bit, remainder[-1]) for bit in d_ext]
+    corrected, _ = carry_select_adder(
+        builder, remainder, masked_d, need_cout=False
+    )
+
+    quotient = list(reversed(quotient_bits))
+    remainder_out = corrected[:width]
+    if registered:
+        quotient = builder.register_word(quotient, "regq")
+        remainder_out = builder.register_word(remainder_out, "regr")
+    builder.output_bus("Q", quotient, signed=False)
+    builder.output_bus("R", remainder_out, signed=False)
+    return builder.build()

@@ -1,0 +1,82 @@
+"""Radix-4 (modified) Booth encoding logic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+
+
+@dataclass
+class BoothGroup:
+    """Control signals of one radix-4 Booth group.
+
+    The group selects a partial product from {0, +X, -X, +2X, -2X}:
+
+    * ``single`` -- select X (possibly negated),
+    * ``double`` -- select 2X (possibly negated),
+    * ``negate`` -- complement the selection and add 1 at the group's
+      weight (two's-complement negation, split as usual between the
+      selector XOR and a correction bit in the reduction tree).
+    """
+
+    index: int
+    single: Net
+    double: Net
+    negate: Net
+
+
+def booth_encode(
+    builder: NetlistBuilder, multiplier_bits: List[Net]
+) -> List[BoothGroup]:
+    """Encode the multiplier operand into radix-4 Booth groups.
+
+    *multiplier_bits* is the signed multiplier word, LSB first; its width
+    must be even (the standard case -- a 16-bit operand yields 8 groups).
+    Group *i* inspects bits (y[2i+1], y[2i], y[2i-1]) with y[-1] = 0.
+    """
+    width = len(multiplier_bits)
+    if width % 2 != 0:
+        raise ValueError(f"multiplier width {width} must be even")
+    zero = builder.const(False)
+    groups: List[BoothGroup] = []
+    for i in range(width // 2):
+        y_lo = multiplier_bits[2 * i - 1] if i > 0 else zero
+        y_mid = multiplier_bits[2 * i]
+        y_hi = multiplier_bits[2 * i + 1]
+        single = builder.xor2(y_mid, y_lo)
+        double = builder.and2(builder.xor2(y_hi, y_mid), builder.inv(single))
+        groups.append(BoothGroup(index=i, single=single, double=double, negate=y_hi))
+    return groups
+
+
+def booth_partial_product(
+    builder: NetlistBuilder,
+    multiplicand_bits: List[Net],
+    group: BoothGroup,
+) -> List[Net]:
+    """Generate one Booth partial product, width W+1 bits, LSB first.
+
+    Bit *j* implements ``negate XOR ((x[j] AND single) OR (x[j-1] AND
+    double))`` with x[-1] = 0 and x[W] = x[W-1] (the sign copy needed when
+    the 2X selection shifts the signed multiplicand left by one).
+
+    The returned word is the *ones'-complement* part of the selection; the
+    caller must add ``group.negate`` at the group's column weight to finish
+    the two's-complement negation.
+    """
+    width = len(multiplicand_bits)
+    extended = list(multiplicand_bits) + [multiplicand_bits[-1]]
+    zero = builder.const(False)
+    bits: List[Net] = []
+    for j in range(width + 1):
+        x_j = extended[j]
+        x_prev = extended[j - 1] if j > 0 else zero
+        selected = builder.or2(
+            builder.and2(x_j, group.single),
+            builder.and2(x_prev, group.double),
+        )
+        bits.append(builder.xor2(selected, group.negate))
+    return bits

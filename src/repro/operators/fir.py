@@ -1,0 +1,174 @@
+"""Serial MAC-based 30-tap FIR filter datapath.
+
+The paper's second evaluation design is a "30-tap FIR filter" whose post-P&R
+area is ~3.5x the Booth multiplier -- far too small for thirty parallel
+multipliers, so it is the classic resource-shared implementation: one MAC,
+a 30-word sample delay line, a tap-select multiplexer tree and a modulo-30
+tap counter.  Coefficients stream in through the ``C`` input port in sync
+with the exported ``TAP`` counter (an external coefficient store is assumed,
+as the paper assumes external accuracy-control logic).
+
+Cycle-accurate semantics (mirrored bit-exactly by
+:func:`repro.sim.golden.fir_reference`):
+
+* ``wrap  = (count == taps-1)``; ``first = (count == 0)``
+* ``acc'  = (first ? 0 : acc) + delay[count] * c_reg``  (signed, modulo
+  2**acc_width)
+* ``count' = wrap ? 0 : count + 1``
+* on ``wrap``: ``delay' = [X] + delay[:-1]`` (new sample shifts in)
+* ``c_reg' = C`` (registered coefficient input)
+
+The full sum of a sample is therefore available on ``Y`` (the accumulator
+register) during the cycle after ``count`` returns to 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.mac import multiply_accumulate
+from repro.techlib.library import Library
+
+
+@dataclass(frozen=True)
+class FirParameters:
+    """Static configuration of the serial FIR datapath."""
+
+    taps: int = 30
+    width: int = 16
+
+    @property
+    def counter_bits(self) -> int:
+        return max(1, ceil(log2(self.taps)))
+
+    @property
+    def accumulator_width(self) -> int:
+        """Product width plus growth for summing *taps* products."""
+        return 2 * self.width + ceil(log2(self.taps))
+
+
+def _counter(
+    builder: NetlistBuilder, params: FirParameters
+) -> (List[Net], Net, Net):
+    """Modulo-*taps* counter; returns (count Q bits, wrap, is_zero)."""
+    bits = params.counter_bits
+    count_q = [builder.netlist.add_net(builder.unique_name("cnt_q")) for _ in range(bits)]
+
+    # wrap = (count == taps-1)
+    last = params.taps - 1
+    wrap_terms = [
+        count_q[i] if (last >> i) & 1 else builder.inv(count_q[i])
+        for i in range(bits)
+    ]
+    wrap = wrap_terms[0]
+    for term in wrap_terms[1:]:
+        wrap = builder.and2(wrap, term)
+
+    # is_zero = NOR of all count bits.
+    any_bit = count_q[0]
+    for bit in count_q[1:]:
+        any_bit = builder.or2(any_bit, bit)
+    is_zero = builder.inv(any_bit)
+
+    # count + 1 via half-adder chain, then reset-to-zero mux on wrap.
+    carry = builder.const(True)
+    next_bits: List[Net] = []
+    for i in range(bits):
+        s, carry = builder.half_adder(count_q[i], carry)
+        next_bits.append(s)
+    hold_zero = builder.inv(wrap)
+    next_bits = [builder.and2(bit, hold_zero) for bit in next_bits]
+
+    dff_template = builder.library.template("DFF")
+    for d_net, q_net in zip(next_bits, count_q):
+        builder.netlist.add_cell(
+            builder.unique_name("cntreg"), dff_template,
+            [d_net, builder.netlist.clock_net], [q_net],
+            drive_name=builder.default_drive,
+        )
+    return count_q, wrap, is_zero
+
+
+def _delay_line(
+    builder: NetlistBuilder,
+    x_in: List[Net],
+    shift_enable: Net,
+    params: FirParameters,
+) -> List[List[Net]]:
+    """The *taps*-word sample shift register with shift enable."""
+    stages: List[List[Net]] = []
+    previous = x_in
+    for stage in range(params.taps):
+        q_nets = [
+            builder.netlist.add_net(builder.unique_name(f"dl{stage}_q"))
+            for _ in range(params.width)
+        ]
+        dff_template = builder.library.template("DFF")
+        for bit in range(params.width):
+            held = builder.mux2(q_nets[bit], previous[bit], shift_enable)
+            builder.netlist.add_cell(
+                builder.unique_name(f"dl{stage}_reg"), dff_template,
+                [held, builder.netlist.clock_net], [q_nets[bit]],
+                drive_name=builder.default_drive,
+            )
+        stages.append(q_nets)
+        previous = q_nets
+    return stages
+
+
+def _tap_mux_tree(
+    builder: NetlistBuilder,
+    stages: List[List[Net]],
+    select: List[Net],
+    params: FirParameters,
+) -> List[Net]:
+    """Binary MUX2 tree selecting ``stages[select]``, one tree per bit."""
+    entries = 1 << params.counter_bits
+    zero = builder.const(False)
+    selected: List[Net] = []
+    for bit in range(params.width):
+        level = [
+            stages[i][bit] if i < params.taps else zero for i in range(entries)
+        ]
+        for sel_bit in select:
+            level = [
+                builder.mux2(level[2 * i], level[2 * i + 1], sel_bit)
+                for i in range(len(level) // 2)
+            ]
+        selected.append(level[0])
+    return selected
+
+
+def fir_filter(
+    library: Library,
+    params: FirParameters = FirParameters(),
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build the complete serial FIR datapath netlist.
+
+    Ports: ``X`` (sample in), ``C`` (coefficient in), ``Y`` (accumulator
+    out, ``params.accumulator_width`` bits), ``TAP`` (the tap counter,
+    letting the surrounding system stream the right coefficient), ``clk``.
+    """
+    builder = NetlistBuilder(name or f"fir{params.taps}", library)
+    x_in = builder.input_bus("X", params.width)
+    c_in = builder.input_bus("C", params.width)
+    builder.clock()
+
+    count_q, wrap, is_zero = _counter(builder, params)
+    stages = _delay_line(builder, x_in, wrap, params)
+    tap_word = _tap_mux_tree(builder, stages, count_q, params)
+    c_reg = builder.register_word(c_in, "regc")
+
+    acc = multiply_accumulate(
+        builder, tap_word, c_reg, params.accumulator_width, clear=is_zero
+    )
+
+    builder.output_bus("Y", acc)
+    builder.output_bus("TAP", count_q, signed=False)
+    return builder.build()

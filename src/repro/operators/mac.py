@@ -1,0 +1,66 @@
+"""Multiply-accumulate building block."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.operators.adders import carry_select_adder, sign_extend
+from repro.operators.booth import booth_multiply_core
+
+
+def multiply_accumulate(
+    builder: NetlistBuilder,
+    a: List[Net],
+    b: List[Net],
+    accumulator_width: int,
+    clear: Optional[Net] = None,
+) -> List[Net]:
+    """A signed MAC: ``acc <= (clear ? 0 : acc) + a * b`` every cycle.
+
+    Builds the Booth multiplier core, sign-extends the product to
+    *accumulator_width*, adds the accumulator register value with a
+    carry-select adder and registers the result.  Returns the accumulator
+    output (the register Q nets), LSB first.
+
+    When *clear* is given, asserting it makes the next accumulated value
+    start from zero (AND-gating of the feedback), which is how the serial
+    FIR begins a new output sample.
+    """
+    if accumulator_width < len(a) + len(b):
+        raise ValueError(
+            f"accumulator width {accumulator_width} cannot hold a "
+            f"{len(a)}x{len(b)} product"
+        )
+    product = booth_multiply_core(builder, a, b)
+    product = sign_extend(product, accumulator_width)
+
+    # Placeholder feedback nets: DFFs are created after the adder exists,
+    # so route the feedback through explicitly named nets.
+    acc_q: List[Net] = [
+        builder.netlist.add_net(builder.unique_name("acc_q"))
+        for _ in range(accumulator_width)
+    ]
+    feedback = acc_q
+    if clear is not None:
+        hold = builder.inv(clear)
+        feedback = [builder.and2(bit, hold) for bit in acc_q]
+    total, _carry = carry_select_adder(
+        builder, product, feedback, need_cout=False
+    )
+
+    # Create the accumulator flip-flops, wiring their Q pins onto the
+    # placeholder nets so the feedback loop closes.
+    dff_template = builder.library.template("DFF")
+    if builder.netlist.clock_net is None:
+        raise ValueError("declare the clock before building a MAC")
+    for d_net, q_net in zip(total, acc_q):
+        builder.netlist.add_cell(
+            builder.unique_name("accreg"),
+            dff_template,
+            [d_net, builder.netlist.clock_net],
+            [q_net],
+            drive_name=builder.default_drive,
+        )
+    return acc_q

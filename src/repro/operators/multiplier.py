@@ -1,0 +1,62 @@
+"""Unsigned array multiplier (AND-matrix + Wallace reduction).
+
+Used by tests as a simple, independently-verifiable multiplier and by the
+wall-of-slack demonstration; the paper's evaluation design is the Booth
+multiplier in :mod:`repro.operators.booth`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.operators.adders import carry_select_adder
+from repro.operators.wallace import columns_from_rows, wallace_reduce
+from repro.techlib.library import Library
+
+
+def array_multiply_core(
+    builder: NetlistBuilder,
+    a: List[Net],
+    b: List[Net],
+    adder=carry_select_adder,
+) -> List[Net]:
+    """Unsigned product of *a* and *b*; returns len(a)+len(b) bits LSB first."""
+    width_out = len(a) + len(b)
+    rows = []
+    for i, b_bit in enumerate(b):
+        rows.append((i, [builder.and2(a_bit, b_bit) for a_bit in a]))
+    columns = columns_from_rows(rows, width_out)
+    row_a, row_b = wallace_reduce(builder, columns)
+    product, _carry = adder(builder, row_a, row_b, need_cout=False)
+    return product
+
+
+def array_multiplier(
+    library: Library,
+    width: int = 16,
+    name: Optional[str] = None,
+    registered: bool = True,
+) -> Netlist:
+    """A complete unsigned *width* x *width* array multiplier netlist.
+
+    Ports: inputs ``A``/``B`` (*width* bits), output ``P`` (2 * *width*
+    bits), plus ``clk`` and I/O registers when *registered* (the default,
+    matching the reg-to-reg timing methodology of the paper).
+    """
+    builder = NetlistBuilder(name or f"array_mult{width}", library)
+    a_in = builder.input_bus("A", width)
+    b_in = builder.input_bus("B", width)
+    if registered:
+        builder.clock()
+        a = builder.register_word(a_in, "rega")
+        b = builder.register_word(b_in, "regb")
+    else:
+        a, b = a_in, b_in
+    product = array_multiply_core(builder, a, b)
+    if registered:
+        product = builder.register_word(product, "regp")
+    builder.output_bus("P", product)
+    return builder.build()

@@ -1,0 +1,115 @@
+"""Routing-congestion estimation (RUDY).
+
+The flow routes nothing, but guardband insertion visibly stretches wires,
+and a user tuning grid configurations wants to see where.  RUDY (Rectangle
+Uniform wire DensitY, Spindler & Johannes, DATE'07) spreads each net's
+expected wirelength uniformly over its bounding box and accumulates the
+demand on a bin grid -- a standard placement-stage congestion proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.pnr.placer import PlacementResult
+
+
+@dataclass
+class CongestionMap:
+    """Binned routing demand of one placement."""
+
+    demand: np.ndarray  # (rows, cols), wirelength-per-area demand
+    bin_width_um: float
+    bin_height_um: float
+
+    @property
+    def peak(self) -> float:
+        return float(self.demand.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.demand.mean())
+
+    @property
+    def peak_to_mean(self) -> float:
+        mean = self.mean
+        return self.peak / mean if mean > 0 else 0.0
+
+    def hotspot(self) -> Tuple[int, int]:
+        """(row, col) of the most congested bin."""
+        index = int(np.argmax(self.demand))
+        return divmod(index, self.demand.shape[1])
+
+    def format_text(self, levels: str = " .:-=+*#%@") -> str:
+        """ASCII heatmap, rows printed top-down like a floorplan view."""
+        if self.peak <= 0:
+            return "(empty map)"
+        normalized = self.demand / self.peak
+        lines = []
+        for row in reversed(range(self.demand.shape[0])):
+            cells = [
+                levels[min(int(v * (len(levels) - 1)), len(levels) - 1)]
+                for v in normalized[row]
+            ]
+            lines.append("|" + "".join(cells) + "|")
+        return "\n".join(lines)
+
+
+def estimate_congestion(
+    placement: PlacementResult,
+    bins: Tuple[int, int] = (16, 16),
+) -> CongestionMap:
+    """RUDY congestion of *placement* on a (rows, cols) bin grid.
+
+    Each net contributes ``HPWL / box_area`` of demand, spread uniformly
+    over its pin bounding box (degenerate boxes get one bin's footprint).
+    The clock is excluded, as in wirelength/parasitics.
+    """
+    rows, cols = bins
+    if rows < 1 or cols < 1:
+        raise ValueError("need at least one bin per axis")
+    plan = placement.floorplan
+    bin_w = plan.width_um / cols
+    bin_h = plan.height_um / rows
+    demand = np.zeros((rows, cols), dtype=np.float64)
+
+    for net in placement.netlist.nets:
+        if net.is_clock:
+            continue
+        points = placement.position_of_net_pins(net.index)
+        if len(points) < 2:
+            continue
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        hpwl = (x1 - x0) + (y1 - y0)
+        if hpwl == 0.0:
+            continue
+        # Clip the box to at least one bin so point-like nets register.
+        x1 = max(x1, x0 + bin_w * 0.5)
+        y1 = max(y1, y0 + bin_h * 0.5)
+        area = (x1 - x0) * (y1 - y0)
+        density = hpwl / area
+
+        col0 = int(np.clip(x0 / bin_w, 0, cols - 1))
+        col1 = int(np.clip(np.ceil(x1 / bin_w), 1, cols))
+        row0 = int(np.clip(y0 / bin_h, 0, rows - 1))
+        row1 = int(np.clip(np.ceil(y1 / bin_h), 1, rows))
+        for row in range(row0, row1):
+            by0 = max(y0, row * bin_h)
+            by1 = min(y1, (row + 1) * bin_h)
+            if by1 <= by0:
+                continue
+            for col in range(col0, col1):
+                bx0 = max(x0, col * bin_w)
+                bx1 = min(x1, (col + 1) * bin_w)
+                if bx1 <= bx0:
+                    continue
+                demand[row, col] += density * (bx1 - bx0) * (by1 - by0) / (
+                    bin_w * bin_h
+                )
+    return CongestionMap(demand=demand, bin_width_um=bin_w, bin_height_um=bin_h)

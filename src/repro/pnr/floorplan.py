@@ -1,0 +1,68 @@
+"""Row-based floorplanning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, sqrt
+
+from repro.netlist.netlist import Netlist
+from repro.techlib.fdsoi import FdsoiProcess, NOMINAL_PROCESS
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A rectangular standard-cell die made of full-width placement rows."""
+
+    width_um: float
+    height_um: float
+    row_height_um: float
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.height_um / self.row_height_um)
+
+    @property
+    def area_um2(self) -> float:
+        return self.width_um * self.height_um
+
+    def row_y(self, row: int) -> float:
+        """Center y-coordinate of *row*."""
+        if not 0 <= row < self.num_rows:
+            raise ValueError(f"row {row} outside 0..{self.num_rows - 1}")
+        return (row + 0.5) * self.row_height_um
+
+    def clamp(self, x: float, y: float) -> tuple:
+        """Clamp a point into the die."""
+        return (
+            min(max(x, 0.0), self.width_um),
+            min(max(y, 0.0), self.height_um),
+        )
+
+
+def floorplan_for(
+    netlist: Netlist,
+    utilization: float = 0.7,
+    aspect_ratio: float = 1.0,
+    process: FdsoiProcess = NOMINAL_PROCESS,
+) -> Floorplan:
+    """Size a die for *netlist* at the given placement *utilization*.
+
+    The die is sized so ``cell_area / die_area == utilization``, shaped to
+    *aspect_ratio* (height/width) and quantized to whole rows.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization {utilization} outside (0, 1]")
+    if aspect_ratio <= 0.0:
+        raise ValueError("aspect_ratio must be positive")
+    cell_area = netlist.cell_area_um2()
+    if cell_area <= 0.0:
+        raise ValueError(f"netlist {netlist.name!r} has no placeable area")
+    die_area = cell_area / utilization
+    width = sqrt(die_area / aspect_ratio)
+    height = die_area / width
+    rows = max(1, ceil(height / process.cell_height_um))
+    return Floorplan(
+        width_um=width,
+        height_um=rows * process.cell_height_um,
+        row_height_um=process.cell_height_um,
+    )

@@ -1,0 +1,159 @@
+"""Incremental placement after Vth-domain insertion.
+
+After guardband insertion, the paper's flow runs an incremental placement
+step: the tool may refine cell positions -- but every cell must stay inside
+its assigned Vth domain (wells cannot straddle a guardband).  This module
+implements that as domain-box-constrained net-centroid relaxation followed
+by per-domain row legalization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.pnr.floorplan import Floorplan
+from repro.pnr.grid import DomainInsertionResult
+from repro.pnr.placer import GlobalPlacer, PlacementResult
+
+
+def domain_boxes(result: DomainInsertionResult) -> Dict[int, Tuple[float, float, float, float]]:
+    """(x0, y0, x1, y1) box of every domain on the *expanded* floorplan."""
+    partition = result.partition
+    expanded = result.placement.floorplan
+    gx, gy = result.guardband_x_um, result.guardband_y_um
+    band_width = (expanded.width_um - (partition.cols - 1) * gx) / partition.cols
+    band_height = (expanded.height_um - (partition.rows - 1) * gy) / partition.rows
+    boxes = {}
+    for row in range(partition.rows):
+        for col in range(partition.cols):
+            x0 = col * (band_width + gx)
+            y0 = row * (band_height + gy)
+            boxes[partition.domain_of(row, col)] = (
+                x0, y0, x0 + band_width, y0 + band_height,
+            )
+    return boxes
+
+
+def incremental_place(
+    result: DomainInsertionResult,
+    iterations: int = 8,
+    damping: float = 0.5,
+) -> PlacementResult:
+    """Refine the post-insertion placement within domain boundaries.
+
+    Mutates ``result.placement`` in place (positions and the cells'
+    ``x``/``y``) and returns it.
+    """
+    placement = result.placement
+    netlist = placement.netlist
+    boxes = domain_boxes(result)
+    helper = GlobalPlacer(netlist, floorplan=placement.floorplan)
+
+    # Flat pin arrays, as in the global placer.
+    net_indices = helper._attraction_nets()
+    slot_of_net = {n: i for i, n in enumerate(net_indices)}
+    pin_net: List[int] = []
+    pin_cell: List[int] = []
+    fixed_sum = np.zeros((len(net_indices), 2))
+    fixed_count = np.zeros(len(net_indices))
+    for net_index in net_indices:
+        net = netlist.nets[net_index]
+        slot = slot_of_net[net_index]
+        cells = [pin.cell.index for pin in net.sinks]
+        if net.driver is not None:
+            cells.append(net.driver.cell.index)
+        for cell_index in set(cells):
+            pin_net.append(slot)
+            pin_cell.append(cell_index)
+        if net_index in placement.port_positions:
+            fixed_sum[slot] += placement.port_positions[net_index]
+            fixed_count[slot] += 1
+    pin_net_arr = np.asarray(pin_net, dtype=np.int64)
+    pin_cell_arr = np.asarray(pin_cell, dtype=np.int64)
+    num_cells = len(netlist.cells)
+    pins_per_net = np.bincount(
+        pin_net_arr, minlength=len(net_indices)
+    ).astype(float) + fixed_count
+    nets_per_cell = np.bincount(pin_cell_arr, minlength=num_cells).astype(float)
+    nets_per_cell[nets_per_cell == 0] = 1.0
+
+    domain_arr = result.domains
+    x_lo = np.asarray([boxes[d][0] for d in domain_arr])
+    y_lo = np.asarray([boxes[d][1] for d in domain_arr])
+    x_hi = np.asarray([boxes[d][2] for d in domain_arr])
+    y_hi = np.asarray([boxes[d][3] for d in domain_arr])
+
+    positions = placement.positions.copy()
+    for _ in range(iterations):
+        net_sum = fixed_sum.copy()
+        np.add.at(net_sum, pin_net_arr, positions[pin_cell_arr])
+        centroids = net_sum / pins_per_net[:, None]
+        cell_sum = np.zeros((num_cells, 2))
+        np.add.at(cell_sum, pin_cell_arr, centroids[pin_net_arr])
+        target = cell_sum / nets_per_cell[:, None]
+        lonely = np.bincount(pin_cell_arr, minlength=num_cells) == 0
+        target[lonely] = positions[lonely]
+        positions = (1 - damping) * positions + damping * target
+        positions[:, 0] = np.clip(positions[:, 0], x_lo, x_hi)
+        positions[:, 1] = np.clip(positions[:, 1], y_lo, y_hi)
+
+    # Per-domain row legalization in local coordinates.
+    row_height = placement.floorplan.row_height_um
+    final = positions.copy()
+    for domain, (bx0, by0, bx1, by1) in boxes.items():
+        members = np.nonzero(domain_arr == domain)[0]
+        if len(members) == 0:
+            continue
+        sub_floorplan = Floorplan(
+            width_um=bx1 - bx0,
+            height_um=max(row_height, (by1 - by0) // row_height * row_height),
+            row_height_um=row_height,
+        )
+        local = positions[members] - np.asarray([bx0, by0])
+        sub = _legalize_subset(netlist, sub_floorplan, members, local)
+        final[members] = sub + np.asarray([bx0, by0])
+
+    placement.positions = final
+    placement.write_back()
+    return placement
+
+
+def _legalize_subset(
+    netlist, floorplan: Floorplan, members: np.ndarray, local_positions: np.ndarray
+) -> np.ndarray:
+    """Row-legalize only *members* inside a sub-floorplan."""
+    from repro.pnr.legalize import cell_widths
+
+    widths = cell_widths(netlist)[members]
+    num_rows = floorplan.num_rows
+    per_row_target = float(widths.sum()) / num_rows
+
+    legal = np.empty_like(local_positions)
+    by_y = np.argsort(local_positions[:, 1], kind="stable")
+    # Cumulative budgeting, mirroring repro.pnr.legalize.legalize_rows.
+    row, assigned = 0, 0.0
+    row_members: List[List[int]] = [[] for _ in range(num_rows)]
+    for ordinal in by_y:
+        while (
+            row < num_rows - 1
+            and assigned + widths[ordinal] > (row + 1) * per_row_target
+        ):
+            row += 1
+        row_members[row].append(int(ordinal))
+        assigned += widths[ordinal]
+    for row, ordinals in enumerate(row_members):
+        if not ordinals:
+            continue
+        ordinals.sort(key=lambda i: local_positions[i, 0])
+        member_widths = widths[ordinals]
+        whitespace = max(floorplan.width_um - member_widths.sum(), 0.0)
+        gap = whitespace / (len(ordinals) + 1)
+        cursor = gap
+        y = floorplan.row_y(row)
+        for i, ordinal in enumerate(ordinals):
+            legal[ordinal, 0] = cursor + member_widths[i] / 2.0
+            legal[ordinal, 1] = y
+            cursor += member_widths[i] + gap
+    return legal

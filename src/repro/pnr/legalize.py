@@ -1,0 +1,75 @@
+"""Row legalization: snap relaxed global positions onto placement rows."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.floorplan import Floorplan
+
+
+def cell_widths(netlist: Netlist) -> np.ndarray:
+    """Footprint width of every cell (area / row height)."""
+    row_height = netlist.library.process.cell_height_um
+    return np.asarray(
+        [cell.area_um2 / row_height for cell in netlist.cells], dtype=float
+    )
+
+
+def legalize_rows(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    positions: np.ndarray,
+) -> np.ndarray:
+    """Legalize *positions* onto the floorplan's rows.
+
+    Strategy (a simplified Tetris/abacus): order cells by relaxed y and cut
+    the ordering into rows so each row receives its proportional share of
+    total cell width; inside a row, order by relaxed x and pack with the
+    row's whitespace distributed evenly between cells.  This keeps the
+    global placement's relative ordering -- which carries the logic
+    structure -- while producing overlap-free, row-aligned coordinates.
+    """
+    num_cells = len(netlist.cells)
+    if positions.shape != (num_cells, 2):
+        raise ValueError(
+            f"positions shape {positions.shape} != ({num_cells}, 2)"
+        )
+    widths = cell_widths(netlist)
+    total_width = float(widths.sum())
+    num_rows = floorplan.num_rows
+    per_row_target = total_width / num_rows
+
+    legal = np.empty_like(positions)
+    by_y = np.argsort(positions[:, 1], kind="stable")
+
+    # Cut against the *cumulative* width budget so per-row rounding never
+    # drifts into (and overflows) the last row.
+    row = 0
+    assigned = 0.0
+    row_members: List[List[int]] = [[] for _ in range(num_rows)]
+    for cell_index in by_y:
+        while (
+            row < num_rows - 1
+            and assigned + widths[cell_index] > (row + 1) * per_row_target
+        ):
+            row += 1
+        row_members[row].append(int(cell_index))
+        assigned += widths[cell_index]
+
+    for row, members in enumerate(row_members):
+        if not members:
+            continue
+        members.sort(key=lambda i: positions[i, 0])
+        member_widths = widths[members]
+        whitespace = max(floorplan.width_um - member_widths.sum(), 0.0)
+        gap = whitespace / (len(members) + 1)
+        cursor = gap
+        y = floorplan.row_y(row)
+        for i, cell_index in enumerate(members):
+            legal[cell_index, 0] = cursor + member_widths[i] / 2.0
+            legal[cell_index, 1] = y
+            cursor += member_widths[i] + gap
+    return legal

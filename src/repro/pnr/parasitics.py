@@ -1,0 +1,51 @@
+"""Wire parasitic extraction (the flow's SPEF equivalent).
+
+Wire capacitance and resistance are derived from each net's half-perimeter
+wirelength.  Pin capacitances are intentionally *not* stored here: they
+depend on the current drive-strength assignment, which the sizing optimizer
+changes, so the timing/power engines combine wire parasitics with live pin
+data at analysis time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pnr.placer import PlacementResult
+from repro.pnr.wirelength import net_wirelengths
+
+#: Metal capacitance per micrometre of routed wire (fF/um), and an HPWL to
+#: routed-length fudge factor folded in (HPWL underestimates routing).
+WIRE_CAP_FF_PER_UM = 0.18
+#: Metal resistance per micrometre (ohm/um).
+WIRE_RES_OHM_PER_UM = 4.0
+
+
+@dataclass
+class Parasitics:
+    """Per-net wire parasitics, indexed by net index."""
+
+    wire_cap_ff: np.ndarray
+    wire_res_ohm: np.ndarray
+
+    @property
+    def total_wire_cap_ff(self) -> float:
+        return float(self.wire_cap_ff.sum())
+
+    def scaled(self, factor: float) -> "Parasitics":
+        """Parasitics uniformly scaled (used by what-if analyses)."""
+        return Parasitics(
+            wire_cap_ff=self.wire_cap_ff * factor,
+            wire_res_ohm=self.wire_res_ohm * factor,
+        )
+
+
+def extract_parasitics(placement: PlacementResult) -> Parasitics:
+    """Extract wire RC for every net of a placed design."""
+    lengths = net_wirelengths(placement)
+    return Parasitics(
+        wire_cap_ff=lengths * WIRE_CAP_FF_PER_UM,
+        wire_res_ohm=lengths * WIRE_RES_OHM_PER_UM,
+    )

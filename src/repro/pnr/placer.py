@@ -1,0 +1,189 @@
+"""Connectivity-driven global placement with row legalization.
+
+The placer is a light-weight analytic engine in the spirit of quadratic
+placement: pin anchors on the die edges, iterative net-centroid relaxation
+for global positions, then row legalization that preserves the relaxed
+ordering.  It is deliberately simple -- the methodology only needs cells
+that share logic to be geometrically close (so the regular-grid Vth domains
+capture logic structure) and realistic wirelength-derived parasitics.
+
+High-fanout nets (clock, tie cells) are excluded from the attraction model,
+as placement tools do, otherwise they would collapse the design onto one
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.floorplan import Floorplan, floorplan_for
+from repro.pnr.legalize import legalize_rows
+
+
+@dataclass
+class PlacementResult:
+    """Placement of one netlist on one floorplan.
+
+    ``positions[i]`` is the (x, y) center of cell index *i*;
+    ``port_positions`` maps a port net index to its fixed pin location on
+    the die edge.
+    """
+
+    netlist: Netlist
+    floorplan: Floorplan
+    positions: np.ndarray
+    port_positions: Dict[int, Tuple[float, float]]
+    iterations: int
+
+    def position_of_net_pins(self, net_index: int) -> List[Tuple[float, float]]:
+        """All pin locations of a net (cell pins plus a port pin if any)."""
+        net = self.netlist.nets[net_index]
+        points = [
+            (self.positions[pin.cell.index][0], self.positions[pin.cell.index][1])
+            for pin in net.sinks
+        ]
+        if net.driver is not None:
+            cell = net.driver.cell
+            points.append((self.positions[cell.index][0], self.positions[cell.index][1]))
+        if net_index in self.port_positions:
+            points.append(self.port_positions[net_index])
+        return points
+
+    def write_back(self) -> None:
+        """Store positions onto the cell instances (``cell.x``/``cell.y``)."""
+        for cell in self.netlist.cells:
+            cell.x = float(self.positions[cell.index][0])
+            cell.y = float(self.positions[cell.index][1])
+
+
+def _edge_port_positions(
+    netlist: Netlist, floorplan: Floorplan
+) -> Dict[int, Tuple[float, float]]:
+    """Pin locations: input buses on the left edge, outputs on the right.
+
+    All buses share the full edge with their bit index mapped to the same
+    vertical fraction (LSB at the bottom) -- the classic *bit-sliced
+    datapath* pinout.  Logic of equal significance attracts to the same
+    horizontal band, so numeric significance maps onto die geometry; that
+    is what lets the regular grid of Vth domains isolate the logic that
+    LSB gating deactivates (and is how a floorplanner would pin out a
+    datapath block in the first place).
+    """
+    positions: Dict[int, Tuple[float, float]] = {}
+    for x_edge, buses in (
+        (0.0, list(netlist.input_buses.values())),
+        (floorplan.width_um, list(netlist.output_buses.values())),
+    ):
+        for bus in buses:
+            for bit, net in enumerate(bus.nets):
+                y = (bit + 0.5) * floorplan.height_um / bus.width
+                positions[net.index] = (x_edge, y)
+    return positions
+
+
+class GlobalPlacer:
+    """Runs relaxation + legalization for a netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        floorplan: Optional[Floorplan] = None,
+        utilization: float = 0.7,
+        iterations: int = 12,
+        damping: float = 0.6,
+        fanout_limit: int = 32,
+        seed: int = 42,
+    ):
+        self.netlist = netlist
+        self.floorplan = floorplan or floorplan_for(
+            netlist, utilization=utilization, process=netlist.library.process
+        )
+        self.iterations = iterations
+        self.damping = damping
+        self.fanout_limit = fanout_limit
+        self.seed = seed
+
+    def _attraction_nets(self) -> List[int]:
+        """Nets that participate in the attraction model."""
+        selected = []
+        for net in self.netlist.nets:
+            if net.is_clock:
+                continue
+            if net.driver is not None and net.driver.cell.template.name in (
+                "TIELO",
+                "TIEHI",
+            ):
+                continue
+            if net.fanout > self.fanout_limit:
+                continue
+            selected.append(net.index)
+        return selected
+
+    def run(self) -> PlacementResult:
+        """Place the netlist; also writes positions back onto the cells."""
+        netlist, floorplan = self.netlist, self.floorplan
+        num_cells = len(netlist.cells)
+        rng = np.random.default_rng(self.seed)
+        port_positions = _edge_port_positions(netlist, floorplan)
+
+        # Flat pin arrays for the attraction nets: (net slot, cell index).
+        net_indices = self._attraction_nets()
+        slot_of_net = {n: i for i, n in enumerate(net_indices)}
+        pin_net: List[int] = []
+        pin_cell: List[int] = []
+        fixed_sum = np.zeros((len(net_indices), 2))
+        fixed_count = np.zeros(len(net_indices))
+        for net_index in net_indices:
+            net = netlist.nets[net_index]
+            slot = slot_of_net[net_index]
+            cells = [pin.cell.index for pin in net.sinks]
+            if net.driver is not None:
+                cells.append(net.driver.cell.index)
+            for cell_index in set(cells):
+                pin_net.append(slot)
+                pin_cell.append(cell_index)
+            if net_index in port_positions:
+                fixed_sum[slot] += port_positions[net_index]
+                fixed_count[slot] += 1
+        pin_net_arr = np.asarray(pin_net, dtype=np.int64)
+        pin_cell_arr = np.asarray(pin_cell, dtype=np.int64)
+        pins_per_net = np.bincount(
+            pin_net_arr, minlength=len(net_indices)
+        ).astype(float) + fixed_count
+        nets_per_cell = np.bincount(pin_cell_arr, minlength=num_cells).astype(float)
+        nets_per_cell[nets_per_cell == 0] = 1.0
+
+        positions = rng.uniform(
+            low=(0.05 * floorplan.width_um, 0.05 * floorplan.height_um),
+            high=(0.95 * floorplan.width_um, 0.95 * floorplan.height_um),
+            size=(num_cells, 2),
+        )
+
+        for _ in range(self.iterations):
+            net_sum = fixed_sum.copy()
+            np.add.at(net_sum, pin_net_arr, positions[pin_cell_arr])
+            centroids = net_sum / pins_per_net[:, None]
+            cell_sum = np.zeros((num_cells, 2))
+            np.add.at(cell_sum, pin_cell_arr, centroids[pin_net_arr])
+            target = cell_sum / nets_per_cell[:, None]
+            # Cells on no attraction net keep their position.
+            lonely = np.bincount(pin_cell_arr, minlength=num_cells) == 0
+            target[lonely] = positions[lonely]
+            positions = (1 - self.damping) * positions + self.damping * target
+            positions[:, 0] = np.clip(positions[:, 0], 0.0, floorplan.width_um)
+            positions[:, 1] = np.clip(positions[:, 1], 0.0, floorplan.height_um)
+
+        positions = legalize_rows(netlist, floorplan, positions)
+        result = PlacementResult(
+            netlist=netlist,
+            floorplan=floorplan,
+            positions=positions,
+            port_positions=port_positions,
+            iterations=self.iterations,
+        )
+        result.write_back()
+        return result

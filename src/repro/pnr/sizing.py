@@ -1,0 +1,168 @@
+"""Slack-driven gate sizing: timing fix and power recovery.
+
+These two passes emulate what synthesis/P&R optimization does to a real
+design and are the *source* of the wall-of-slack phenomenon the paper's
+method exploits (its Fig. 1, citing Kahng et al. [15]):
+
+* :func:`timing_fix` upsizes cells on negative-slack paths until the clock
+  constraint is met -- making critical paths as fast as needed;
+* :func:`power_recovery` downsizes cells on positive-slack paths to save
+  area/leakage -- deliberately *consuming* the slack of non-critical paths
+  until nearly every endpoint sits just above zero slack.
+
+Both iterate (size, re-extract pin loads, re-run STA) to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.parasitics import Parasitics
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import StaEngine, TimingReport
+from repro.sta.graph import compile_timing_graph
+
+
+@dataclass
+class SizingReport:
+    """Outcome of a sizing pass."""
+
+    passes: int
+    resized_cells: int
+    final_report: TimingReport
+
+    @property
+    def feasible(self) -> bool:
+        return self.final_report.feasible
+
+
+def _step_drive(cell, direction: int) -> bool:
+    """Move *cell* one drive step up (+1) or down (-1); False at the end stop."""
+    names = cell.template.drive_names
+    position = names.index(cell.drive_name)
+    target = position + direction
+    if not 0 <= target < len(names):
+        return False
+    cell.set_drive(names[target])
+    return True
+
+
+def _run_sta(
+    netlist: Netlist,
+    parasitics: Optional[Parasitics],
+    constraint: ClockConstraint,
+    vdd: float,
+    fbb: bool,
+) -> TimingReport:
+    graph = compile_timing_graph(netlist, parasitics)
+    engine = StaEngine(graph, netlist.library)
+    fbb_cells = np.full(graph.num_cells, fbb, dtype=bool)
+    return engine.analyze(constraint, vdd, fbb_cells)
+
+
+def timing_fix(
+    netlist: Netlist,
+    parasitics: Optional[Parasitics],
+    constraint: ClockConstraint,
+    vdd: Optional[float] = None,
+    fbb: bool = True,
+    max_passes: int = 16,
+) -> SizingReport:
+    """Upsize negative-slack cells until the constraint is met.
+
+    Runs at the implementation corner (all-FBB by default, matching the
+    paper's choice of closing timing with the FBB characterization).
+    """
+    vdd = vdd if vdd is not None else netlist.library.process.vdd_nominal
+    resized_total = 0
+    report = _run_sta(netlist, parasitics, constraint, vdd, fbb)
+    for iteration in range(max_passes):
+        if report.feasible:
+            break
+        slack = report.cell_slack_ps()
+        resized = 0
+        for cell in netlist.cells:
+            if cell.is_sequential:
+                continue
+            if slack[cell.index] < 0.0 and _step_drive(cell, +1):
+                resized += 1
+        if resized == 0:
+            break
+        resized_total += resized
+        report = _run_sta(netlist, parasitics, constraint, vdd, fbb)
+    return SizingReport(
+        passes=iteration + 1 if max_passes else 0,
+        resized_cells=resized_total,
+        final_report=report,
+    )
+
+
+def power_recovery(
+    netlist: Netlist,
+    parasitics: Optional[Parasitics],
+    constraint: ClockConstraint,
+    vdd: Optional[float] = None,
+    fbb: bool = True,
+    slack_threshold_fraction: float = 0.18,
+    max_stage_delay_ps: float = 110.0,
+    max_passes: int = 12,
+) -> SizingReport:
+    """Downsize positive-slack cells without breaking the constraint.
+
+    Greedy with verification: each pass downsizes every cell whose slack
+    exceeds ``slack_threshold_fraction * period``, provided the resulting
+    stage delay stays below *max_stage_delay_ps* (the stand-in for the
+    max-transition/max-capacitance electrical rules that stop real tools
+    from shrinking heavily loaded drivers).  If the re-run STA shows new
+    violations, a final timing-fix pass repairs them.  The net effect is
+    the wall of slack: near-critical endpoint slacks compress toward zero
+    while structurally short paths keep part of their headroom.
+    """
+    vdd = vdd if vdd is not None else netlist.library.process.vdd_nominal
+    slack_threshold_ps = slack_threshold_fraction * constraint.period_ps
+    resized_total = 0
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        graph = compile_timing_graph(netlist, parasitics)
+        engine = StaEngine(graph, netlist.library)
+        fbb_cells = np.full(graph.num_cells, fbb, dtype=bool)
+        report = engine.analyze(constraint, vdd, fbb_cells)
+        slack = report.cell_slack_ps()
+        resized = 0
+        for cell in netlist.cells:
+            if cell.is_sequential:
+                continue
+            if slack[cell.index] <= slack_threshold_ps:
+                continue
+            names = cell.template.drive_names
+            position = names.index(cell.drive_name)
+            if position == 0:
+                continue
+            smaller = cell.template.drives[names[position - 1]]
+            worst_load = max(
+                (graph.net_load_ff[net.index] for net in cell.output_nets),
+                default=0.0,
+            )
+            estimated = (
+                smaller.intrinsic_delay_ps
+                + smaller.load_coeff_ps_per_ff * worst_load
+            )
+            if estimated > max_stage_delay_ps:
+                continue
+            cell.set_drive(smaller.name)
+            resized += 1
+        if resized == 0:
+            break
+        resized_total += resized
+    # Repair any overshoot, then report the final state.
+    repair = timing_fix(netlist, parasitics, constraint, vdd=vdd, fbb=fbb)
+    return SizingReport(
+        passes=passes,
+        resized_cells=resized_total + repair.resized_cells,
+        final_report=repair.final_report,
+    )

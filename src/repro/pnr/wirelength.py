@@ -1,0 +1,40 @@
+"""Half-perimeter wirelength (HPWL) estimation."""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.pnr.placer import PlacementResult
+
+
+def half_perimeter_wirelength(points) -> float:
+    """HPWL of one net from its pin coordinates."""
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def net_wirelengths(placement: PlacementResult) -> np.ndarray:
+    """HPWL of every net, shape (num_nets,).
+
+    The clock net gets zero length: clock distribution is a balanced tree
+    whose wire capacitance is not modelled (its pin capacitance is still
+    charged every cycle and is counted by the power analysis).
+    """
+    netlist = placement.netlist
+    lengths = np.zeros(len(netlist.nets), dtype=float)
+    for net in netlist.nets:
+        if net.is_clock:
+            continue
+        lengths[net.index] = half_perimeter_wirelength(
+            placement.position_of_net_pins(net.index)
+        )
+    return lengths
+
+
+def total_wirelength(placement: PlacementResult) -> float:
+    """Total HPWL of the placement in micrometres."""
+    return float(net_wirelengths(placement).sum())

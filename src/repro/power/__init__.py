@@ -1,0 +1,26 @@
+"""Power analysis: leakage + switching (the PrimeTime-PX equivalent).
+
+Total power of an operating point is
+
+* **leakage** -- per-cell sub-threshold leakage, a strong (exponential)
+  function of the cell's Vth state (NoBB vs FBB) and supply, summed over
+  domains according to the BB assignment (:mod:`leakage`);
+* **dynamic** -- per-net ``0.5 * C * VDD^2 * f * toggle_rate`` with toggle
+  rates annotated from logic simulation of the accuracy mode under
+  analysis, and capacitance from wire extraction plus live pin/drain data
+  (:mod:`dynamic`).
+
+:mod:`analysis` combines both into reports the exploration ranks.
+"""
+
+from repro.power.leakage import LeakageModel
+from repro.power.dynamic import DynamicPowerModel, switched_capacitance
+from repro.power.analysis import PowerAnalyzer, PowerReport
+
+__all__ = [
+    "LeakageModel",
+    "DynamicPowerModel",
+    "switched_capacitance",
+    "PowerAnalyzer",
+    "PowerReport",
+]

@@ -1,0 +1,84 @@
+"""Combined power reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.parasitics import Parasitics
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.leakage import LeakageModel
+from repro.sim.activity import ActivityReport
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power breakdown of one operating point."""
+
+    dynamic_w: float
+    leakage_w: float
+    vdd: float
+    frequency_ghz: float
+    active_bits: int
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    @property
+    def leakage_fraction(self) -> float:
+        total = self.total_w
+        return self.leakage_w / total if total > 0.0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.total_w * 1e3:.3f} mW "
+            f"(dyn {self.dynamic_w * 1e3:.3f} / leak {self.leakage_w * 1e3:.3f}) "
+            f"@ {self.vdd:.2f} V, {self.frequency_ghz:.2f} GHz, "
+            f"{self.active_bits} bits"
+        )
+
+
+class PowerAnalyzer:
+    """Binds the leakage and dynamic models of one implemented design."""
+
+    def __init__(self, netlist: Netlist, parasitics: Optional[Parasitics] = None):
+        self.netlist = netlist
+        self.leakage = LeakageModel(netlist)
+        self.dynamic = DynamicPowerModel(netlist, parasitics)
+
+    def refresh(self) -> None:
+        """Re-read electrical data after drive-strength changes."""
+        self.leakage.refresh()
+        self.dynamic.refresh()
+
+    def report(
+        self,
+        activity: ActivityReport,
+        vdd: float,
+        frequency_ghz: float,
+        fbb_cells: np.ndarray,
+    ) -> PowerReport:
+        """Power of one fully specified operating point."""
+        return PowerReport(
+            dynamic_w=self.dynamic.total(activity, vdd, frequency_ghz),
+            leakage_w=self.leakage.total(vdd, fbb_cells),
+            vdd=vdd,
+            frequency_ghz=frequency_ghz,
+            active_bits=activity.active_bits,
+        )
+
+    def total_batch(
+        self,
+        activity: ActivityReport,
+        vdd: float,
+        frequency_ghz: float,
+        domains: np.ndarray,
+        configs: np.ndarray,
+    ) -> np.ndarray:
+        """Total power (W) of every BB assignment at one (VDD, bitwidth)."""
+        dynamic = self.dynamic.total(activity, vdd, frequency_ghz)
+        return dynamic + self.leakage.total_batch(vdd, domains, configs)

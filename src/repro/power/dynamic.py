@@ -1,0 +1,73 @@
+"""Dynamic (switching) power model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.parasitics import Parasitics
+from repro.sim.activity import ActivityReport
+
+
+def switched_capacitance(
+    netlist: Netlist, parasitics: Optional[Parasitics] = None
+) -> np.ndarray:
+    """Capacitance switched when each net toggles (fF), indexed by net.
+
+    Wire capacitance (if extracted) plus every sink's input pin cap plus
+    the driver's drain and internal capacitance.  Internal cap charges on
+    output transitions, which folds cell-internal power into the same
+    C*V^2 term.
+    """
+    caps = np.zeros(len(netlist.nets), dtype=np.float64)
+    if parasitics is not None:
+        caps += parasitics.wire_cap_ff
+    for net in netlist.nets:
+        total = 0.0
+        for pin in net.sinks:
+            total += pin.cell.drive.input_cap_ff
+        if net.driver is not None:
+            drive = net.driver.cell.drive
+            total += drive.output_cap_ff + drive.internal_cap_ff
+        caps[net.index] += total
+    return caps
+
+
+class DynamicPowerModel:
+    """``P = 0.5 * sum_net(rate * C) * VDD^2 * f_clk``.
+
+    Back bias does not change dynamic power to first order, so results
+    depend only on (activity, VDD, frequency) -- one evaluation covers all
+    2^NMAX BB assignments of an exploration point.
+    """
+
+    def __init__(self, netlist: Netlist, parasitics: Optional[Parasitics] = None):
+        self.netlist = netlist
+        self.parasitics = parasitics
+        self.switched_cap_ff = switched_capacitance(netlist, parasitics)
+
+    def refresh(self) -> None:
+        """Re-read pin capacitances (call after a sizing pass)."""
+        self.switched_cap_ff = switched_capacitance(self.netlist, self.parasitics)
+
+    def total(
+        self,
+        activity: ActivityReport,
+        vdd: float,
+        frequency_ghz: float,
+    ) -> float:
+        """Total switching power in watts for one accuracy mode."""
+        if len(activity.rates) != len(self.switched_cap_ff):
+            raise ValueError(
+                "activity report does not match this netlist "
+                f"({len(activity.rates)} vs {len(self.switched_cap_ff)} nets)"
+            )
+        if frequency_ghz <= 0.0:
+            raise ValueError("frequency must be positive")
+        energy_per_cycle_ff_v2 = float(
+            (activity.rates * self.switched_cap_ff).sum()
+        )
+        # 0.5 * C[fF -> F] * V^2 * f[GHz -> Hz]
+        return 0.5 * energy_per_cycle_ff_v2 * 1e-15 * vdd**2 * frequency_ghz * 1e9

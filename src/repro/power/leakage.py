@@ -1,0 +1,98 @@
+"""Leakage power model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.techlib.library import Library
+
+
+class LeakageModel:
+    """Per-cell leakage, batched over back-bias configurations.
+
+    Base leakages come from the cell drives (characterized at nominal VDD,
+    NoBB); the library's leakage factor scales them to the analysis corner.
+    State (input-pattern) dependence of leakage is not modelled -- a
+    uniform average is baked into the per-cell numbers, which is the usual
+    first-order simplification.
+    """
+
+    def __init__(self, netlist: Netlist, library: Optional[Library] = None):
+        self.netlist = netlist
+        self.library = library or netlist.library
+        self.base_leak_w = np.asarray(
+            [cell.drive.leakage_nw * 1e-9 for cell in netlist.cells],
+            dtype=np.float64,
+        )
+
+    def refresh(self) -> None:
+        """Re-read drive strengths (call after a sizing pass)."""
+        self.base_leak_w = np.asarray(
+            [cell.drive.leakage_nw * 1e-9 for cell in self.netlist.cells],
+            dtype=np.float64,
+        )
+
+    def total(self, vdd: float, fbb_cells: np.ndarray) -> float:
+        """Total leakage (W) with the given per-cell Vth states."""
+        fbb_cells = np.asarray(fbb_cells, dtype=bool)
+        f_nobb = self.library.leakage_factor(self.library.nobb_corner(vdd))
+        f_fbb = self.library.leakage_factor(self.library.fbb_corner(vdd))
+        factors = np.where(fbb_cells, f_fbb, f_nobb)
+        return float((self.base_leak_w * factors).sum())
+
+    def total_batch(
+        self,
+        vdd: float,
+        domains: np.ndarray,
+        configs: np.ndarray,
+    ) -> np.ndarray:
+        """Leakage (W) of every BB assignment, shape (K,).
+
+        *domains* maps cells to domain ids; *configs* is (K, num_domains)
+        booleans, True = FBB.
+        """
+        domains = np.asarray(domains, dtype=np.int64)
+        configs = np.asarray(configs, dtype=bool)
+        f_nobb = self.library.leakage_factor(self.library.nobb_corner(vdd))
+        f_fbb = self.library.leakage_factor(self.library.fbb_corner(vdd))
+        # Leakage separates by domain: precompute each domain's base total.
+        num_domains = configs.shape[1]
+        domain_base = np.bincount(
+            domains, weights=self.base_leak_w, minlength=num_domains
+        )
+        per_domain = np.where(configs, f_fbb, f_nobb) * domain_base[None, :]
+        return per_domain.sum(axis=1)
+
+    def total_batch_states(
+        self,
+        vdd: float,
+        domains: np.ndarray,
+        state_configs: np.ndarray,
+        state_vbbs,
+    ) -> np.ndarray:
+        """Leakage (W) of every multi-Vth assignment, shape (K,).
+
+        *state_configs* holds per-domain state indices into *state_vbbs*
+        (back-bias voltages), the multi-Vth generalization of
+        :meth:`total_batch`.
+        """
+        from repro.techlib.library import Corner
+
+        domains = np.asarray(domains, dtype=np.int64)
+        state_configs = np.asarray(state_configs, dtype=np.int64)
+        factors = np.asarray(
+            [
+                self.library.leakage_factor(Corner(vdd, vbb))
+                for vbb in state_vbbs
+            ],
+            dtype=np.float64,
+        )
+        num_domains = state_configs.shape[1]
+        domain_base = np.bincount(
+            domains, weights=self.base_leak_w, minlength=num_domains
+        )
+        per_domain = factors[state_configs] * domain_base[None, :]
+        return per_domain.sum(axis=1)

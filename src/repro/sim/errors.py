@@ -1,0 +1,81 @@
+"""Accuracy metrics of LSB-gated (DVAS) operation.
+
+The paper uses "accuracy" synonymously with active bitwidth; these metrics
+quantify what a given bitwidth means at application level (mean error
+distance, RMSE, SNR), which the examples use to put physical meaning on the
+accuracy axis of the Pareto plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.sim.vectors import random_words, zero_lsbs
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Error statistics of one accuracy mode against exact results."""
+
+    active_bits: int
+    mean_error_distance: float
+    rmse: float
+    max_error: float
+    snr_db: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "active_bits": self.active_bits,
+            "mean_error_distance": self.mean_error_distance,
+            "rmse": self.rmse,
+            "max_error": self.max_error,
+            "snr_db": self.snr_db,
+        }
+
+
+def compare(exact: np.ndarray, approximate: np.ndarray, active_bits: int) -> ErrorReport:
+    """Compute error statistics between two result vectors."""
+    exact = np.asarray(exact, dtype=np.float64)
+    approximate = np.asarray(approximate, dtype=np.float64)
+    error = approximate - exact
+    signal_power = float(np.mean(exact**2))
+    noise_power = float(np.mean(error**2))
+    if noise_power == 0.0:
+        snr_db = float("inf")
+    elif signal_power == 0.0:
+        snr_db = float("-inf")
+    else:
+        snr_db = 10.0 * np.log10(signal_power / noise_power)
+    return ErrorReport(
+        active_bits=active_bits,
+        mean_error_distance=float(np.mean(np.abs(error))),
+        rmse=float(np.sqrt(noise_power)),
+        max_error=float(np.max(np.abs(error))),
+        snr_db=snr_db,
+    )
+
+
+def error_metrics(
+    operation: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    width: int,
+    active_bits: int,
+    samples: int = 4096,
+    seed: int = 7,
+) -> ErrorReport:
+    """Error of a binary *operation* when both operands lose their LSBs.
+
+    *operation* is an exact integer function (e.g. signed multiply); the
+    approximate result is the same function applied to LSB-gated operands,
+    exactly what a DVAS-controlled operator computes.
+    """
+    rng = np.random.default_rng(seed)
+    a = random_words(rng, samples, width, signed=True)
+    b = random_words(rng, samples, width, signed=True)
+    exact = operation(a, b)
+    approximate = operation(
+        zero_lsbs(a, width, active_bits), zero_lsbs(b, width, active_bits)
+    )
+    return compare(exact, approximate, active_bits)

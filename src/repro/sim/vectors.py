@@ -1,0 +1,62 @@
+"""Stimulus helpers: word/bit packing and DVAS-style LSB gating."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def int_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack integers into a (batch, width) boolean array, LSB first.
+
+    Negative values are encoded in two's complement over *width* bits.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    unsigned = np.mod(values, 1 << width)
+    shifts = np.arange(width, dtype=np.int64)
+    return ((unsigned[:, None] >> shifts) & 1).astype(bool)
+
+
+def bits_to_int(bits: np.ndarray, signed: bool = False) -> np.ndarray:
+    """Unpack a (batch, width) boolean array (LSB first) into integers."""
+    bits = np.asarray(bits, dtype=np.int64)
+    width = bits.shape[1]
+    weights = 1 << np.arange(width, dtype=np.int64)
+    values = (bits * weights).sum(axis=1)
+    if signed:
+        sign = 1 << (width - 1)
+        values = np.where(values >= sign, values - (1 << width), values)
+    return values
+
+
+def random_words(
+    rng: np.random.Generator,
+    batch: int,
+    width: int,
+    signed: bool = True,
+) -> np.ndarray:
+    """Uniform random *width*-bit words as integers."""
+    raw = rng.integers(0, 1 << width, size=batch, dtype=np.int64)
+    if signed:
+        sign = 1 << (width - 1)
+        raw = np.where(raw >= sign, raw - (1 << width), raw)
+    return raw
+
+
+def zero_lsbs(values: np.ndarray, width: int, active_bits: int) -> np.ndarray:
+    """Clamp the lowest ``width - active_bits`` bits of *values* to zero.
+
+    This is the DVAS accuracy knob: the operator always sees *width*-bit
+    words, but only the top *active_bits* carry information.  Works for
+    signed (two's complement) values: masking low bits preserves the sign.
+    """
+    if not 0 <= active_bits <= width:
+        raise ValueError(f"active_bits={active_bits} outside 0..{width}")
+    dropped = width - active_bits
+    if dropped == 0:
+        return np.asarray(values, dtype=np.int64)
+    mask = ~np.int64((1 << dropped) - 1)
+    masked = np.asarray(values, dtype=np.int64) & mask
+    # Re-wrap into the signed width-bit range (masking every bit of a
+    # negative value would otherwise yield -2**width instead of 0).
+    half = np.int64(1 << (width - 1))
+    return (masked + half) % (half * 2) - half

@@ -1,0 +1,47 @@
+"""Static timing analysis (the flow's stand-in for Synopsys PrimeTime).
+
+The netlist is compiled once into a flat arc-level timing graph
+(:mod:`graph`); arrival/required/slack sweeps run on numpy arrays
+(:mod:`engine`).  Two features carry the paper's methodology:
+
+* :mod:`caseanalysis` -- constant propagation of zeroed input LSBs (through
+  sequential elements, to a fixpoint) deactivates timing paths, which is
+  how reduced accuracy buys timing slack;
+* :mod:`batch` -- one levelized sweep evaluates *all* 2^NMAX back-bias
+  assignments of a partitioned design simultaneously, which is what makes
+  the paper's exhaustive exploration cheap.
+"""
+
+from repro.sta.graph import TimingGraph, compile_timing_graph
+from repro.sta.engine import StaEngine, TimingReport
+from repro.sta.batch import BatchStaEngine
+from repro.sta.caseanalysis import (
+    CaseAnalysis,
+    propagate_constants,
+    dvas_case,
+    UNKNOWN,
+)
+from repro.sta.constraints import ClockConstraint
+from repro.sta.histogram import slack_histogram, SlackHistogram
+from repro.sta.hold import HoldAnalyzer, HoldReport
+from repro.sta.report_timing import report_timing, extract_path, TimingPath
+
+__all__ = [
+    "TimingGraph",
+    "compile_timing_graph",
+    "StaEngine",
+    "TimingReport",
+    "BatchStaEngine",
+    "CaseAnalysis",
+    "propagate_constants",
+    "dvas_case",
+    "UNKNOWN",
+    "ClockConstraint",
+    "slack_histogram",
+    "SlackHistogram",
+    "HoldAnalyzer",
+    "HoldReport",
+    "report_timing",
+    "extract_path",
+    "TimingPath",
+]

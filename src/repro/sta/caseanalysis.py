@@ -1,0 +1,252 @@
+"""Case analysis: constant propagation of gated inputs through the netlist.
+
+Zeroing input LSBs (the DVAS accuracy knob) makes part of the logic
+constant; timing paths through constant nets are *deactivated* (set (1) of
+Fig. 2) and stop constraining the clock.  This module computes, for a given
+accuracy mode, the constant value of every net.
+
+Propagation is three-valued (0 / 1 / unknown) and runs *through* flip-flops
+to a fixpoint: every flip-flop starts at its reset state (0) and is marked
+unknown as soon as its next-state value ever differs -- i.e. a register is
+considered constant only when its value is inductively invariant, which is
+sound for timing (a net we call unknown merely stays pessimistically
+active).  This sequential propagation is what lets the FIR's delay line
+and accumulator LSBs deactivate under input gating.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+#: Net constant codes.
+ZERO = np.uint8(0)
+ONE = np.uint8(1)
+UNKNOWN = np.uint8(2)
+
+
+@dataclass
+class CaseAnalysis:
+    """Result of constant propagation on one netlist.
+
+    ``values[i]`` is 0, 1 or :data:`UNKNOWN` for net index *i*.
+    """
+
+    netlist: Netlist
+    values: np.ndarray
+    forced: Dict[int, bool]
+    sweeps: int
+
+    def __post_init__(self):
+        self._arc_mask_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def constant_mask(self) -> np.ndarray:
+        """Boolean mask of nets with a known constant value."""
+        return self.values != UNKNOWN
+
+    def constant_fraction(self) -> float:
+        return float(np.count_nonzero(self.constant_mask) / len(self.values))
+
+    def active_arc_mask(self, graph) -> np.ndarray:
+        """Arcs that still propagate transitions, per timing-graph arc.
+
+        An arc (input pin -> output pin) is active iff both its nets are
+        non-constant *and* the input can still control the output given the
+        cell's constant side inputs (path sensitization).  The second
+        condition is what deactivates, e.g., the select chain of a
+        carry-select adder once the low blocks' carries become constant.
+        """
+        cached = self._arc_mask_cache.get(id(graph))
+        if cached is not None:
+            return cached
+        values = self.values
+        base = (values[graph.arc_from] == UNKNOWN) & (
+            values[graph.arc_to] == UNKNOWN
+        )
+        # Refine with per-cell sensitization where side inputs are constant.
+        mask = base.copy()
+        arc_cursor = 0
+        for cell in self.netlist.cells:
+            if cell.is_sequential:
+                continue
+            num_in = len(cell.input_nets)
+            num_out = len(cell.output_nets)
+            num_arcs = num_in * num_out
+            input_codes = tuple(int(values[n.index]) for n in cell.input_nets)
+            if any(c != UNKNOWN for c in input_codes):
+                sens = _sensitization_matrix(cell.template, input_codes)
+                # Graph arc order per cell: for each output, all inputs.
+                for out_pos in range(num_out):
+                    for in_pos in range(num_in):
+                        ordinal = arc_cursor + out_pos * num_in + in_pos
+                        if mask[ordinal] and not sens[in_pos][out_pos]:
+                            mask[ordinal] = False
+            arc_cursor += num_arcs
+        self._arc_mask_cache[id(graph)] = mask
+        return mask
+
+    def active_endpoint_mask(self, endpoint_nets: np.ndarray) -> np.ndarray:
+        """Endpoints that still capture transitions."""
+        return self.values[endpoint_nets] == UNKNOWN
+
+
+#: Memo of (template name, input codes) -> sensitization matrix
+#: ``matrix[in_pos][out_pos]`` (True when the input can still flip the
+#: output under the given constant side inputs).
+_SENS_CACHE: Dict[tuple, list] = {}
+
+
+def _sensitization_matrix(template, input_codes: tuple) -> list:
+    """Per-(input, output) controllability under constant side inputs."""
+    key = (template.name, input_codes)
+    cached = _SENS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    num_in = len(template.inputs)
+    num_out = len(template.outputs)
+    unknown_positions = [i for i, c in enumerate(input_codes) if c == UNKNOWN]
+    matrix = [[False] * num_out for _ in range(num_in)]
+    for combo in itertools.product((False, True), repeat=len(unknown_positions)):
+        base = [bool(c) if c != UNKNOWN else False for c in input_codes]
+        for position, value in zip(unknown_positions, combo):
+            base[position] = value
+        outputs = tuple(
+            bool(np.asarray(o)) for o in template.evaluate(*base)
+        )
+        for in_pos in unknown_positions:
+            flipped = list(base)
+            flipped[in_pos] = not flipped[in_pos]
+            flipped_out = tuple(
+                bool(np.asarray(o)) for o in template.evaluate(*flipped)
+            )
+            for out_pos in range(num_out):
+                if outputs[out_pos] != flipped_out[out_pos]:
+                    matrix[in_pos][out_pos] = True
+    _SENS_CACHE[key] = matrix
+    return matrix
+
+
+#: Memo of (template name, input codes) -> output codes.  Templates are few
+#: and inputs are at most three-valued triples, so this cache is tiny and
+#: makes fixpoint sweeps fast.
+_EVAL_CACHE: Dict[tuple, tuple] = {}
+
+
+def _evaluate_three_valued(cell, input_codes) -> tuple:
+    """Evaluate one cell on 3-valued inputs by enumerating unknowns."""
+    key = (cell.template.name, tuple(int(c) for c in input_codes))
+    cached = _EVAL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    unknown_positions = [i for i, c in enumerate(input_codes) if c == UNKNOWN]
+    base = [bool(c) if c != UNKNOWN else False for c in input_codes]
+    outcomes = None
+    for combo in itertools.product((False, True), repeat=len(unknown_positions)):
+        trial = list(base)
+        for position, value in zip(unknown_positions, combo):
+            trial[position] = value
+        outputs = tuple(bool(np.asarray(o)) for o in cell.template.evaluate(*trial))
+        if outcomes is None:
+            outcomes = [{o} for o in outputs]
+        else:
+            for seen, o in zip(outcomes, outputs):
+                seen.add(o)
+    result = tuple(
+        (ONE if seen == {True} else ZERO if seen == {False} else UNKNOWN)
+        for seen in outcomes
+    )
+    _EVAL_CACHE[key] = result
+    return result
+
+
+def propagate_constants(
+    netlist: Netlist,
+    forced: Mapping[int, bool],
+    max_sweeps: int = 64,
+) -> CaseAnalysis:
+    """Propagate *forced* net values (net index -> bool) to a fixpoint.
+
+    Unforced primary inputs are unknown; flip-flops start at 0 and turn
+    unknown (stickily) when their D value ever disagrees with their
+    current value.  Raises :class:`RuntimeError` if no fixpoint is reached
+    within *max_sweeps* sweeps (cannot happen on a finite monotone
+    lattice unless the netlist is malformed).
+    """
+    values = np.full(len(netlist.nets), UNKNOWN, dtype=np.uint8)
+    for net_index, value in forced.items():
+        values[net_index] = ONE if value else ZERO
+    if netlist.clock_net is not None:
+        # The clock is a timing signal, not a logic value; for case analysis
+        # it is irrelevant (no combinational cell reads it).
+        values[netlist.clock_net.index] = UNKNOWN
+
+    # Reset state: every flip-flop output starts at 0 unless forced.
+    sticky_unknown = set()
+    for ff in netlist.sequential_cells:
+        q_index = ff.output_nets[0].index
+        if q_index not in forced:
+            values[q_index] = ZERO
+
+    order = netlist.topological_cells()
+    sweeps = 0
+    while True:
+        sweeps += 1
+        if sweeps > max_sweeps:
+            raise RuntimeError(
+                f"case analysis did not converge in {max_sweeps} sweeps"
+            )
+        for cell in order:
+            input_codes = [values[net.index] for net in cell.input_nets]
+            outputs = _evaluate_three_valued(cell, input_codes)
+            for net, code in zip(cell.output_nets, outputs):
+                if net.index not in forced:
+                    values[net.index] = code
+
+        changed = False
+        for ff in netlist.sequential_cells:
+            q_index = ff.output_nets[0].index
+            if q_index in forced or q_index in sticky_unknown:
+                continue
+            d_code = values[ff.input_nets[0].index]
+            q_code = values[q_index]
+            if d_code == q_code:
+                continue
+            # Next state differs from the assumed invariant: not constant.
+            values[q_index] = UNKNOWN
+            sticky_unknown.add(q_index)
+            changed = True
+        if not changed:
+            break
+
+    return CaseAnalysis(
+        netlist=netlist, values=values, forced=dict(forced), sweeps=sweeps
+    )
+
+
+def dvas_case(
+    netlist: Netlist,
+    active_bits: int,
+    buses: Optional[Mapping[str, int]] = None,
+) -> CaseAnalysis:
+    """Case analysis for a DVAS accuracy mode.
+
+    Forces the lowest ``width - active_bits`` bits of every input bus to
+    zero.  *buses* optionally overrides the active width per bus name
+    (e.g. to gate only data inputs); by default every input bus is gated
+    to *active_bits*.
+    """
+    forced: Dict[int, bool] = {}
+    for name, bus in netlist.input_buses.items():
+        active = buses.get(name, active_bits) if buses is not None else active_bits
+        active = min(active, bus.width)
+        if active < 0:
+            raise ValueError(f"negative active width for bus {name!r}")
+        for net in bus.nets[: bus.width - active]:
+            forced[net.index] = False
+    return propagate_constants(netlist, forced)

@@ -1,0 +1,32 @@
+"""Timing constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockConstraint:
+    """A single synchronous clock domain.
+
+    ``uncertainty_ps`` models jitter/skew margin subtracted from the
+    period before setup checks, as an SDC ``set_clock_uncertainty`` would.
+    """
+
+    period_ps: float
+    name: str = "clk"
+    uncertainty_ps: float = 0.0
+
+    def __post_init__(self):
+        if self.period_ps <= 0.0:
+            raise ValueError(f"period {self.period_ps} must be positive")
+        if self.uncertainty_ps < 0.0 or self.uncertainty_ps >= self.period_ps:
+            raise ValueError("uncertainty must be in [0, period)")
+
+    @property
+    def effective_period_ps(self) -> float:
+        return self.period_ps - self.uncertainty_ps
+
+    @property
+    def frequency_ghz(self) -> float:
+        return 1000.0 / self.period_ps

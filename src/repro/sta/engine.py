@@ -1,0 +1,220 @@
+"""Single-configuration STA: arrival / required / slack sweeps.
+
+One :class:`StaEngine` is bound to a compiled timing graph; each call to
+:meth:`StaEngine.analyze` evaluates one operating condition: a supply
+voltage, a per-cell Vth state (from the domain BB assignment), a clock
+constraint and optionally a case analysis whose constant nets deactivate
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sta.caseanalysis import CaseAnalysis
+from repro.sta.constraints import ClockConstraint
+from repro.sta.graph import TimingGraph
+from repro.techlib.library import Library
+
+#: Sentinel arrival for unreachable nets.
+NEG_INF = -1e30
+POS_INF = 1e30
+
+
+@dataclass
+class TimingReport:
+    """Full result of one STA run."""
+
+    graph: TimingGraph
+    constraint: ClockConstraint
+    vdd: float
+    arrival_ps: np.ndarray
+    required_ps: np.ndarray
+    endpoint_slack_ps: np.ndarray
+    endpoint_active: np.ndarray
+
+    @property
+    def worst_slack_ps(self) -> float:
+        active = self.endpoint_slack_ps[self.endpoint_active]
+        if len(active) == 0:
+            return POS_INF
+        return float(active.min())
+
+    @property
+    def feasible(self) -> bool:
+        return self.worst_slack_ps >= 0.0
+
+    @property
+    def critical_path_delay_ps(self) -> float:
+        """Longest active launch-to-endpoint delay (data arrival)."""
+        active = self.endpoint_active
+        if not np.any(active):
+            return 0.0
+        arrivals = self.arrival_ps[self.graph.endpoint_nets[active]]
+        return float(arrivals.max())
+
+    def net_slack_ps(self) -> np.ndarray:
+        """Per-net slack (required - arrival); +inf off any constrained path."""
+        return self.required_ps - self.arrival_ps
+
+    def cell_slack_ps(self) -> np.ndarray:
+        """Worst slack across each cell's output nets (sizing uses this)."""
+        slack = np.full(self.graph.num_cells, POS_INF)
+        net_slack = self.net_slack_ps()
+        for cell in self.graph.netlist.cells:
+            worst = POS_INF
+            for net in cell.output_nets:
+                worst = min(worst, net_slack[net.index])
+            for net in cell.input_nets:
+                worst = min(worst, net_slack[net.index])
+            slack[cell.index] = worst
+        return slack
+
+    def path_class_counts(self) -> dict:
+        """Fig. 2's endpoint classification for this condition."""
+        disabled = int(np.count_nonzero(~self.endpoint_active))
+        active_slacks = self.endpoint_slack_ps[self.endpoint_active]
+        return {
+            "disabled": disabled,
+            "positive_slack": int(np.count_nonzero(active_slacks >= 0.0)),
+            "negative_slack": int(np.count_nonzero(active_slacks < 0.0)),
+        }
+
+
+class StaEngine:
+    """Levelized STA over a compiled timing graph."""
+
+    def __init__(self, graph: TimingGraph, library: Library):
+        self.graph = graph
+        self.library = library
+
+    # -- corner factors -------------------------------------------------------
+
+    def cell_delay_factors(self, vdd: float, fbb_cells: np.ndarray) -> np.ndarray:
+        """Per-cell delay multiplier for a supply and Vth-state vector."""
+        fbb_cells = np.asarray(fbb_cells, dtype=bool)
+        if fbb_cells.shape != (self.graph.num_cells,):
+            raise ValueError(
+                f"fbb_cells shape {fbb_cells.shape} != ({self.graph.num_cells},)"
+            )
+        f_nobb = self.library.delay_factor(self.library.nobb_corner(vdd))
+        f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
+        return np.where(fbb_cells, f_fbb, f_nobb)
+
+    def _active_arc_schedule(self, case: Optional[CaseAnalysis]):
+        """Arc ordinals per level after case-analysis filtering."""
+        graph = self.graph
+        order = graph.arc_order
+        if case is None:
+            return [order[s] for s in graph.level_slices]
+        active = case.active_arc_mask(graph)
+        return [
+            ordered[active[ordered]]
+            for ordered in (order[s] for s in graph.level_slices)
+        ]
+
+    # -- analysis ----------------------------------------------------------------
+
+    def analyze(
+        self,
+        constraint: ClockConstraint,
+        vdd: float,
+        fbb_cells: np.ndarray,
+        case: Optional[CaseAnalysis] = None,
+        compute_required: bool = True,
+        factors: Optional[np.ndarray] = None,
+    ) -> TimingReport:
+        """Run setup analysis at one operating condition.
+
+        *factors* optionally overrides the per-cell delay multipliers
+        (e.g. with Monte-Carlo variation samples); by default they derive
+        from (vdd, fbb_cells) via the library corner model.
+        """
+        graph = self.graph
+        if factors is None:
+            factors = self.cell_delay_factors(vdd, fbb_cells)
+        else:
+            factors = np.asarray(factors, dtype=float)
+            if factors.shape != (graph.num_cells,):
+                raise ValueError(
+                    f"factors shape {factors.shape} != ({graph.num_cells},)"
+                )
+        arc_delay = graph.arc_delay_ps * factors[graph.arc_cell]
+        schedule = self._active_arc_schedule(case)
+        period = constraint.effective_period_ps
+
+        launch_factor = np.where(
+            graph.launch_cell >= 0, factors[np.maximum(graph.launch_cell, 0)], 1.0
+        )
+        launch_arrival = graph.launch_delay_ps * launch_factor
+
+        arrival = np.full(graph.num_nets, NEG_INF)
+        if case is None:
+            arrival[graph.launch_nets] = launch_arrival
+        else:
+            live = case.values[graph.launch_nets] == 2  # UNKNOWN
+            arrival[graph.launch_nets[live]] = launch_arrival[live]
+
+        for arcs in schedule:
+            if len(arcs) == 0:
+                continue
+            candidate = arrival[graph.arc_from[arcs]] + arc_delay[arcs]
+            np.maximum.at(arrival, graph.arc_to[arcs], candidate)
+
+        endpoint_factor = np.where(
+            graph.endpoint_cell >= 0,
+            factors[np.maximum(graph.endpoint_cell, 0)],
+            1.0,
+        )
+        endpoint_required = period - graph.endpoint_setup_ps * endpoint_factor
+        endpoint_arrival = arrival[graph.endpoint_nets]
+        endpoint_slack = endpoint_required - endpoint_arrival
+
+        if case is None:
+            endpoint_active = endpoint_arrival > NEG_INF / 2
+        else:
+            endpoint_active = (
+                case.active_endpoint_mask(graph.endpoint_nets)
+                & (endpoint_arrival > NEG_INF / 2)
+            )
+
+        required = np.full(graph.num_nets, POS_INF)
+        if compute_required:
+            np.minimum.at(
+                required,
+                graph.endpoint_nets[endpoint_active],
+                endpoint_required[endpoint_active],
+            )
+            for arcs in reversed(schedule):
+                if len(arcs) == 0:
+                    continue
+                candidate = required[graph.arc_to[arcs]] - arc_delay[arcs]
+                np.minimum.at(required, graph.arc_from[arcs], candidate)
+
+        return TimingReport(
+            graph=graph,
+            constraint=constraint,
+            vdd=vdd,
+            arrival_ps=arrival,
+            required_ps=required,
+            endpoint_slack_ps=endpoint_slack,
+            endpoint_active=endpoint_active,
+        )
+
+    # -- convenience ----------------------------------------------------------
+
+    def critical_path_delay(
+        self,
+        vdd: float,
+        fbb_cells: np.ndarray,
+        case: Optional[CaseAnalysis] = None,
+    ) -> float:
+        """Longest active path delay (ps) without needing a constraint."""
+        probe = ClockConstraint(period_ps=1e9)
+        report = self.analyze(
+            probe, vdd, fbb_cells, case=case, compute_required=False
+        )
+        return report.critical_path_delay_ps

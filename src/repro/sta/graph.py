@@ -1,0 +1,201 @@
+"""Compilation of a placed netlist into a flat timing graph.
+
+The graph is a set of numpy arrays over *nets* (timing nodes) and *arcs*
+(cell input-pin to output-pin delays).  Base arc delays are characterized
+at the library's reference corner (nominal VDD, FBB); the engines scale
+them per cell by the corner factor of the cell's Vth state.
+
+Delay model per arc through a combinational cell::
+
+    d = d0(drive) + k(drive) * C_load + R_wire * (C_wire/2 + C_pins) / 1000
+
+with C_load = C_wire + sum of sink pin caps (fF), R_wire in ohm, giving
+picoseconds throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.pnr.parasitics import Parasitics
+
+
+@dataclass
+class TimingGraph:
+    """Flat timing view of one placed netlist.
+
+    All arrays are indexed by net index, arc ordinal, or cell index as
+    noted.  ``levels`` orders nets topologically; ``arc_order`` sorts arcs
+    by the level of their sink net so a single pass over ``arc_order`` is a
+    levelized sweep.
+    """
+
+    netlist: Netlist
+    num_nets: int
+    num_cells: int
+    # Arc arrays (one entry per cell input->output pin pair).
+    arc_from: np.ndarray
+    arc_to: np.ndarray
+    arc_cell: np.ndarray
+    arc_delay_ps: np.ndarray
+    # Net levels and the level-sorted arc processing schedule.
+    net_level: np.ndarray
+    arc_order: np.ndarray
+    level_slices: List[slice]
+    # Launch points: nets that begin paths, with their base launch delay.
+    launch_nets: np.ndarray
+    launch_delay_ps: np.ndarray
+    launch_cell: np.ndarray
+    # Endpoints: D pins and primary outputs, with setup requirement.
+    endpoint_nets: np.ndarray
+    endpoint_setup_ps: np.ndarray
+    endpoint_cell: np.ndarray
+    # Per-net electrical load (for reporting; already folded into delays).
+    net_load_ff: np.ndarray
+
+    def arcs_of_cell(self, cell_index: int) -> np.ndarray:
+        """Ordinals of all arcs through *cell_index*."""
+        return np.nonzero(self.arc_cell == cell_index)[0]
+
+
+def net_pin_caps(netlist: Netlist) -> np.ndarray:
+    """Total sink input-pin capacitance on every net (fF), from live drives."""
+    caps = np.zeros(len(netlist.nets), dtype=np.float64)
+    for net in netlist.nets:
+        total = 0.0
+        for pin in net.sinks:
+            total += pin.cell.drive.input_cap_ff
+        caps[net.index] = total
+    return caps
+
+
+def compile_timing_graph(
+    netlist: Netlist,
+    parasitics: Optional[Parasitics] = None,
+) -> TimingGraph:
+    """Compile *netlist* (+ optional wire parasitics) into a timing graph.
+
+    Without parasitics, wire cap/res are zero (pre-placement "ideal wire"
+    timing, which the implementation flow uses for its first sizing pass).
+    """
+    num_nets = len(netlist.nets)
+    num_cells = len(netlist.cells)
+    wire_cap = (
+        parasitics.wire_cap_ff if parasitics is not None
+        else np.zeros(num_nets)
+    )
+    wire_res = (
+        parasitics.wire_res_ohm if parasitics is not None
+        else np.zeros(num_nets)
+    )
+    pin_caps = net_pin_caps(netlist)
+    net_load = wire_cap + pin_caps
+
+    arc_from: List[int] = []
+    arc_to: List[int] = []
+    arc_cell: List[int] = []
+    arc_delay: List[float] = []
+    for cell in netlist.cells:
+        if cell.is_sequential:
+            continue
+        drive = cell.drive
+        for out_net in cell.output_nets:
+            load = net_load[out_net.index]
+            wire_term = (
+                wire_res[out_net.index]
+                * (wire_cap[out_net.index] / 2.0 + pin_caps[out_net.index])
+                / 1000.0
+            )
+            delay = (
+                drive.intrinsic_delay_ps
+                + drive.load_coeff_ps_per_ff * load
+                + wire_term
+            )
+            for in_net in cell.input_nets:
+                arc_from.append(in_net.index)
+                arc_to.append(out_net.index)
+                arc_cell.append(cell.index)
+                arc_delay.append(delay)
+
+    arc_from_arr = np.asarray(arc_from, dtype=np.int64)
+    arc_to_arr = np.asarray(arc_to, dtype=np.int64)
+    arc_cell_arr = np.asarray(arc_cell, dtype=np.int64)
+    arc_delay_arr = np.asarray(arc_delay, dtype=np.float64)
+
+    # Net levels: longest arc count from any source.
+    net_level = np.zeros(num_nets, dtype=np.int64)
+    for cell in netlist.topological_cells():
+        level = 0
+        for in_net in cell.input_nets:
+            level = max(level, net_level[in_net.index])
+        for out_net in cell.output_nets:
+            net_level[out_net.index] = max(net_level[out_net.index], level + 1)
+
+    arc_sink_level = net_level[arc_to_arr]
+    arc_order = np.argsort(arc_sink_level, kind="stable")
+    sorted_levels = arc_sink_level[arc_order]
+    level_slices: List[slice] = []
+    if len(sorted_levels):
+        boundaries = np.nonzero(np.diff(sorted_levels))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_levels)]))
+        level_slices = [slice(int(s), int(e)) for s, e in zip(starts, ends)]
+
+    # Launch points: DFF Q pins (clk-to-q) and primary inputs.  Ports are
+    # assumed driven by an external register in the same clock domain, so
+    # they carry one clk-to-q of input delay (unscaled by the local corner:
+    # the external driver has its own supply/bias).
+    external_input_delay = 0.0
+    if "DFF" in netlist.library.templates:
+        external_input_delay = netlist.library.template("DFF").clk_to_q_ps
+    launch_nets: List[int] = []
+    launch_delay: List[float] = []
+    launch_cell: List[int] = []
+    for cell in netlist.sequential_cells:
+        launch_nets.append(cell.output_nets[0].index)
+        launch_delay.append(cell.template.clk_to_q_ps)
+        launch_cell.append(cell.index)
+    for bus in netlist.input_buses.values():
+        for net in bus.nets:
+            launch_nets.append(net.index)
+            launch_delay.append(external_input_delay)
+            launch_cell.append(-1)
+
+    # Endpoints: DFF D pins (setup) and primary outputs (no margin).
+    endpoint_nets: List[int] = []
+    endpoint_setup: List[float] = []
+    endpoint_cell: List[int] = []
+    for cell in netlist.sequential_cells:
+        d_position = list(cell.template.inputs).index("D")
+        endpoint_nets.append(cell.input_nets[d_position].index)
+        endpoint_setup.append(cell.template.setup_ps)
+        endpoint_cell.append(cell.index)
+    for bus in netlist.output_buses.values():
+        for net in bus.nets:
+            endpoint_nets.append(net.index)
+            endpoint_setup.append(0.0)
+            endpoint_cell.append(-1)
+
+    return TimingGraph(
+        netlist=netlist,
+        num_nets=num_nets,
+        num_cells=num_cells,
+        arc_from=arc_from_arr,
+        arc_to=arc_to_arr,
+        arc_cell=arc_cell_arr,
+        arc_delay_ps=arc_delay_arr,
+        net_level=net_level,
+        arc_order=arc_order,
+        level_slices=level_slices,
+        launch_nets=np.asarray(launch_nets, dtype=np.int64),
+        launch_delay_ps=np.asarray(launch_delay, dtype=np.float64),
+        launch_cell=np.asarray(launch_cell, dtype=np.int64),
+        endpoint_nets=np.asarray(endpoint_nets, dtype=np.int64),
+        endpoint_setup_ps=np.asarray(endpoint_setup, dtype=np.float64),
+        endpoint_cell=np.asarray(endpoint_cell, dtype=np.int64),
+        net_load_ff=net_load,
+    )

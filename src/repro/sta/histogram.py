@@ -1,0 +1,73 @@
+"""Endpoint slack histograms (Fig. 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sta.engine import TimingReport
+
+
+@dataclass
+class SlackHistogram:
+    """Binned endpoint slacks of one timing run.
+
+    ``counts[i]`` endpoints fall in ``[edges[i], edges[i+1])``; bins whose
+    upper edge is <= 0 hold timing violations (the red bars of Fig. 1).
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    violating: int
+    total: int
+
+    @property
+    def violating_fraction(self) -> float:
+        return self.violating / self.total if self.total else 0.0
+
+    def wall_of_slack_fraction(self, window_ps: float = 50.0) -> float:
+        """Fraction of endpoints with slack within *window_ps* of zero.
+
+        The wall-of-slack phenomenon shows up as a large value here: most
+        endpoints pile up just above (or at) zero slack.
+        """
+        centers = (self.edges[:-1] + self.edges[1:]) / 2.0
+        near = np.abs(centers) <= window_ps
+        return float(self.counts[near].sum() / self.total) if self.total else 0.0
+
+    def format_text(self, width: int = 50) -> str:
+        """ASCII rendering, violations marked with ``#``, met slack ``=``."""
+        lines = []
+        peak = max(int(self.counts.max()), 1)
+        for i, count in enumerate(self.counts):
+            lo, hi = self.edges[i], self.edges[i + 1]
+            bar_char = "#" if hi <= 0.0 else "="
+            bar = bar_char * int(round(width * count / peak))
+            lines.append(f"[{lo:8.1f}, {hi:8.1f}) ps |{bar} {int(count)}")
+        lines.append(
+            f"violating endpoints: {self.violating}/{self.total} "
+            f"({100.0 * self.violating_fraction:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def slack_histogram(
+    report: TimingReport,
+    num_bins: int = 28,
+    bin_range_ps: Optional[Tuple[float, float]] = None,
+) -> SlackHistogram:
+    """Histogram the active endpoint slacks of a timing report."""
+    slacks = report.endpoint_slack_ps[report.endpoint_active]
+    if len(slacks) == 0:
+        edges = np.linspace(-1.0, 1.0, num_bins + 1)
+        return SlackHistogram(edges, np.zeros(num_bins), 0, 0)
+    if bin_range_ps is None:
+        span = max(float(np.abs(slacks).max()), 1.0)
+        bin_range_ps = (-span, span)
+    counts, edges = np.histogram(slacks, bins=num_bins, range=bin_range_ps)
+    violating = int(np.count_nonzero(slacks < 0.0))
+    return SlackHistogram(
+        edges=edges, counts=counts, violating=violating, total=len(slacks)
+    )

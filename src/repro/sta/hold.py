@@ -1,0 +1,144 @@
+"""Hold (min-delay) analysis.
+
+Setup analysis bounds the *longest* paths against the clock period; hold
+analysis bounds the *shortest* paths against the flop hold requirement at
+the same capturing edge.  Back-bias boosting makes paths faster, so a
+methodology that selectively speeds regions up must re-check hold -- this
+module provides the min-arrival sweep and the per-endpoint hold slack.
+
+Hold checks are clock-period independent; they are evaluated at the
+*fastest* corner the exploration may select (nominal VDD, all FBB), which
+the implementation flow verifies once at sign-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sta.caseanalysis import CaseAnalysis, UNKNOWN
+from repro.sta.graph import TimingGraph
+from repro.techlib.library import Library
+
+POS_INF = 1e30
+
+
+@dataclass
+class HoldReport:
+    """Result of one min-delay analysis."""
+
+    graph: TimingGraph
+    vdd: float
+    min_arrival_ps: np.ndarray
+    endpoint_slack_ps: np.ndarray
+    endpoint_active: np.ndarray
+
+    @property
+    def worst_slack_ps(self) -> float:
+        active = self.endpoint_slack_ps[self.endpoint_active]
+        if len(active) == 0:
+            return POS_INF
+        return float(active.min())
+
+    @property
+    def feasible(self) -> bool:
+        return self.worst_slack_ps >= 0.0
+
+    def violations(self) -> List[str]:
+        """Names of endpoints violating their hold requirement."""
+        names = []
+        for ordinal in np.nonzero(
+            self.endpoint_active & (self.endpoint_slack_ps < 0.0)
+        )[0]:
+            net = self.graph.netlist.nets[
+                int(self.graph.endpoint_nets[ordinal])
+            ]
+            names.append(net.name)
+        return names
+
+
+class HoldAnalyzer:
+    """Min-delay sweeps over a compiled timing graph."""
+
+    def __init__(self, graph: TimingGraph, library: Library):
+        self.graph = graph
+        self.library = library
+
+    def analyze(
+        self,
+        vdd: float,
+        fbb_cells: np.ndarray,
+        case: Optional[CaseAnalysis] = None,
+    ) -> HoldReport:
+        """Hold slack of every endpoint at one corner.
+
+        Hold slack of a D endpoint is ``min_arrival - hold``; primary
+        outputs have no hold requirement (slack +inf).
+        """
+        graph = self.graph
+        fbb_cells = np.asarray(fbb_cells, dtype=bool)
+        f_nobb = self.library.delay_factor(self.library.nobb_corner(vdd))
+        f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
+        factors = np.where(fbb_cells, f_fbb, f_nobb)
+        arc_delay = graph.arc_delay_ps * factors[graph.arc_cell]
+
+        order = graph.arc_order
+        if case is None:
+            schedule = [order[s] for s in graph.level_slices]
+        else:
+            active = case.active_arc_mask(graph)
+            schedule = [
+                ordered[active[ordered]]
+                for ordered in (order[s] for s in graph.level_slices)
+            ]
+
+        arrival = np.full(graph.num_nets, POS_INF)
+        launch_factor = np.where(
+            graph.launch_cell >= 0,
+            factors[np.maximum(graph.launch_cell, 0)],
+            1.0,
+        )
+        launch_arrival = graph.launch_delay_ps * launch_factor
+        if case is None:
+            arrival[graph.launch_nets] = launch_arrival
+        else:
+            live = case.values[graph.launch_nets] == UNKNOWN
+            arrival[graph.launch_nets[live]] = launch_arrival[live]
+
+        for arcs in schedule:
+            if len(arcs) == 0:
+                continue
+            candidate = arrival[graph.arc_from[arcs]] + arc_delay[arcs]
+            np.minimum.at(arrival, graph.arc_to[arcs], candidate)
+
+        hold_template = self.library.template("DFF")
+        endpoint_hold = np.where(
+            graph.endpoint_cell >= 0,
+            hold_template.hold_ps
+            * np.where(
+                graph.endpoint_cell >= 0,
+                factors[np.maximum(graph.endpoint_cell, 0)],
+                1.0,
+            ),
+            -POS_INF,  # primary outputs: no hold requirement
+        )
+        endpoint_arrival = arrival[graph.endpoint_nets]
+        slack = endpoint_arrival - endpoint_hold
+
+        reachable = endpoint_arrival < POS_INF / 2
+        if case is None:
+            endpoint_active = reachable
+        else:
+            endpoint_active = (
+                case.active_endpoint_mask(graph.endpoint_nets) & reachable
+            )
+
+        return HoldReport(
+            graph=graph,
+            vdd=vdd,
+            min_arrival_ps=arrival,
+            endpoint_slack_ps=slack,
+            endpoint_active=endpoint_active,
+        )

@@ -1,0 +1,36 @@
+"""Synthetic 28nm UTBB FDSOI technology library.
+
+This subpackage replaces the proprietary STMicroelectronics 28nm FDSOI
+standard-cell library used in the paper.  It provides:
+
+* :mod:`repro.techlib.fdsoi` -- process constants (body factor, guardband
+  geometry, nominal voltages) taken from the paper's Section II-C,
+* :mod:`repro.techlib.models` -- first-order device physics (alpha-power-law
+  delay, sub-threshold leakage, back-bias Vth shift),
+* :mod:`repro.techlib.cells` -- the standard-cell templates (logic function,
+  drive strengths, pin capacitances, area, leakage weights),
+* :mod:`repro.techlib.library` -- the :class:`Library` facade that the rest of
+  the flow queries for delay/power at an arbitrary (VDD, VBB) corner.
+"""
+
+from repro.techlib.fdsoi import FdsoiProcess, NOMINAL_PROCESS
+from repro.techlib.models import (
+    threshold_voltage,
+    delay_scale_factor,
+    leakage_scale_factor,
+)
+from repro.techlib.cells import CellTemplate, DriveVariant, CELL_TEMPLATES
+from repro.techlib.library import Library, Corner
+
+__all__ = [
+    "FdsoiProcess",
+    "NOMINAL_PROCESS",
+    "threshold_voltage",
+    "delay_scale_factor",
+    "leakage_scale_factor",
+    "CellTemplate",
+    "DriveVariant",
+    "CELL_TEMPLATES",
+    "Library",
+    "Corner",
+]

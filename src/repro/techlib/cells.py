@@ -1,0 +1,288 @@
+"""Standard-cell templates of the synthetic FDSOI library.
+
+Each template couples a boolean function (used by the logic simulator and by
+the case-analysis constant propagator) with electrical data per drive
+strength (used by STA and power analysis).  Electrical data is generated
+from logical-effort-style parameters so that all cells are mutually
+consistent: a bigger drive has proportionally more input capacitance,
+leakage and area, and proportionally less delay per fF of load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Electrical base constants (characterized at VDD=1.0 V, FBB corner).
+# ---------------------------------------------------------------------------
+
+#: Intrinsic delay of one "parasitic delay unit" (ps).
+TAU_PS = 4.0
+#: Load-dependent delay of a size-1 drive (ps per fF of load).
+R_UNIT_PS_PER_FF = 3.5
+#: Input capacitance of one logical-effort unit (fF).
+CAP_UNIT_FF = 0.75
+#: Leakage of a size-1, weight-1 cell at (VDD nominal, NoBB) (nW).
+LEAK_UNIT_NW = 70.0
+#: Area of one area unit (um^2); a size-1 inverter is one unit.
+AREA_UNIT_UM2 = 0.55
+#: Output (drain) capacitance per drive size unit (fF).
+DRAIN_CAP_FF = 0.30
+
+
+@dataclass(frozen=True)
+class DriveVariant:
+    """Electrical view of one drive strength of a cell.
+
+    Delay of an arc through this cell is
+    ``intrinsic_delay_ps + load_coeff_ps_per_ff * C_load_ff`` at the
+    characterization corner, then scaled by the corner factor.
+    """
+
+    name: str
+    size: float
+    intrinsic_delay_ps: float
+    load_coeff_ps_per_ff: float
+    input_cap_ff: float
+    output_cap_ff: float
+    internal_cap_ff: float
+    area_um2: float
+    leakage_nw: float
+
+
+@dataclass(frozen=True)
+class CellTemplate:
+    """A library cell: logic function plus per-drive electrical data.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2"``.
+    inputs / outputs:
+        Ordered pin names.  Input order is the order ``evaluate`` expects.
+    evaluate:
+        Pure function mapping input boolean arrays to a tuple of output
+        boolean arrays.  ``None`` for sequential cells (the simulator
+        handles state elements explicitly).
+    drives:
+        Mapping of drive name (``"X1"``...) to :class:`DriveVariant`.
+    is_sequential:
+        True for flip-flops.
+    clk_to_q_ps / setup_ps / hold_ps:
+        Sequential timing (characterization corner), unused for
+        combinational cells.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    evaluate: Callable[..., Tuple[np.ndarray, ...]]
+    drives: Mapping[str, DriveVariant]
+    is_sequential: bool = False
+    clk_to_q_ps: float = 0.0
+    setup_ps: float = 0.0
+    hold_ps: float = 0.0
+
+    def drive(self, name: str) -> DriveVariant:
+        """Return the :class:`DriveVariant` called *name* (KeyError if absent)."""
+        return self.drives[name]
+
+    @property
+    def drive_names(self) -> Tuple[str, ...]:
+        """Drive names ordered from weakest to strongest."""
+        return tuple(sorted(self.drives, key=lambda n: self.drives[n].size))
+
+
+def _make_drives(
+    logical_effort: float,
+    parasitic: float,
+    leak_weight: float,
+    area_units: float,
+    internal_units: float,
+    sizes: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+) -> Dict[str, DriveVariant]:
+    """Build the drive-strength family of one cell from effort parameters."""
+    drives: Dict[str, DriveVariant] = {}
+    for size in sizes:
+        name = f"X{size:g}".replace("X0.5", "X05")
+        drives[name] = DriveVariant(
+            name=name,
+            size=size,
+            intrinsic_delay_ps=parasitic * TAU_PS,
+            load_coeff_ps_per_ff=R_UNIT_PS_PER_FF / size,
+            input_cap_ff=logical_effort * size * CAP_UNIT_FF,
+            output_cap_ff=DRAIN_CAP_FF * size,
+            internal_cap_ff=internal_units * size * CAP_UNIT_FF,
+            area_um2=area_units * (0.6 + 0.4 * size) * AREA_UNIT_UM2,
+            leakage_nw=leak_weight * size * LEAK_UNIT_NW,
+        )
+    return drives
+
+
+# ---------------------------------------------------------------------------
+# Boolean functions.  All take/return numpy bool arrays (or python bools).
+# ---------------------------------------------------------------------------
+
+
+def _inv(a):
+    return (np.logical_not(a),)
+
+
+def _buf(a):
+    return (np.asarray(a),)
+
+
+def _nand2(a, b):
+    return (np.logical_not(np.logical_and(a, b)),)
+
+
+def _nand3(a, b, c):
+    return (np.logical_not(np.logical_and(np.logical_and(a, b), c)),)
+
+
+def _nor2(a, b):
+    return (np.logical_not(np.logical_or(a, b)),)
+
+
+def _nor3(a, b, c):
+    return (np.logical_not(np.logical_or(np.logical_or(a, b), c)),)
+
+
+def _and2(a, b):
+    return (np.logical_and(a, b),)
+
+
+def _and3(a, b, c):
+    return (np.logical_and(np.logical_and(a, b), c),)
+
+
+def _or2(a, b):
+    return (np.logical_or(a, b),)
+
+
+def _or3(a, b, c):
+    return (np.logical_or(np.logical_or(a, b), c),)
+
+
+def _xor2(a, b):
+    return (np.logical_xor(a, b),)
+
+
+def _xnor2(a, b):
+    return (np.logical_not(np.logical_xor(a, b)),)
+
+
+def _aoi21(a, b, c):
+    return (np.logical_not(np.logical_or(np.logical_and(a, b), c)),)
+
+
+def _oai21(a, b, c):
+    return (np.logical_not(np.logical_and(np.logical_or(a, b), c)),)
+
+
+def _mux2(a, b, s):
+    """Output = a when s=0, b when s=1."""
+    return (np.where(np.asarray(s), np.asarray(b), np.asarray(a)).astype(bool),)
+
+
+def _ha(a, b):
+    return (np.logical_xor(a, b), np.logical_and(a, b))
+
+
+def _fa(a, b, cin):
+    s = np.logical_xor(np.logical_xor(a, b), cin)
+    co = np.logical_or(
+        np.logical_and(a, b),
+        np.logical_and(cin, np.logical_xor(a, b)),
+    )
+    return (s, co)
+
+
+def _tielo():
+    return (np.asarray(False),)
+
+
+def _tiehi():
+    return (np.asarray(True),)
+
+
+# ---------------------------------------------------------------------------
+# The library cell set.
+# ---------------------------------------------------------------------------
+
+
+def _template(
+    name: str,
+    inputs: Tuple[str, ...],
+    outputs: Tuple[str, ...],
+    func,
+    logical_effort: float,
+    parasitic: float,
+    leak_weight: float,
+    area_units: float,
+    internal_units: float = 0.0,
+    **kwargs,
+) -> CellTemplate:
+    return CellTemplate(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        evaluate=func,
+        drives=_make_drives(
+            logical_effort, parasitic, leak_weight, area_units, internal_units
+        ),
+        **kwargs,
+    )
+
+
+CELL_TEMPLATES: Dict[str, CellTemplate] = {
+    t.name: t
+    for t in [
+        _template("INV", ("A",), ("Y",), _inv, 1.0, 1.0, 1.0, 1.0),
+        _template("BUF", ("A",), ("Y",), _buf, 1.0, 2.0, 1.3, 1.4, 0.5),
+        _template("NAND2", ("A", "B"), ("Y",), _nand2, 4.0 / 3.0, 2.0, 1.6, 1.4),
+        _template("NAND3", ("A", "B", "C"), ("Y",), _nand3, 5.0 / 3.0, 3.0, 2.2, 1.9),
+        _template("NOR2", ("A", "B"), ("Y",), _nor2, 5.0 / 3.0, 2.0, 1.6, 1.4),
+        _template("NOR3", ("A", "B", "C"), ("Y",), _nor3, 7.0 / 3.0, 3.0, 2.2, 1.9),
+        _template("AND2", ("A", "B"), ("Y",), _and2, 4.0 / 3.0, 3.0, 2.0, 1.8, 0.6),
+        _template("AND3", ("A", "B", "C"), ("Y",), _and3, 5.0 / 3.0, 4.0, 2.6, 2.3, 0.8),
+        _template("OR2", ("A", "B"), ("Y",), _or2, 5.0 / 3.0, 3.0, 2.0, 1.8, 0.6),
+        _template("OR3", ("A", "B", "C"), ("Y",), _or3, 7.0 / 3.0, 4.0, 2.6, 2.3, 0.8),
+        _template("XOR2", ("A", "B"), ("Y",), _xor2, 3.0, 4.0, 2.8, 2.5, 1.2),
+        _template("XNOR2", ("A", "B"), ("Y",), _xnor2, 3.0, 4.0, 2.8, 2.5, 1.2),
+        _template("AOI21", ("A", "B", "C"), ("Y",), _aoi21, 1.8, 2.5, 2.0, 1.8),
+        _template("OAI21", ("A", "B", "C"), ("Y",), _oai21, 1.8, 2.5, 2.0, 1.8),
+        _template("MUX2", ("A", "B", "S"), ("Y",), _mux2, 2.0, 3.5, 2.6, 2.4, 1.0),
+        _template("HA", ("A", "B"), ("S", "CO"), _ha, 2.2, 4.0, 3.0, 3.0, 1.5),
+        _template("FA", ("A", "B", "CI"), ("S", "CO"), _fa, 2.8, 6.0, 4.5, 4.5, 2.5),
+        _template("TIELO", (), ("Y",), _tielo, 0.0, 0.0, 0.3, 0.5),
+        _template("TIEHI", (), ("Y",), _tiehi, 0.0, 0.0, 0.3, 0.5),
+        _template(
+            "DFF",
+            ("D", "CK"),
+            ("Q",),
+            None,
+            1.2,
+            0.0,
+            4.0,
+            4.5,
+            2.0,
+            is_sequential=True,
+            clk_to_q_ps=35.0,
+            setup_ps=20.0,
+            hold_ps=8.0,
+        ),
+    ]
+}
+
+
+def get_template(name: str) -> CellTemplate:
+    """Look up a cell template by name, with a helpful error message."""
+    try:
+        return CELL_TEMPLATES[name]
+    except KeyError:
+        known = ", ".join(sorted(CELL_TEMPLATES))
+        raise KeyError(f"unknown cell template {name!r}; known cells: {known}")

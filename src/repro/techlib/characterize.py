@@ -1,0 +1,97 @@
+"""Corner characterization tables.
+
+Commercial flows consume ``.lib`` files characterized per corner; this module
+produces the equivalent in-memory tables for our synthetic library: for a set
+of (VDD, VBB) corners, per-cell-drive delay and leakage numbers.  The tables
+are what a designer would inspect to sanity-check the technology model, and
+the characterization benchmark prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.techlib.cells import DriveVariant
+from repro.techlib.library import Corner, Library
+
+
+@dataclass(frozen=True)
+class CellCornerData:
+    """Characterized numbers of one (cell, drive) at one corner."""
+
+    cell: str
+    drive: str
+    corner: Corner
+    intrinsic_delay_ps: float
+    load_coeff_ps_per_ff: float
+    leakage_nw: float
+
+
+@dataclass
+class CharacterizationTable:
+    """All characterized (cell, drive, corner) triples of a library."""
+
+    library: Library
+    corners: List[Corner]
+    rows: List[CellCornerData] = field(default_factory=list)
+
+    def lookup(self, cell: str, drive: str, corner: Corner) -> CellCornerData:
+        """Return the characterized row for (cell, drive, corner)."""
+        for row in self.rows:
+            if row.cell == cell and row.drive == drive and row.corner == corner:
+                return row
+        raise KeyError(f"no characterization for {cell}/{drive} at {corner.label}")
+
+    def format_text(self, cells: Iterable[str] = ("INV", "NAND2", "XOR2", "FA")) -> str:
+        """Render a human-readable characterization summary."""
+        wanted = set(cells)
+        lines = [
+            f"{'cell':8s} {'drive':6s} {'corner':12s} "
+            f"{'d0[ps]':>8s} {'k[ps/fF]':>9s} {'leak[nW]':>9s}"
+        ]
+        for row in self.rows:
+            if row.cell in wanted:
+                lines.append(
+                    f"{row.cell:8s} {row.drive:6s} {row.corner.label:12s} "
+                    f"{row.intrinsic_delay_ps:8.2f} "
+                    f"{row.load_coeff_ps_per_ff:9.3f} {row.leakage_nw:9.2f}"
+                )
+        return "\n".join(lines)
+
+
+def characterize(library: Library, corners: Iterable[Corner]) -> CharacterizationTable:
+    """Characterize every (cell, drive) of *library* at each of *corners*.
+
+    Delay numbers scale the reference-corner base values by the corner's
+    delay factor; leakage scales by the leakage factor.
+    """
+    corner_list = list(corners)
+    table = CharacterizationTable(library=library, corners=corner_list)
+    for corner in corner_list:
+        d_factor = library.delay_factor(corner)
+        l_factor = library.leakage_factor(corner)
+        for cell_name in sorted(library.templates):
+            template = library.templates[cell_name]
+            for drive_name in template.drive_names:
+                drive: DriveVariant = template.drives[drive_name]
+                table.rows.append(
+                    CellCornerData(
+                        cell=cell_name,
+                        drive=drive_name,
+                        corner=corner,
+                        intrinsic_delay_ps=drive.intrinsic_delay_ps * d_factor,
+                        load_coeff_ps_per_ff=drive.load_coeff_ps_per_ff * d_factor,
+                        leakage_nw=drive.leakage_nw * l_factor,
+                    )
+                )
+    return table
+
+
+def default_corner_grid(library: Library) -> List[Corner]:
+    """The paper's exploration grid: VDD 1.0..0.6 V x {NoBB, FBB}."""
+    corners = []
+    for vdd in library.vdd_sweep():
+        corners.append(library.nobb_corner(vdd))
+        corners.append(library.fbb_corner(vdd))
+    return corners

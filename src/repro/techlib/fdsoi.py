@@ -1,0 +1,101 @@
+"""Process constants for the synthetic 28nm UTBB FDSOI node.
+
+The numbers below come from the paper itself where it states them (body
+factor, guardband width, cell height, back-bias range) and from public
+28nm-FDSOI literature for the remaining first-order device parameters.
+Absolute values only need to land power in the paper's reported window;
+the *relationships* between knobs (VDD, VBB, bitwidth) are what the
+reproduction must preserve.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FdsoiProcess:
+    """First-order parameters of a 28nm UTBB FDSOI process.
+
+    Attributes
+    ----------
+    vdd_nominal:
+        Nominal supply voltage in volts (the paper implements all operators
+        at 1.0 V).
+    vth0:
+        Threshold voltage at no back bias (SVT flavour), in volts.
+    body_factor:
+        Sensitivity of Vth to the back-bias voltage, in V/V.  The paper
+        quotes 85 mV/V for 28nm UTBB FDSOI.
+    lvt_offset:
+        Extra Vth reduction of the fully boosted state, in volts.  The
+        paper's methodology maps "SVT" to NoBB and "LVT" to FBB
+        (Section III): the boost condition behaves like a low-Vth flavour
+        on top of the pure body effect, so the total boost shift is
+        ``body_factor * fbb_voltage + lvt_offset``.  Intermediate back-bias
+        voltages scale the offset proportionally.
+    dibl:
+        Drain-induced barrier lowering coefficient (V of Vth per V of VDD),
+        applied relative to the nominal supply.
+    alpha:
+        Velocity-saturation exponent of the alpha-power-law delay model.
+    subthreshold_swing:
+        n * vT of the sub-threshold current equation, in volts.  Controls
+        how strongly leakage reacts to Vth shifts.
+    fbb_voltage:
+        Forward back-bias voltage magnitude used as the "boost" condition
+        (the paper uses +/- 1.1 V on N-well / P-well).
+    max_bb_voltage:
+        Widest usable back-bias magnitude (the UTBB FDSOI range spans more
+        than 2 V thanks to the buried oxide).
+    guardband_width_um:
+        Minimum width of the guardband separating independent BB domains.
+    cell_height_um:
+        Standard-cell row height.
+    well_tap_pitch_um:
+        Distance between well taps connecting BB rails inside a domain.
+    nominal_temperature_c:
+        Temperature at which leakage numbers are characterized.
+    leakage_doubling_c:
+        Temperature increase that doubles sub-threshold leakage (the
+        classic ~8-20 degC/decade rule of thumb, expressed per octave).
+    """
+
+    vdd_nominal: float = 1.0
+    vth0: float = 0.42
+    body_factor: float = 0.085
+    lvt_offset: float = 0.07
+    dibl: float = 0.10
+    alpha: float = 1.4
+    subthreshold_swing: float = 0.065
+    fbb_voltage: float = 1.1
+    max_bb_voltage: float = 2.0
+    guardband_width_um: float = 3.5
+    cell_height_um: float = 1.2
+    well_tap_pitch_um: float = 25.0
+    nominal_temperature_c: float = 25.0
+    leakage_doubling_c: float = 20.0
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the parameter set is not physical."""
+        if not 0.0 < self.vth0 < self.vdd_nominal:
+            raise ValueError(
+                f"vth0={self.vth0} must lie in (0, vdd_nominal={self.vdd_nominal})"
+            )
+        if self.body_factor <= 0.0:
+            raise ValueError("body_factor must be positive")
+        if self.lvt_offset < 0.0:
+            raise ValueError("lvt_offset cannot be negative")
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ValueError("alpha outside the physical 1..2 range")
+        if self.subthreshold_swing <= 0.0:
+            raise ValueError("subthreshold_swing must be positive")
+        if self.fbb_voltage > self.max_bb_voltage:
+            raise ValueError("fbb_voltage exceeds the usable back-bias range")
+        if self.guardband_width_um <= 0.0 or self.cell_height_um <= 0.0:
+            raise ValueError("geometry parameters must be positive")
+        if self.leakage_doubling_c <= 0.0:
+            raise ValueError("leakage_doubling_c must be positive")
+
+
+#: The default process used throughout the reproduction.
+NOMINAL_PROCESS = FdsoiProcess()
+NOMINAL_PROCESS.validate()

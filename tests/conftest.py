@@ -1,0 +1,53 @@
+"""Shared fixtures: the library and a couple of small implemented designs.
+
+Heavy objects are session-scoped -- building and placing a Booth multiplier
+takes a second or two, and dozens of tests want one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flow import implement_base, implement_with_domains
+from repro.operators import booth_multiplier
+from repro.pnr.grid import GridPartition
+from repro.sta.constraints import ClockConstraint
+from repro.techlib.library import Library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return Library()
+
+
+@pytest.fixture(scope="session")
+def booth8_factory(library):
+    """Factory of a small (8-bit) registered Booth multiplier."""
+    counter = {"n": 0}
+
+    def factory():
+        counter["n"] += 1
+        return booth_multiplier(library, width=8, name=f"booth8_{counter['n']}")
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def booth8_base(library, booth8_factory):
+    """A fully implemented (placed, sized, closed) 8-bit Booth multiplier."""
+    return implement_base(booth8_factory, library)
+
+
+@pytest.fixture(scope="session")
+def booth8_domained(library, booth8_factory, booth8_base):
+    """The same design implemented with a 2x2 Vth-domain grid."""
+    return implement_with_domains(
+        booth8_factory,
+        library,
+        GridPartition(2, 2),
+        constraint=booth8_base.constraint,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

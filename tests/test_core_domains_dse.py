@@ -1,0 +1,82 @@
+"""Domain-configuration design-space exploration."""
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.domains_dse import (
+    DomainDseResult,
+    explore_domain_configurations,
+)
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(4, 8), activity_cycles=10, activity_batch=8
+)
+CANDIDATES = ((1, 1), (1, 2), (2, 2))
+
+
+@pytest.fixture(scope="module")
+def dse(library, booth8_factory, booth8_base):
+    return explore_domain_configurations(
+        booth8_factory,
+        library,
+        booth8_base.constraint,
+        candidates=CANDIDATES,
+        settings=SETTINGS,
+        area_budget=0.25,
+    )
+
+
+class TestDomainDse:
+    def test_all_candidates_evaluated(self, dse):
+        labels = {c.partition.label for c in dse.candidates}
+        assert labels == {"1x1", "1x2", "2x2"}
+
+    def test_sorted_by_mean_power(self, dse):
+        powers = [c.mean_power_w for c in dse.candidates]
+        assert powers == sorted(powers)
+
+    def test_budget_filtering(self, dse):
+        for candidate in dse.within_budget():
+            assert candidate.area_overhead <= 0.25
+
+    def test_best_respects_budget_and_coverage(self, dse):
+        best = dse.best()
+        assert best.area_overhead <= 0.25
+        assert best.covered_bitwidths == max(
+            c.covered_bitwidths for c in dse.within_budget()
+        )
+
+    def test_format_lists_every_candidate(self, dse):
+        text = dse.format_text()
+        for candidate in dse.candidates:
+            assert candidate.partition.label in text
+        assert "in budget" in text
+
+    def test_impossible_budget_raises(self, dse):
+        strict = DomainDseResult(
+            candidates=[
+                c for c in dse.candidates if c.partition.num_domains > 1
+            ],
+            area_budget=0.0,
+            runtime_s=0.0,
+        )
+        with pytest.raises(ValueError, match="area budget"):
+            strict.best()
+
+    def test_max_domains_skips_large_grids(
+        self, library, booth8_factory, booth8_base
+    ):
+        result = explore_domain_configurations(
+            booth8_factory,
+            library,
+            booth8_base.constraint,
+            candidates=((1, 2), (3, 3)),
+            settings=SETTINGS,
+            max_domains=4,
+        )
+        labels = {c.partition.label for c in result.candidates}
+        assert labels == {"1x2"}
+
+    def test_describe(self, dse):
+        text = dse.candidates[0].describe()
+        assert "mean" in text and "overhead" in text

@@ -1,0 +1,143 @@
+"""Exhaustive exploration and the DVAS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplorationSettings, OperatingPoint
+from repro.core.dvas import dvas_explore
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.pareto import dominated_mask, pareto_points, power_saving
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8),
+    activity_cycles=12,
+    activity_batch=12,
+)
+
+
+@pytest.fixture(scope="module")
+def proposed(booth8_domained):
+    return ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def dvas_fbb(booth8_base):
+    return dvas_explore(booth8_base, fbb=True, settings=SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def dvas_nobb(booth8_base):
+    return dvas_explore(booth8_base, fbb=False, settings=SETTINGS)
+
+
+class TestSettings:
+    def test_defaults_match_paper(self):
+        settings = ExplorationSettings()
+        assert settings.bitwidths == tuple(range(1, 17))
+        assert settings.vdd_values == (1.0, 0.9, 0.8, 0.7, 0.6)
+        assert settings.num_knob_points == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplorationSettings(bitwidths=())
+        with pytest.raises(ValueError):
+            ExplorationSettings(bitwidths=(0,))
+        with pytest.raises(ValueError):
+            ExplorationSettings(vdd_values=(-0.5,))
+
+
+class TestExploration:
+    def test_every_bitwidth_has_a_winner(self, proposed):
+        assert sorted(proposed.best_per_bitwidth) == [2, 4, 6, 8]
+
+    def test_winners_are_feasible(self, proposed):
+        for point in proposed.best_per_bitwidth.values():
+            assert point.feasible
+            assert point.total_power_w > 0.0
+
+    def test_full_width_needs_every_domain_boosted(self, proposed):
+        """At max accuracy with slack~0, the grid must be fully boosted
+        (the all-FBB closure corner)."""
+        top = proposed.best_per_bitwidth[8]
+        assert top.num_boosted_domains >= 3
+
+    def test_power_drops_with_accuracy(self, proposed):
+        pareto = proposed.pareto()
+        assert (
+            pareto[0].total_power_w < pareto[-1].total_power_w
+        )  # 2 bits cheaper than 8
+
+    def test_point_accounting(self, proposed):
+        # 16 configs x 4 bitwidths x 5 VDDs.
+        assert proposed.points_evaluated == 16 * 4 * 5
+        assert 0.0 < proposed.filtered_fraction < 1.0
+        assert proposed.points_feasible == sum(
+            proposed.feasible_counts.values()
+        )
+
+    def test_sta_filter_rate_near_paper(self, proposed):
+        """Paper Section III-C: 'about 75% of the configurations are
+        filtered by STA'."""
+        assert 0.55 < proposed.filtered_fraction < 0.99
+
+
+class TestDvas:
+    def test_nobb_cannot_reach_max_accuracy(self, dvas_nobb):
+        """Fig. 5: the standard DVAS (NoBB) curves stop at small widths."""
+        assert dvas_nobb.max_reachable_bits < 8
+
+    def test_fbb_reaches_max_accuracy(self, dvas_fbb):
+        assert dvas_fbb.max_reachable_bits == 8
+
+    def test_fbb_steps_down_vdd(self, dvas_fbb):
+        vdds = [p.vdd for p in dvas_fbb.pareto()]
+        assert min(vdds) < max(vdds)
+        # Lower accuracy never needs a higher supply.
+        assert vdds == sorted(vdds)
+
+    def test_proposed_never_loses_to_dvas_by_much(self, proposed, dvas_fbb):
+        """The proposed method explores a superset of DVAS's knobs on an
+        almost identical die; it may lose only the small guardband
+        overhead (the paper's butterfly shows the same at the extremes)."""
+        for bits in (2, 4, 6, 8):
+            saving = power_saving(
+                dvas_fbb.best_per_bitwidth, proposed.best_per_bitwidth, bits
+            )
+            assert saving is not None
+            assert saving > -0.25
+
+    def test_proposed_wins_somewhere(self, proposed, dvas_fbb):
+        savings = [
+            power_saving(
+                dvas_fbb.best_per_bitwidth, proposed.best_per_bitwidth, bits
+            )
+            for bits in (2, 4, 6, 8)
+        ]
+        assert max(s for s in savings if s is not None) > 0.05
+
+
+class TestPareto:
+    def test_pareto_filters_dominated(self):
+        points = [
+            OperatingPoint(4, 1.0, (True,), 2e-3, 1e-3, 1e-3, 10.0),
+            OperatingPoint(4, 0.9, (True,), 1e-3, 5e-4, 5e-4, 5.0),
+            OperatingPoint(8, 1.0, (True,), 3e-3, 2e-3, 1e-3, 1.0),
+        ]
+        front = pareto_points(points)
+        assert points[0] not in front
+        assert points[1] in front and points[2] in front
+
+    def test_dominated_mask_alignment(self):
+        points = [
+            OperatingPoint(4, 1.0, (True,), 2e-3, 1e-3, 1e-3, 10.0),
+            OperatingPoint(8, 1.0, (True,), 1e-3, 5e-4, 5e-4, 5.0),
+        ]
+        mask = dominated_mask(points)
+        assert mask.tolist() == [True, False]
+
+    def test_power_saving_handles_missing(self):
+        a = {4: OperatingPoint(4, 1.0, (True,), 2e-3, 1e-3, 1e-3, 1.0)}
+        assert power_saving(a, {}, 4) is None
+        assert power_saving({}, a, 4) is None
+        b = {4: OperatingPoint(4, 1.0, (True,), 1e-3, 5e-4, 5e-4, 1.0)}
+        assert power_saving(a, b, 4) == pytest.approx(0.5)

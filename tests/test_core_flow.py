@@ -1,0 +1,88 @@
+"""Implementation flow: clock selection, closure, domain insertion."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow import (
+    implement_base,
+    implement_with_domains,
+    select_clock_for,
+)
+from repro.pnr.grid import GridPartition
+from repro.sta.engine import StaEngine
+
+
+class TestBaseImplementation:
+    def test_design_is_closed_at_fbb_nominal(self, booth8_base, library):
+        design = booth8_base
+        graph = design.timing_graph()
+        engine = StaEngine(graph, library)
+        report = engine.analyze(
+            design.constraint, 1.0, np.ones(graph.num_cells, bool)
+        )
+        assert report.feasible
+
+    def test_fclk_on_50mhz_grid(self, booth8_base):
+        steps = round(booth8_base.fclk_ghz / 0.05)
+        assert booth8_base.fclk_ghz == pytest.approx(steps * 0.05)
+
+    def test_no_domains(self, booth8_base):
+        assert booth8_base.num_domains == 1
+        assert booth8_base.area_overhead == 0.0
+        assert np.all(booth8_base.domains == 0)
+
+    def test_describe_mentions_key_facts(self, booth8_base):
+        text = booth8_base.describe()
+        assert "GHz" in text and "cells" in text
+
+    def test_nobb_infeasible_at_nominal_full_width(self, booth8_base, library):
+        """The paper's premise: timing closes only with the boost on."""
+        design = booth8_base
+        graph = design.timing_graph()
+        engine = StaEngine(graph, library)
+        report = engine.analyze(
+            design.constraint, 1.0, np.zeros(graph.num_cells, bool)
+        )
+        assert not report.feasible
+
+
+class TestDomainedImplementation:
+    def test_same_clock_as_base(self, booth8_base, booth8_domained):
+        assert booth8_domained.constraint == booth8_base.constraint
+
+    def test_domains_cover_grid(self, booth8_domained):
+        assert booth8_domained.num_domains == 4
+        assert set(np.unique(booth8_domained.domains)) <= {0, 1, 2, 3}
+
+    def test_area_overhead_in_paper_range(self, booth8_domained):
+        # Table I: 15-17% for the paper's 2x2/3x3 configurations.
+        assert 0.05 < booth8_domained.area_overhead < 0.45
+
+    def test_closed_at_all_fbb(self, booth8_domained, library):
+        design = booth8_domained
+        graph = design.timing_graph()
+        engine = StaEngine(graph, library)
+        report = engine.analyze(
+            design.constraint, 1.0, np.ones(graph.num_cells, bool)
+        )
+        assert report.feasible
+
+    def test_die_larger_than_base(self, booth8_base, booth8_domained):
+        assert booth8_domained.area_um2 > booth8_base.area_um2
+
+
+class TestClockSelection:
+    def test_deterministic(self, library, booth8_factory):
+        a = select_clock_for(booth8_factory, library)
+        b = select_clock_for(booth8_factory, library)
+        assert a.period_ps == pytest.approx(b.period_ps)
+
+    def test_impossible_netlist_raises(self, library, booth8_factory):
+        with pytest.raises(RuntimeError, match="cannot close timing"):
+            implement_base(
+                booth8_factory,
+                library,
+                constraint=__import__(
+                    "repro.sta.constraints", fromlist=["ClockConstraint"]
+                ).ClockConstraint(10.0),
+            )

@@ -1,0 +1,62 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.core.config import OperatingPoint
+from repro.core.report import format_pareto_table, format_savings, format_table1
+
+
+def _point(bits, power_mw, vdd=1.0):
+    return OperatingPoint(
+        active_bits=bits,
+        vdd=vdd,
+        bb_config=(True, False),
+        total_power_w=power_mw * 1e-3,
+        dynamic_power_w=power_mw * 0.6e-3,
+        leakage_power_w=power_mw * 0.4e-3,
+        worst_slack_ps=12.0,
+    )
+
+
+class TestParetoTable:
+    def test_columns_and_missing_entries(self):
+        table = format_pareto_table(
+            {
+                "Proposed": {4: _point(4, 1.0), 8: _point(8, 2.0)},
+                "DVAS (NoBB)": {4: _point(4, 1.5)},
+            },
+            bitwidths=(4, 8),
+        )
+        assert "Proposed" in table and "DVAS (NoBB)" in table
+        assert "--" in table  # NoBB missing at 8 bits
+        assert "2.000 mW@1.0V" in table
+
+    def test_rows_descend_by_bits(self):
+        table = format_pareto_table(
+            {"M": {2: _point(2, 1.0), 6: _point(6, 2.0)}}, bitwidths=(2, 6)
+        )
+        lines = table.splitlines()
+        assert lines[2].strip().startswith("6")
+        assert lines[3].strip().startswith("2")
+
+
+class TestSavings:
+    def test_percentages(self):
+        text = format_savings(
+            {8: _point(8, 2.0)}, {8: _point(8, 1.0)}, bitwidths=(8,)
+        )
+        assert "50.00%" in text
+
+    def test_missing_marked_na(self):
+        text = format_savings({}, {8: _point(8, 1.0)}, bitwidths=(8,))
+        assert "n/a" in text
+
+
+class TestTable1:
+    def test_contains_design_rows(self, booth8_base, booth8_domained):
+        table = format_table1([booth8_base, booth8_domained])
+        assert "1x1" in table
+        assert "2x2" in table
+        assert "A [mm^2]" in table
+        lines = table.splitlines()
+        assert len(lines) == 3

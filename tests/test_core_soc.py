@@ -1,0 +1,99 @@
+"""Multi-operator composition: shared supply + BB vs voltage islands."""
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.soc import LevelShifterModel, OperatorSlot, SocComposer
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8), activity_cycles=12, activity_batch=12
+)
+
+
+@pytest.fixture(scope="module")
+def slots(booth8_domained):
+    exploration = ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+    return [
+        OperatorSlot("mult_hi", booth8_domained, exploration, required_bits=8),
+        OperatorSlot("mult_lo", booth8_domained, exploration, required_bits=4),
+    ]
+
+
+class TestLevelShifterModel:
+    def test_power_scales_with_bits(self):
+        model = LevelShifterModel()
+        one = model.power_w(1, 1.0, 1.0)
+        many = model.power_w(32, 1.0, 1.0)
+        assert many == pytest.approx(32 * one)
+        assert model.power_w(0, 1.0, 1.0) == 0.0
+
+    def test_power_scales_with_vdd_squared_plus_static(self):
+        model = LevelShifterModel(leakage_nw=0.0)
+        assert model.power_w(8, 1.0, 1.0) == pytest.approx(
+            model.power_w(8, 0.5, 1.0) * 4.0
+        )
+
+
+class TestSocComposer:
+    def test_shared_point_has_no_shifters(self, slots):
+        composer = SocComposer(slots)
+        shared = composer.shared_supply_point()
+        assert shared.shifter_power_w == 0.0
+        assert shared.shared_vdd is not None
+        assert set(shared.operator_points) == {"mult_hi", "mult_lo"}
+        # Every operator's point sits at the shared supply.
+        for point in shared.operator_points.values():
+            assert point.vdd == pytest.approx(shared.shared_vdd)
+
+    def test_island_point_charges_shifters_when_scaled(self, slots):
+        composer = SocComposer(slots)
+        islands = composer.voltage_island_point()
+        scaled_ops = [
+            p for p in islands.operator_points.values() if p.vdd < 1.0
+        ]
+        if scaled_ops:
+            assert islands.shifter_power_w > 0.0
+        else:
+            assert islands.shifter_power_w == 0.0
+
+    def test_operator_requirements_met(self, slots):
+        composer = SocComposer(slots)
+        shared, islands, _saving = composer.compare()
+        for point_set in (shared.operator_points, islands.operator_points):
+            assert point_set["mult_hi"].active_bits >= 8
+            assert point_set["mult_lo"].active_bits >= 4
+
+    def test_compare_reports_saving(self, slots):
+        composer = SocComposer(slots)
+        shared, islands, saving = composer.compare()
+        assert saving == pytest.approx(
+            1.0 - shared.total_power_w / islands.total_power_w
+        )
+        assert "mW" in shared.describe()
+        assert "level shifters" in islands.describe() or (
+            islands.shifter_power_w == 0.0
+        )
+
+    def test_impossible_requirement_rejected(self, slots, booth8_domained):
+        bad = OperatorSlot(
+            "impossible",
+            booth8_domained,
+            slots[0].exploration,
+            required_bits=16,
+        )
+        composer = SocComposer(slots + [bad])
+        with pytest.raises(ValueError):
+            composer.voltage_island_point()
+
+    def test_duplicate_names_rejected(self, slots):
+        with pytest.raises(ValueError, match="unique"):
+            SocComposer([slots[0], slots[0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SocComposer([])
+
+    def test_io_bits_counts_ports(self, slots):
+        # booth8: A(8) + B(8) inputs + P(16) output = 32 bits.
+        assert slots[0].io_bits == 32

@@ -1,0 +1,163 @@
+"""Multi-Vth (RBB) extension and the runtime accuracy controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.runtime import (
+    AccuracyController,
+    BiasGeneratorModel,
+    WorkloadPhase,
+)
+from repro.core.tristate import STATE_NAMES, TriStateExplorer
+from repro.sta.batch import all_state_configs
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8), activity_cycles=12, activity_batch=12
+)
+
+
+@pytest.fixture(scope="module")
+def two_state(booth8_domained):
+    return ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def three_state(booth8_domained):
+    return TriStateExplorer(booth8_domained).run(SETTINGS)
+
+
+class TestAllStateConfigs:
+    def test_shape_and_uniqueness(self):
+        configs = all_state_configs(3, 3)
+        assert configs.shape == (27, 3)
+        assert len({tuple(r) for r in configs}) == 27
+        assert configs.min() == 0 and configs.max() == 2
+
+    def test_two_state_matches_bb_configs(self):
+        from repro.sta.batch import all_bb_configs
+
+        general = all_state_configs(4, 2)
+        classic = all_bb_configs(4).astype(np.int64)
+        assert np.array_equal(general, classic)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            all_state_configs(-1, 3)
+        with pytest.raises(ValueError):
+            all_state_configs(2, 0)
+
+
+class TestTriState:
+    def test_never_worse_than_two_state(self, two_state, three_state):
+        """{RBB, NoBB, FBB} is a superset of {NoBB, FBB}."""
+        for bits in SETTINGS.bitwidths:
+            p2 = two_state.best_per_bitwidth.get(bits)
+            p3 = three_state.best_per_bitwidth.get(bits)
+            assert p3 is not None
+            if p2 is not None:
+                assert p3.total_power_w <= p2.total_power_w * 1.0001
+
+    def test_rbb_used_at_low_accuracy(self, three_state):
+        low = three_state.best_per_bitwidth[min(SETTINGS.bitwidths)]
+        high = three_state.best_per_bitwidth[max(SETTINGS.bitwidths)]
+        assert low.count_state(0) >= high.count_state(0)
+
+    def test_full_accuracy_needs_boost(self, three_state):
+        top = three_state.best_per_bitwidth[max(SETTINGS.bitwidths)]
+        assert top.count_state(2) >= 3  # almost everything FBB
+
+    def test_describe_encodes_states(self, three_state):
+        text = three_state.best_per_bitwidth[2].describe()
+        assert "Vth[" in text
+        assert STATE_NAMES == ("RBB", "NoBB", "FBB")
+
+    def test_config_count(self, three_state, booth8_domained):
+        expected = (
+            3**booth8_domained.num_domains
+            * len(SETTINGS.bitwidths)
+            * len(SETTINGS.vdd_values)
+        )
+        assert three_state.points_evaluated == expected
+
+    def test_domain_limit_guard(self, booth8_domained):
+        with pytest.raises(ValueError, match="exceed the limit"):
+            TriStateExplorer(booth8_domained, max_configs=10)
+
+
+class TestRuntimeController:
+    def test_mode_for_picks_cheapest_sufficient(
+        self, booth8_domained, two_state
+    ):
+        controller = AccuracyController(booth8_domained, two_state)
+        for bits in SETTINGS.bitwidths:
+            mode = controller.mode_for(bits)
+            assert mode.active_bits >= bits
+        assert (
+            controller.mode_for(2).total_power_w
+            <= controller.mode_for(8).total_power_w
+        )
+
+    def test_unreachable_accuracy_rejected(self, booth8_domained, two_state):
+        controller = AccuracyController(booth8_domained, two_state)
+        with pytest.raises(ValueError, match="no feasible mode"):
+            controller.mode_for(99)
+
+    def test_transition_energy_zero_for_same_config(
+        self, booth8_domained, two_state
+    ):
+        controller = AccuracyController(booth8_domained, two_state)
+        mode = controller.mode_for(8)
+        energy, settle = controller.transition_cost(mode, mode)
+        assert energy == 0.0 and settle == 0.0
+
+    def test_transition_energy_positive_for_bias_change(
+        self, booth8_domained, two_state
+    ):
+        controller = AccuracyController(booth8_domained, two_state)
+        low = controller.mode_for(2)
+        high = controller.mode_for(8)
+        if low.bb_config != high.bb_config:
+            energy, settle = controller.transition_cost(low, high)
+            assert energy > 0.0
+            assert settle == controller.generator.transition_time_ns
+
+    def test_replay_accounting(self, booth8_domained, two_state):
+        controller = AccuracyController(booth8_domained, two_state)
+        workload = [
+            WorkloadPhase(required_bits=8, cycles=10_000),
+            WorkloadPhase(required_bits=2, cycles=90_000),
+            WorkloadPhase(required_bits=8, cycles=10_000),
+        ]
+        report = controller.replay(workload)
+        assert report.total_cycles == 110_000
+        assert report.phases == 3
+        assert report.total_energy_j == pytest.approx(
+            report.compute_energy_j + report.transition_energy_j
+        )
+        # Mostly-low-accuracy workload: adaptation must save energy.
+        assert report.adaptive_saving > 0.1
+        assert report.transition_overhead < 0.05
+        assert "saved" in report.summary()
+
+    def test_static_workload_has_no_switches(self, booth8_domained, two_state):
+        controller = AccuracyController(booth8_domained, two_state)
+        report = controller.replay(
+            [WorkloadPhase(required_bits=8, cycles=1000)] * 3
+        )
+        # First phase powers the bias rails once; then nothing changes.
+        assert report.mode_switches <= 1
+        assert report.adaptive_saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_workload_rejected(self, booth8_domained, two_state):
+        controller = AccuracyController(booth8_domained, two_state)
+        with pytest.raises(ValueError, match="empty"):
+            controller.replay([])
+
+    def test_generator_model_energy_scales(self):
+        generator = BiasGeneratorModel()
+        small = generator.transition_energy_j(100.0, 0.0, 1.1)
+        large = generator.transition_energy_j(1000.0, 0.0, 1.1)
+        assert large == pytest.approx(10 * small)
+        assert generator.transition_energy_j(100.0, 1.1, 1.1) == 0.0

@@ -1,0 +1,101 @@
+"""Determinism and robustness of the end-to-end flow."""
+
+import numpy as np
+import pytest
+
+from repro import quick_flow
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import implement_base, implement_with_domains
+from repro.operators import booth_multiplier
+from repro.pnr.grid import GridPartition
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8), activity_cycles=10, activity_batch=8
+)
+
+
+class TestDeterminism:
+    def test_exploration_is_reproducible(self, booth8_domained):
+        a = ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+        b = ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+        for bits in SETTINGS.bitwidths:
+            assert a.best_per_bitwidth[bits] == b.best_per_bitwidth[bits]
+        assert a.feasible_counts == b.feasible_counts
+
+    def test_implementation_is_reproducible(self, library):
+        def build(tag):
+            counter = {"n": 0}
+
+            def factory():
+                counter["n"] += 1
+                return booth_multiplier(
+                    library, 8, name=f"det_{tag}_{counter['n']}"
+                )
+
+            return implement_base(factory, library)
+
+        first = build("a")
+        second = build("b")
+        assert first.constraint.period_ps == pytest.approx(
+            second.constraint.period_ps
+        )
+        assert np.allclose(
+            first.placement.positions, second.placement.positions
+        )
+        drives_a = [c.drive_name for c in first.netlist.cells]
+        drives_b = [c.drive_name for c in second.netlist.cells]
+        assert drives_a == drives_b
+
+
+class TestFlowRobustness:
+    def test_different_seed_different_placement_same_claims(self, library):
+        """Another placement seed shifts numbers but not the structure."""
+        counter = {"n": 0}
+
+        def factory():
+            counter["n"] += 1
+            return booth_multiplier(library, 8, name=f"seed_{counter['n']}")
+
+        design_a = implement_with_domains(
+            factory, library, GridPartition(2, 2), seed=42
+        )
+        design_b = implement_with_domains(
+            factory, library, GridPartition(2, 2), seed=1337
+        )
+        assert design_a.area_overhead == pytest.approx(
+            design_b.area_overhead, rel=0.05
+        )
+        result_b = ExhaustiveExplorer(design_b).run(SETTINGS)
+        assert sorted(result_b.best_per_bitwidth) == list(SETTINGS.bitwidths)
+
+    def test_utilization_changes_die_not_function(self, library):
+        counter = {"n": 0}
+
+        def factory():
+            counter["n"] += 1
+            return booth_multiplier(library, 8, name=f"util_{counter['n']}")
+
+        dense = implement_base(factory, library, utilization=0.85)
+        sparse = implement_base(factory, library, utilization=0.55)
+        assert sparse.area_um2 > dense.area_um2
+
+    def test_quick_flow_wrapper(self, library):
+        counter = {"n": 0}
+
+        def factory():
+            counter["n"] += 1
+            return booth_multiplier(library, 6, name=f"qf_{counter['n']}")
+
+        base, domained, proposed, dvas = quick_flow(
+            factory, library, grid=(1, 2), settings=SETTINGS_SMALL
+        )
+        assert base.num_domains == 1
+        assert domained.num_domains == 2
+        assert proposed.best_per_bitwidth
+        assert dvas.best_per_bitwidth
+
+
+SETTINGS_SMALL = ExplorationSettings(
+    bitwidths=(2, 4, 6), activity_cycles=8, activity_batch=8
+)

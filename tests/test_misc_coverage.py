@@ -1,0 +1,152 @@
+"""Small-surface behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.pnr.floorplan import Floorplan
+from repro.sta.batch import BatchStaEngine
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import StaEngine
+from repro.sta.graph import compile_timing_graph
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+class TestPinRef:
+    def test_pin_names_resolve(self):
+        builder = NetlistBuilder("t", LIBRARY)
+        a = builder.input_bus("A", 3)
+        s, co = builder.full_adder(*a)
+        fa = builder.netlist.cells[0]
+        assert [p.pin_name for p in a[0].sinks] == ["A"]
+        assert s.driver.pin_name == "S"
+        assert co.driver.pin_name == "CO"
+        assert s.driver.cell is fa
+
+
+class TestFloorplanClamp:
+    def test_clamps_into_die(self):
+        plan = Floorplan(10.0, 6.0, 1.2)
+        assert plan.clamp(-1.0, 3.0) == (0.0, 3.0)
+        assert plan.clamp(11.0, 7.0) == (10.0, 6.0)
+        assert plan.clamp(5.0, 5.0) == (5.0, 5.0)
+
+
+class TestEngineValidation:
+    def test_fbb_shape_checked(self):
+        builder = NetlistBuilder("t", LIBRARY)
+        a = builder.input_bus("A", 1)
+        builder.output_bus("Y", [builder.inv(a[0])])
+        graph = compile_timing_graph(builder.netlist)
+        engine = StaEngine(graph, LIBRARY)
+        with pytest.raises(ValueError, match="fbb_cells shape"):
+            engine.analyze(
+                ClockConstraint(100.0), 1.0, np.ones(99, bool)
+            )
+
+    def test_factor_override_shape_checked(self):
+        builder = NetlistBuilder("t", LIBRARY)
+        a = builder.input_bus("A", 1)
+        builder.output_bus("Y", [builder.inv(a[0])])
+        graph = compile_timing_graph(builder.netlist)
+        engine = StaEngine(graph, LIBRARY)
+        with pytest.raises(ValueError, match="factors shape"):
+            engine.analyze(
+                ClockConstraint(100.0), 1.0,
+                np.ones(graph.num_cells, bool),
+                factors=np.ones(3),
+            )
+
+    def test_factor_override_scales_delay(self):
+        builder = NetlistBuilder("t", LIBRARY)
+        a = builder.input_bus("A", 1)
+        builder.clock()
+        q = builder.register_word(a)
+        net = builder.inv(q[0])
+        builder.output_bus("Y", builder.register_word([net]))
+        graph = compile_timing_graph(builder.netlist)
+        engine = StaEngine(graph, LIBRARY)
+        fbb = np.ones(graph.num_cells, bool)
+        nominal = engine.analyze(
+            ClockConstraint(1e6), 1.0, fbb, compute_required=False
+        )
+        doubled = engine.analyze(
+            ClockConstraint(1e6), 1.0, fbb,
+            factors=np.full(graph.num_cells, 2.0),
+            compute_required=False,
+        )
+        assert (
+            doubled.critical_path_delay_ps
+            > 1.5 * nominal.critical_path_delay_ps
+        )
+
+
+class TestBatchStateValidation:
+    @pytest.fixture()
+    def engine(self, booth8_domained):
+        graph = booth8_domained.timing_graph()
+        return BatchStaEngine(
+            graph, LIBRARY, booth8_domained.domains,
+            booth8_domained.num_domains,
+        ), booth8_domained
+
+    def test_state_shape_checked(self, engine):
+        batch, design = engine
+        with pytest.raises(ValueError, match="incompatible"):
+            batch.analyze_states(
+                design.constraint, 1.0,
+                np.zeros((4, 2), dtype=int), [0.0, 1.1],
+            )
+
+    def test_state_index_range_checked(self, engine):
+        batch, design = engine
+        with pytest.raises(ValueError, match="out of range"):
+            batch.analyze_states(
+                design.constraint, 1.0,
+                np.full((2, design.num_domains), 7), [0.0, 1.1],
+            )
+
+    def test_two_state_configs_match_bool_engine(self, engine):
+        batch, design = engine
+        from repro.sta.batch import all_bb_configs, all_state_configs
+
+        bool_result = batch.analyze(design.constraint, 0.9)
+        fbb = design.netlist.library.process.fbb_voltage
+        state_result = batch.analyze_states(
+            design.constraint, 0.9,
+            all_state_configs(design.num_domains, 2),
+            [0.0, fbb],
+        )
+        assert np.allclose(
+            bool_result.worst_slack_ps,
+            state_result.worst_slack_ps,
+            atol=0.5,
+        )
+
+    def test_chunked_equals_unchunked(self, engine):
+        batch, design = engine
+        from repro.sta.batch import all_state_configs
+
+        fbb = design.netlist.library.process.fbb_voltage
+        configs = all_state_configs(design.num_domains, 3)
+        big = batch.analyze_states(
+            design.constraint, 1.0, configs, [-fbb, 0.0, fbb], chunk=4096
+        )
+        small = batch.analyze_states(
+            design.constraint, 1.0, configs, [-fbb, 0.0, fbb], chunk=7
+        )
+        assert np.allclose(big.worst_slack_ps, small.worst_slack_ps)
+
+
+class TestCliCompare:
+    def test_compare_small(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["compare", "--design", "adder", "--width", "4", "--grid", "1x2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DVAS (FBB)" in out
+        assert "power saving" in out

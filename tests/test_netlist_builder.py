@@ -1,0 +1,89 @@
+"""Builder ergonomics: buses, constants, registers, naming."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.techlib.library import Library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return Library()
+
+
+class TestBuses:
+    def test_input_bus_lsb_first(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 3)
+        assert [n.name for n in a] == ["A[0]", "A[1]", "A[2]"]
+        assert all(n.is_primary_input for n in a)
+
+    def test_output_bus_signedness(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 2)
+        builder.output_bus("Y", a, signed=False)
+        assert builder.netlist.output_buses["Y"].signed is False
+
+
+class TestConstants:
+    def test_const_nets_are_shared(self, library):
+        builder = NetlistBuilder("t", library)
+        assert builder.const(False) is builder.const(False)
+        assert builder.const(True) is builder.const(True)
+        assert builder.const(False) is not builder.const(True)
+
+    def test_const_cells_are_ties(self, library):
+        builder = NetlistBuilder("t", library)
+        builder.const(False)
+        builder.const(True)
+        counts = builder.netlist.count_by_template()
+        assert counts == {"TIELO": 1, "TIEHI": 1}
+
+
+class TestSequential:
+    def test_dff_requires_clock(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        with pytest.raises(ValueError, match="clock"):
+            builder.dff(a)
+
+    def test_register_word_width(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 4)
+        builder.clock()
+        q = builder.register_word(a)
+        assert len(q) == 4
+        assert len(builder.netlist.sequential_cells) == 4
+
+    def test_single_clock_only(self, library):
+        builder = NetlistBuilder("t", library)
+        builder.clock()
+        with pytest.raises(ValueError, match="clock already set"):
+            builder.clock("clk2")
+
+
+class TestGates:
+    def test_gate_rejects_multi_output_templates(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 3)
+        with pytest.raises(ValueError, match="gate_multi"):
+            builder.gate("FA", *a)
+
+    def test_gate_multi_returns_template_order(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 3)
+        s, co = builder.gate_multi("FA", *a)
+        assert s.name.endswith("_s")
+        assert co.name.endswith("_co")
+
+    def test_unique_names(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        names = {builder.inv(a).name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_drive_override(self, library):
+        builder = NetlistBuilder("t", library, default_drive="X1")
+        a = builder.input_bus("A", 1)[0]
+        builder.gate("INV", a, drive="X4")
+        assert builder.netlist.cells[0].drive_name == "X4"

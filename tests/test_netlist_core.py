@@ -1,0 +1,147 @@
+"""Netlist IR invariants: nets, cells, buses, topological order."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.techlib.library import Library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return Library()
+
+
+class TestNets:
+    def test_duplicate_net_name_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_net("n")
+        with pytest.raises(ValueError, match="duplicate net"):
+            netlist.add_net("n")
+
+    def test_single_driver_enforced(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        y = builder.inv(a)
+        inv_template = library.template("INV")
+        with pytest.raises(ValueError, match="already driven"):
+            builder.netlist.add_cell("dup", inv_template, [a], [y])
+
+    def test_primary_input_cannot_be_driven(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        with pytest.raises(ValueError, match="primary input"):
+            builder.netlist.add_cell("bad", library.template("INV"), [a], [a])
+
+    def test_fanout_counts_sinks(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        builder.inv(a)
+        builder.inv(a)
+        assert a.fanout == 2
+
+
+class TestCells:
+    def test_duplicate_cell_name_rejected(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        netlist = builder.netlist
+        y1 = netlist.add_net("y1")
+        y2 = netlist.add_net("y2")
+        netlist.add_cell("i", library.template("INV"), [a], [y1])
+        with pytest.raises(ValueError, match="duplicate cell"):
+            netlist.add_cell("i", library.template("INV"), [a], [y2])
+
+    def test_pin_count_mismatch_rejected(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 2)
+        netlist = builder.netlist
+        y = netlist.add_net("y")
+        with pytest.raises(ValueError, match="expected 1 inputs"):
+            netlist.add_cell("i", library.template("INV"), a, [y])
+
+    def test_unknown_drive_rejected(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        y = builder.netlist.add_net("y")
+        with pytest.raises(ValueError, match="no drive"):
+            builder.netlist.add_cell(
+                "i", library.template("INV"), [a], [y], drive_name="X99"
+            )
+
+    def test_set_drive_and_position(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        builder.inv(a)
+        cell = builder.netlist.cells[0]
+        cell.set_drive("X4")
+        assert cell.drive.size == 4.0
+        with pytest.raises(ValueError, match="not been placed"):
+            cell.position
+        cell.x, cell.y = 1.0, 2.0
+        assert cell.position == (1.0, 2.0)
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        y1 = builder.inv(a)
+        y2 = builder.inv(y1)
+        builder.output_bus("Y", [builder.inv(y2)])
+        order = builder.netlist.topological_cells()
+        positions = {cell.name: i for i, cell in enumerate(order)}
+        assert positions["inv_0"] < positions["inv_1"] < positions["inv_2"]
+
+    def test_combinational_loop_detected(self, library):
+        netlist = Netlist("loop", library)
+        a = netlist.add_net("a")
+        b = netlist.add_net("b")
+        inv = library.template("INV")
+        netlist.add_cell("i1", inv, [a], [b])
+        netlist.add_cell("i2", inv, [b], [a])
+        with pytest.raises(ValueError, match="combinational loop"):
+            netlist.topological_cells()
+
+    def test_dff_breaks_cycles(self, library):
+        builder = NetlistBuilder("t", library)
+        builder.clock()
+        netlist = builder.netlist
+        q = netlist.add_net("q")
+        d = builder.inv(q)  # feedback through an inverter
+        netlist.add_cell(
+            "ff", library.template("DFF"), [d, netlist.clock_net], [q]
+        )
+        order = netlist.topological_cells()
+        assert len(order) == 1  # just the inverter
+
+    def test_logic_levels_increase(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 1)[0]
+        y1 = builder.inv(a)
+        y2 = builder.xor2(y1, a)
+        levels = builder.netlist.logic_levels()
+        cells = {c.name: c.index for c in builder.netlist.cells}
+        assert levels[cells["inv_0"]] == 0
+        assert levels[cells["xor2_0"]] == 1
+
+
+class TestStats:
+    def test_stats_fields(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 4)
+        builder.output_bus("Y", [builder.inv(bit) for bit in a])
+        stats = builder.netlist.stats()
+        assert stats["cells"] == 4
+        assert stats["inputs"] == 4
+        assert stats["outputs"] == 4
+        assert stats["area_um2"] > 0
+
+    def test_count_by_template(self, library):
+        builder = NetlistBuilder("t", library)
+        a = builder.input_bus("A", 2)
+        builder.inv(a[0])
+        builder.and2(a[0], a[1])
+        builder.and2(a[1], a[0])
+        counts = builder.netlist.count_by_template()
+        assert counts == {"INV": 1, "AND2": 2}

@@ -1,0 +1,84 @@
+"""Simulation-based equivalence checking."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.equivalence import check_equivalent
+from repro.netlist.transform import buffer_high_fanout
+from repro.operators import booth_multiplier
+from repro.operators.adders import (
+    brent_kung_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+def _adder_netlist(adder, width, name):
+    builder = NetlistBuilder(name, LIBRARY)
+    a = builder.input_bus("A", width)
+    b = builder.input_bus("B", width)
+    sums, cout = adder(builder, a, b)
+    builder.output_bus("S", sums, signed=False)
+    builder.output_bus("CO", [cout], signed=False)
+    return builder.build()
+
+
+class TestEquivalent:
+    def test_adder_architectures_exhaustive(self):
+        """All four adder architectures are one function (5-bit, 1024
+        vectors, exhaustive)."""
+        reference = _adder_netlist(ripple_carry_adder, 5, "ref")
+        for adder in (kogge_stone_adder, brent_kung_adder, carry_select_adder):
+            revised = _adder_netlist(adder, 5, adder.__name__)
+            result = check_equivalent(reference, revised)
+            assert result
+            assert result.exhaustive
+            assert "equivalent" in result.describe()
+
+    def test_buffering_is_equivalence_preserving(self):
+        golden = booth_multiplier(LIBRARY, width=8, registered=False,
+                                  name="eq_gold")
+        revised = booth_multiplier(LIBRARY, width=8, registered=False,
+                                   name="eq_buf")
+        buffer_high_fanout(revised, max_fanout=4)
+        result = check_equivalent(golden, revised, max_vectors=800)
+        assert result
+        assert not result.exhaustive
+        assert result.vectors == 800
+
+    def test_resizing_is_equivalence_preserving(self):
+        golden = booth_multiplier(LIBRARY, width=6, registered=False,
+                                  name="eq_g2")
+        revised = booth_multiplier(LIBRARY, width=6, registered=False,
+                                   name="eq_r2")
+        for cell in revised.cells[::3]:
+            cell.set_drive("X4")
+        assert check_equivalent(golden, revised, max_vectors=500)
+
+
+class TestNotEquivalent:
+    def test_detects_wrong_function_with_counterexample(self):
+        builder_a = NetlistBuilder("and_gate", LIBRARY)
+        a = builder_a.input_bus("A", 2)
+        builder_a.output_bus("Y", [builder_a.and2(a[0], a[1])], signed=False)
+
+        builder_b = NetlistBuilder("or_gate", LIBRARY)
+        b = builder_b.input_bus("A", 2)
+        builder_b.output_bus("Y", [builder_b.or2(b[0], b[1])], signed=False)
+
+        result = check_equivalent(builder_a.build(), builder_b.build())
+        assert not result
+        assert result.mismatched_bus == "Y"
+        # AND != OR exactly on the one-hot inputs.
+        assert result.counterexample["A"] in (1, 2)
+        assert "NOT equivalent" in result.describe()
+
+    def test_interface_mismatch_rejected(self):
+        narrow = _adder_netlist(ripple_carry_adder, 4, "narrow")
+        wide = _adder_netlist(ripple_carry_adder, 5, "wide")
+        with pytest.raises(ValueError, match="interface mismatch"):
+            check_equivalent(narrow, wide)

@@ -1,0 +1,71 @@
+"""NetworkX export."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netlist.graph import combinational_depth, to_networkx
+from repro.operators import booth_multiplier
+from repro.pnr.grid import GridPartition, insert_domains
+from repro.pnr.placer import GlobalPlacer
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+@pytest.fixture(scope="module")
+def booth():
+    return booth_multiplier(LIBRARY, width=6)
+
+
+class TestToNetworkx:
+    def test_node_and_edge_population(self, booth):
+        graph = to_networkx(booth)
+        cell_nodes = [
+            n for n, d in graph.nodes(data=True) if d["kind"] == "cell"
+        ]
+        port_nodes = [
+            n for n, d in graph.nodes(data=True) if d["kind"] == "port"
+        ]
+        assert len(cell_nodes) == len(booth.cells)
+        expected_ports = sum(
+            b.width for b in booth.input_buses.values()
+        ) + sum(b.width for b in booth.output_buses.values())
+        assert len(port_nodes) == expected_ports
+        assert graph.number_of_edges() > len(booth.cells)
+
+    def test_is_a_dag_without_clock(self, booth):
+        graph = to_networkx(booth, include_ports=False)
+        # Sequential Q->D paths exist, but CK edges are excluded and the
+        # booth pipeline has no combinational feedback.
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_edge_attributes(self, booth):
+        graph = to_networkx(booth)
+        _u, _v, data = next(iter(graph.edges(data=True)))
+        assert "net" in data and "fanout" in data
+
+    def test_placement_attributes_exported(self, booth):
+        placement = GlobalPlacer(booth, seed=2).run()
+        insert_domains(placement, GridPartition(2, 2))
+        graph = to_networkx(booth)
+        cell = booth.cells[0]
+        data = graph.nodes[cell.name]
+        assert data["x"] == pytest.approx(cell.x)
+        assert data["domain"] == cell.domain
+
+    def test_clock_inclusion_flag(self, booth):
+        without = to_networkx(booth, include_clock=False)
+        with_clock = to_networkx(booth, include_clock=True)
+        assert with_clock.number_of_edges() > without.number_of_edges()
+
+
+class TestDepth:
+    def test_depth_tracks_width(self):
+        small = booth_multiplier(LIBRARY, width=4, name="gdepth4")
+        large = booth_multiplier(LIBRARY, width=12, name="gdepth12")
+        assert combinational_depth(large) > combinational_depth(small)
+
+    def test_depth_positive_and_plausible(self, booth):
+        depth = combinational_depth(booth)
+        assert 5 < depth < 60

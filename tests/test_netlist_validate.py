@@ -1,0 +1,75 @@
+"""Structural validation rules."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import NetlistError, validate_netlist
+from repro.operators import booth_multiplier
+from repro.techlib.library import Library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return Library()
+
+
+def test_valid_design_passes(library):
+    netlist = booth_multiplier(library, width=4)
+    assert validate_netlist(netlist) == []  # no warnings either
+
+
+def test_undriven_net_rejected(library):
+    netlist = Netlist("t", library)
+    floating = netlist.add_net("floating")
+    y = netlist.add_net("y")
+    netlist.add_cell("i", library.template("INV"), [floating], [y])
+    netlist.mark_output_bus("Y", [y])
+    with pytest.raises(NetlistError, match="no driver"):
+        validate_netlist(netlist)
+
+
+def test_dangling_net_warns(library):
+    builder = NetlistBuilder("t", library)
+    a = builder.input_bus("A", 1)[0]
+    builder.inv(a)  # output never consumed nor marked as PO
+    warnings = validate_netlist(builder.netlist)
+    assert any("no sinks" in w for w in warnings)
+
+
+def test_excess_fanout_rejected(library):
+    builder = NetlistBuilder("t", library)
+    a = builder.input_bus("A", 1)[0]
+    outs = [builder.inv(a) for _ in range(5)]
+    builder.output_bus("Y", outs)
+    with pytest.raises(NetlistError, match="fanout"):
+        validate_netlist(builder.netlist, max_fanout=4)
+
+
+def test_clock_exempt_from_fanout_rule(library):
+    builder = NetlistBuilder("t", library)
+    a = builder.input_bus("A", 8)
+    builder.clock()
+    builder.output_bus("Q", builder.register_word(a))
+    # 8 DFFs on the clock, limit 4: must still pass.
+    validate_netlist(builder.netlist, max_fanout=4)
+
+
+def test_tie_nets_exempt_from_fanout_rule(library):
+    builder = NetlistBuilder("t", library)
+    a = builder.input_bus("A", 6)
+    zero = builder.const(False)
+    outs = [builder.and2(bit, zero) for bit in a]
+    builder.output_bus("Y", outs)
+    # The tie net fans out to 6 AND gates, limit 4: must still pass.
+    validate_netlist(builder.netlist, max_fanout=4)
+
+
+def test_dff_clock_pin_must_be_clock(library):
+    builder = NetlistBuilder("t", library)
+    a = builder.input_bus("A", 2)
+    q = builder.netlist.add_net("q")
+    builder.netlist.add_cell("ff", library.template("DFF"), [a[0], a[1]], [q])
+    builder.netlist.mark_output_bus("Q", [q])
+    with pytest.raises(NetlistError, match="non-clock"):
+        validate_netlist(builder.netlist)

@@ -1,0 +1,125 @@
+"""CORDIC rotator: bit-exactness, trigonometric behaviour, flow fit."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.validate import validate_netlist
+from repro.operators import cordic_rotator
+from repro.operators.cordic import cordic_angle_lsbs
+from repro.sim import golden
+from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+#: CORDIC gain for >= 8 iterations.
+GAIN = 1.64676
+
+
+class TestAngleTable:
+    def test_first_angle_is_45_degrees(self):
+        angles = cordic_angle_lsbs(8, 16)
+        # atan(1) = pi/4 -> a quarter of the half-range.
+        assert angles[0] == pytest.approx((1 << 15) / 4, abs=1)
+
+    def test_angles_halve_roughly(self):
+        angles = cordic_angle_lsbs(10, 16)
+        for a, b in zip(angles, angles[1:]):
+            assert 0.4 < b / a < 0.6
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("width,iterations", [(10, 6), (12, 8), (16, 12)])
+    def test_matches_golden(self, width, iterations):
+        netlist = cordic_rotator(
+            LIBRARY, width=width, iterations=iterations, registered=False
+        )
+        validate_netlist(netlist)
+        sim = LogicSimulator(netlist, SimulationMode.TRANSPARENT)
+        rng = np.random.default_rng(width)
+        half = 1 << (width - 2)
+        x = rng.integers(-half, half, 400)
+        y = rng.integers(-half, half, 400)
+        z = rng.integers(-(1 << (width - 1)), 1 << (width - 1), 400)
+        out = sim.run_combinational({"X": x, "Y": y, "Z": z})
+        ref = golden.cordic_reference(x, y, z, width, iterations)
+        for port in ("XO", "YO", "ZO"):
+            assert np.array_equal(out[port], ref[port]), port
+
+    def test_registered_latency(self):
+        netlist = cordic_rotator(LIBRARY, width=10, iterations=6)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        stim = [{"X": np.asarray([100]), "Y": np.asarray([0]),
+                 "Z": np.asarray([64])}] * 3
+        trace = sim.run_cycles(stim)
+        ref = golden.cordic_reference(
+            np.asarray([100]), np.asarray([0]), np.asarray([64]), 10, 6
+        )
+        assert trace.output("XO", 2)[0] == ref["XO"][0]
+
+
+class TestTrigonometry:
+    def test_rotation_angles(self):
+        """Rotating (r, 0) by theta lands near gain*r*(cos, sin)(theta)."""
+        width, iterations = 16, 12
+        r = 4000
+        for degrees in (-60, -30, 0, 30, 45, 80):
+            theta = degrees * np.pi / 180.0
+            z_lsb = int(theta / np.pi * (1 << (width - 1)))
+            out = golden.cordic_reference(
+                np.asarray([r]), np.asarray([0]), np.asarray([z_lsb]),
+                width, iterations,
+            )
+            expected_x = GAIN * r * np.cos(theta)
+            expected_y = GAIN * r * np.sin(theta)
+            assert out["XO"][0] == pytest.approx(expected_x, abs=r * 0.01)
+            assert out["YO"][0] == pytest.approx(expected_y, abs=r * 0.01)
+
+    def test_residual_angle_shrinks_with_iterations(self):
+        width = 16
+        z = np.asarray([3000])
+        coarse = golden.cordic_reference(
+            np.asarray([2000]), np.asarray([0]), z, width, 4
+        )
+        fine = golden.cordic_reference(
+            np.asarray([2000]), np.asarray([0]), z, width, 12
+        )
+        assert abs(int(fine["ZO"][0])) < abs(int(coarse["ZO"][0]))
+
+    def test_iteration_precision_tradeoff(self):
+        """More iterations -> smaller rotation error: the algorithmic
+        accuracy knob that composes with DVAS bitwidth gating."""
+        width, r = 16, 4000
+        theta = 0.6
+        z_lsb = int(theta / np.pi * (1 << (width - 1)))
+        errors = []
+        for iterations in (4, 8, 12):
+            out = golden.cordic_reference(
+                np.asarray([r]), np.asarray([0]), np.asarray([z_lsb]),
+                width, iterations,
+            )
+            expected = GAIN * r * np.cos(theta)
+            errors.append(abs(float(out["XO"][0]) - expected))
+        assert errors[2] < errors[1] < errors[0] + 1
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="iteration"):
+            cordic_rotator(LIBRARY, width=16, iterations=0)
+        with pytest.raises(ValueError, match="width"):
+            cordic_rotator(LIBRARY, width=8, iterations=9)
+
+    def test_flow_compatible(self):
+        from repro.core.flow import implement_base
+
+        counter = {"n": 0}
+
+        def factory():
+            counter["n"] += 1
+            return cordic_rotator(
+                LIBRARY, width=10, iterations=6, name=f"cordic_{counter['n']}"
+            )
+
+        design = implement_base(factory, LIBRARY)
+        assert design.fclk_ghz > 0

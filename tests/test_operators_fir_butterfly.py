@@ -1,0 +1,186 @@
+"""FIR datapath and FFT butterfly against their golden models."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.validate import validate_netlist
+from repro.operators import fft_butterfly, fir_filter, FirParameters
+from repro.operators.mac import multiply_accumulate
+from repro.sim import golden
+from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+class TestFirParameters:
+    def test_defaults_match_paper(self):
+        params = FirParameters()
+        assert params.taps == 30
+        assert params.width == 16
+        assert params.counter_bits == 5
+        assert params.accumulator_width == 37
+
+    def test_counter_bits_scale(self):
+        assert FirParameters(taps=4, width=8).counter_bits == 2
+        assert FirParameters(taps=33, width=8).counter_bits == 6
+
+
+class TestFirFilter:
+    @pytest.mark.parametrize("taps,width", [(4, 6), (6, 8), (5, 8)])
+    def test_cycle_accurate_vs_golden(self, taps, width):
+        params = FirParameters(taps=taps, width=width)
+        netlist = fir_filter(LIBRARY, params)
+        validate_netlist(netlist)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(taps * 100 + width)
+        cycles = 4 * taps + 3
+        batch = 25
+        lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+        xs = [rng.integers(lo, hi, batch) for _ in range(cycles)]
+        cs = [rng.integers(lo, hi, batch) for _ in range(cycles)]
+        trace = sim.run_cycles([{"X": x, "C": c} for x, c in zip(xs, cs)])
+        reference = golden.fir_reference(xs, cs, params)
+        for cycle in range(cycles):
+            assert np.array_equal(
+                trace.output("Y", cycle), reference[cycle]["Y"]
+            ), f"Y mismatch at cycle {cycle}"
+            assert np.array_equal(
+                trace.output("TAP", cycle), reference[cycle]["TAP"]
+            ), f"TAP mismatch at cycle {cycle}"
+
+    def test_computes_actual_convolution(self):
+        """Drive constant coefficients and check a real FIR dot product."""
+        params = FirParameters(taps=4, width=8)
+        netlist = fir_filter(LIBRARY, params)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        taps = params.taps
+        coeffs = [3, -2, 5, 7]  # c[k] multiplies delay stage k
+        samples = [10, -20, 30, 40, -50]
+        cycles = taps * (len(samples) + 2)
+
+        xs, cs = [], []
+        for cycle in range(cycles):
+            count = cycle % taps
+            sample_idx = cycle // taps
+            x = samples[sample_idx] if sample_idx < len(samples) else 0
+            xs.append(np.asarray([x]))
+            # c_reg delays C by one cycle: present c[count of next cycle].
+            next_count = (count + 1) % taps
+            cs.append(np.asarray([coeffs[next_count]]))
+
+        trace = sim.run_cycles([{"X": x, "C": c} for x, c in zip(xs, cs)])
+        reference = golden.fir_reference(xs, cs, params)
+        for cycle in range(cycles):
+            assert np.array_equal(trace.output("Y", cycle), reference[cycle]["Y"])
+
+        # After sample n has shifted in and a full MAC round completed, the
+        # accumulator holds sum_k c[k] * x[n-k] (newest sample in stage 0).
+        # Read it on the first cycle of the following round.
+        n = 3  # fourth sample
+        read_cycle = taps * (n + 2)
+        window = [samples[n - k] if 0 <= n - k < len(samples) else 0
+                  for k in range(taps)]
+        expected = sum(c * x for c, x in zip(coeffs, window))
+        assert trace.output("Y", read_cycle)[0] == expected
+
+
+class TestMac:
+    def test_accumulates_products(self):
+        builder = NetlistBuilder("mac", LIBRARY)
+        a = builder.input_bus("A", 6)
+        b = builder.input_bus("B", 6)
+        builder.clock()
+        acc = multiply_accumulate(builder, a, b, accumulator_width=16)
+        builder.output_bus("ACC", acc)
+        netlist = builder.build()
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(1)
+        cycles = 6
+        avals = [rng.integers(-32, 32, 10) for _ in range(cycles)]
+        bvals = [rng.integers(-32, 32, 10) for _ in range(cycles)]
+        trace = sim.run_cycles(
+            [{"A": x, "B": y} for x, y in zip(avals, bvals)]
+        )
+        running = np.zeros(10, dtype=np.int64)
+        for cycle in range(cycles):
+            assert np.array_equal(trace.output("ACC", cycle), running)
+            running = running + avals[cycle] * bvals[cycle]
+
+    def test_accumulator_too_narrow_rejected(self):
+        builder = NetlistBuilder("mac", LIBRARY)
+        a = builder.input_bus("A", 8)
+        b = builder.input_bus("B", 8)
+        builder.clock()
+        with pytest.raises(ValueError, match="cannot hold"):
+            multiply_accumulate(builder, a, b, accumulator_width=12)
+
+
+class TestButterfly:
+    def test_against_golden_random(self):
+        netlist = fft_butterfly(LIBRARY, width=16)
+        validate_netlist(netlist)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(4)
+        ins = {
+            p: rng.integers(-(1 << 15), 1 << 15, 300)
+            for p in ("AR", "AI", "BR", "BI", "WR", "WI")
+        }
+        trace = sim.run_cycles([ins] * 3)
+        reference = golden.butterfly_reference(
+            ins["AR"], ins["AI"], ins["BR"], ins["BI"], ins["WR"], ins["WI"]
+        )
+        for port in ("XR", "XI", "YR", "YI"):
+            assert np.array_equal(trace.output(port, 2), reference[port]), port
+
+    def test_unit_twiddle_passes_b_through(self):
+        """W = 1 (Q1.15 one) makes A' ~ A+B and B' ~ A-B."""
+        netlist = fft_butterfly(LIBRARY, width=16)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        one_q15 = (1 << 15) - 1  # 0.99997 in Q1.15
+        rng = np.random.default_rng(6)
+        ar = rng.integers(-1000, 1000, 50)
+        ai = rng.integers(-1000, 1000, 50)
+        br = rng.integers(-1000, 1000, 50)
+        bi = rng.integers(-1000, 1000, 50)
+        ins = {
+            "AR": ar, "AI": ai, "BR": br, "BI": bi,
+            "WR": np.full(50, one_q15), "WI": np.zeros(50, dtype=np.int64),
+        }
+        trace = sim.run_cycles([ins] * 3)
+        # W*B with W ~ 1 is B within 1 LSB of truncation error per term.
+        assert np.max(np.abs(trace.output("XR", 2) - (ar + br))) <= 2
+        assert np.max(np.abs(trace.output("YI", 2) - (ai - bi))) <= 2
+
+    def test_butterfly_energy_conservation_shape(self):
+        """|A'|^2 + |B'|^2 ~ 2(|A|^2 + |WB|^2) for the DIT butterfly."""
+        netlist = fft_butterfly(LIBRARY, width=16)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(8)
+        scale = 1 << 12
+        ins = {
+            p: rng.integers(-scale, scale, 100)
+            for p in ("AR", "AI", "BR", "BI")
+        }
+        # Random unit-magnitude twiddles.
+        angles = rng.uniform(0, 2 * np.pi, 100)
+        ins["WR"] = (np.cos(angles) * ((1 << 15) - 1)).astype(np.int64)
+        ins["WI"] = (np.sin(angles) * ((1 << 15) - 1)).astype(np.int64)
+        trace = sim.run_cycles([ins] * 3)
+        lhs = (
+            trace.output("XR", 2).astype(float) ** 2
+            + trace.output("XI", 2).astype(float) ** 2
+            + trace.output("YR", 2).astype(float) ** 2
+            + trace.output("YI", 2).astype(float) ** 2
+        )
+        wb_r = ins["BR"] * ins["WR"] - ins["BI"] * ins["WI"]
+        wb_i = ins["BR"] * ins["WI"] + ins["BI"] * ins["WR"]
+        rhs = 2 * (
+            ins["AR"].astype(float) ** 2
+            + ins["AI"].astype(float) ** 2
+            + (wb_r / (1 << 15)) ** 2
+            + (wb_i / (1 << 15)) ** 2
+        )
+        ratio = lhs.sum() / rhs.sum()
+        assert 0.9 < ratio < 1.1

@@ -1,0 +1,144 @@
+"""Floorplanning, global placement and legalization."""
+
+import numpy as np
+import pytest
+
+from repro.operators import booth_multiplier
+from repro.pnr.floorplan import Floorplan, floorplan_for
+from repro.pnr.legalize import cell_widths, legalize_rows
+from repro.pnr.placer import GlobalPlacer
+from repro.pnr.wirelength import (
+    half_perimeter_wirelength,
+    net_wirelengths,
+    total_wirelength,
+)
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+@pytest.fixture(scope="module")
+def booth8():
+    return booth_multiplier(LIBRARY, width=8)
+
+
+@pytest.fixture(scope="module")
+def placement(booth8):
+    return GlobalPlacer(booth8, seed=1).run()
+
+
+class TestFloorplan:
+    def test_utilization_respected(self, booth8):
+        plan = floorplan_for(booth8, utilization=0.7)
+        utilization = booth8.cell_area_um2() / plan.area_um2
+        assert 0.6 < utilization <= 0.7
+
+    def test_rows_are_whole(self, booth8):
+        plan = floorplan_for(booth8)
+        assert plan.height_um == pytest.approx(
+            plan.num_rows * plan.row_height_um
+        )
+
+    def test_aspect_ratio(self, booth8):
+        tall = floorplan_for(booth8, aspect_ratio=2.0)
+        assert tall.height_um > 1.5 * tall.width_um
+
+    def test_rejects_bad_parameters(self, booth8):
+        with pytest.raises(ValueError):
+            floorplan_for(booth8, utilization=0.0)
+        with pytest.raises(ValueError):
+            floorplan_for(booth8, aspect_ratio=-1.0)
+
+    def test_row_y_bounds(self):
+        plan = Floorplan(10.0, 6.0, 1.2)
+        assert plan.row_y(0) == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            plan.row_y(plan.num_rows)
+
+
+class TestPlacer:
+    def test_all_cells_inside_die(self, booth8, placement):
+        plan = placement.floorplan
+        assert np.all(placement.positions[:, 0] >= 0.0)
+        assert np.all(placement.positions[:, 0] <= plan.width_um)
+        assert np.all(placement.positions[:, 1] >= 0.0)
+        assert np.all(placement.positions[:, 1] <= plan.height_um)
+
+    def test_cells_snapped_to_rows(self, booth8, placement):
+        plan = placement.floorplan
+        ys = placement.positions[:, 1]
+        row_centers = {plan.row_y(r) for r in range(plan.num_rows)}
+        assert all(
+            any(abs(y - c) < 1e-9 for c in row_centers) for y in ys
+        )
+
+    def test_positions_written_back(self, booth8, placement):
+        for cell in booth8.cells:
+            x, y = cell.position
+            assert (x, y) == tuple(placement.positions[cell.index])
+
+    def test_deterministic_for_seed(self, booth8):
+        a = GlobalPlacer(booth8, seed=7).run()
+        b = GlobalPlacer(booth8, seed=7).run()
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_no_row_overflow(self, booth8, placement):
+        plan = placement.floorplan
+        widths = cell_widths(booth8)
+        for row in range(plan.num_rows):
+            members = [
+                i for i in range(len(booth8.cells))
+                if abs(placement.positions[i, 1] - plan.row_y(row)) < 1e-9
+            ]
+            assert widths[members].sum() <= plan.width_um * 1.001
+
+    def test_connected_cells_are_close(self, booth8, placement):
+        """The attraction model must beat random placement on wirelength."""
+        measured = total_wirelength(placement)
+        rng = np.random.default_rng(0)
+        random_positions = rng.uniform(
+            0,
+            [placement.floorplan.width_um, placement.floorplan.height_um],
+            size=placement.positions.shape,
+        )
+        shuffled = placement.positions.copy()
+        placement.positions = random_positions
+        random_wl = total_wirelength(placement)
+        placement.positions = shuffled
+        assert measured < 0.8 * random_wl
+
+
+class TestLegalize:
+    def test_no_overlaps_within_rows(self, booth8, placement):
+        plan = placement.floorplan
+        widths = cell_widths(booth8)
+        for row in range(plan.num_rows):
+            members = sorted(
+                (
+                    i for i in range(len(booth8.cells))
+                    if abs(placement.positions[i, 1] - plan.row_y(row)) < 1e-9
+                ),
+                key=lambda i: placement.positions[i, 0],
+            )
+            for left, right in zip(members, members[1:]):
+                left_edge = placement.positions[right, 0] - widths[right] / 2
+                right_edge = placement.positions[left, 0] + widths[left] / 2
+                assert left_edge >= right_edge - 1e-6
+
+    def test_shape_validation(self, booth8):
+        plan = floorplan_for(booth8)
+        with pytest.raises(ValueError, match="positions shape"):
+            legalize_rows(booth8, plan, np.zeros((3, 2)))
+
+
+class TestWirelength:
+    def test_hpwl_simple(self):
+        assert half_perimeter_wirelength([(0, 0), (3, 4)]) == 7.0
+        assert half_perimeter_wirelength([(1, 1)]) == 0.0
+
+    def test_clock_excluded(self, booth8, placement):
+        lengths = net_wirelengths(placement)
+        assert lengths[booth8.clock_net.index] == 0.0
+
+    def test_total_positive(self, placement):
+        assert total_wirelength(placement) > 0.0

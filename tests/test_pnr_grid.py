@@ -1,0 +1,137 @@
+"""Regular-grid Vth-domain partitioning and guardband geometry."""
+
+import numpy as np
+import pytest
+
+from repro.operators import booth_multiplier
+from repro.pnr.floorplan import Floorplan
+from repro.pnr.grid import (
+    GridPartition,
+    area_overhead,
+    assign_domains,
+    guardband_geometry,
+    insert_domains,
+)
+from repro.pnr.incremental import domain_boxes, incremental_place
+from repro.pnr.placer import GlobalPlacer
+from repro.techlib.fdsoi import NOMINAL_PROCESS
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return GlobalPlacer(booth_multiplier(LIBRARY, width=8), seed=3).run()
+
+
+class TestGridPartition:
+    def test_labels_and_counts(self):
+        assert GridPartition(2, 2).label == "2x2"
+        assert GridPartition(3, 3).num_domains == 9
+        assert GridPartition(1, 2).num_domains == 2
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            GridPartition(0, 2)
+
+    def test_domain_of(self):
+        grid = GridPartition(2, 3)
+        assert grid.domain_of(0, 0) == 0
+        assert grid.domain_of(1, 2) == 5
+        with pytest.raises(ValueError):
+            grid.domain_of(2, 0)
+
+
+class TestGuardbands:
+    def test_geometry_row_quantization(self):
+        gx, gy = guardband_geometry(NOMINAL_PROCESS)
+        assert gx == pytest.approx(3.5)
+        # 3.5 um rounded up to whole 1.2 um rows -> 3 rows = 3.6 um.
+        assert gy == pytest.approx(3.6)
+
+    def test_overhead_grows_with_domains(self):
+        plan = Floorplan(50.0, 50.4, 1.2)
+        overheads = [
+            area_overhead(plan, GridPartition(*g))
+            for g in ((1, 1), (1, 2), (2, 2), (3, 3))
+        ]
+        assert overheads[0] == pytest.approx(0.0)
+        assert overheads == sorted(overheads)
+
+    def test_paper_scale_overheads(self):
+        """Table I reports ~15-17% for 2x2/3x3 grids on ~50 um dies."""
+        plan = Floorplan(47.0, 46.8, 1.2)
+        assert 0.10 < area_overhead(plan, GridPartition(2, 2)) < 0.20
+        assert 0.25 < area_overhead(plan, GridPartition(3, 3)) < 0.40
+
+
+class TestDomainAssignment:
+    def test_every_cell_assigned(self, placement):
+        domains = assign_domains(placement, GridPartition(2, 2))
+        assert domains.shape == (len(placement.netlist.cells),)
+        assert set(np.unique(domains)) <= {0, 1, 2, 3}
+
+    def test_assignment_follows_geometry(self, placement):
+        domains = assign_domains(placement, GridPartition(2, 2))
+        plan = placement.floorplan
+        for cell in placement.netlist.cells:
+            col = int(cell.x >= plan.width_um / 2)
+            row = int(cell.y >= plan.height_um / 2)
+            expected = row * 2 + col
+            # Boundary cells may fall either way due to the clamp.
+            if (
+                abs(cell.x - plan.width_um / 2) > 1e-6
+                and abs(cell.y - plan.height_um / 2) > 1e-6
+            ):
+                assert domains[cell.index] == expected
+
+    def test_reasonably_balanced(self, placement):
+        domains = assign_domains(placement, GridPartition(2, 2))
+        counts = np.bincount(domains, minlength=4)
+        assert counts.min() > len(placement.netlist.cells) * 0.1
+
+
+class TestInsertion:
+    def test_expanded_die_and_shift(self, placement):
+        result = insert_domains(placement, GridPartition(2, 2))
+        original = placement.floorplan
+        expanded = result.placement.floorplan
+        assert expanded.width_um == pytest.approx(original.width_um + 3.5)
+        assert expanded.height_um == pytest.approx(original.height_um + 3.6)
+        assert result.area_overhead > 0.0
+
+    def test_original_placement_untouched(self, placement):
+        before = placement.positions.copy()
+        insert_domains(placement, GridPartition(2, 2))
+        assert np.array_equal(placement.positions, before)
+
+    def test_domains_written_to_cells(self, placement):
+        result = insert_domains(placement, GridPartition(3, 3))
+        for cell, domain in zip(placement.netlist.cells, result.domains):
+            assert cell.domain == domain
+
+    def test_cells_per_domain_sums(self, placement):
+        result = insert_domains(placement, GridPartition(2, 2))
+        assert result.cells_per_domain().sum() == len(placement.netlist.cells)
+
+
+class TestIncrementalPlacement:
+    def test_cells_stay_inside_their_domain(self, placement):
+        result = insert_domains(placement, GridPartition(2, 2))
+        incremental_place(result, iterations=4)
+        boxes = domain_boxes(result)
+        half_row = result.placement.floorplan.row_height_um / 2
+        for cell, domain in zip(placement.netlist.cells, result.domains):
+            x0, y0, x1, y1 = boxes[int(domain)]
+            assert x0 - 1e-6 <= cell.x <= x1 + 1e-6
+            assert y0 - half_row - 1e-6 <= cell.y <= y1 + half_row + 1e-6
+
+    def test_improves_wirelength(self, placement):
+        from repro.pnr.wirelength import total_wirelength
+
+        raw = insert_domains(placement, GridPartition(2, 2))
+        before = total_wirelength(raw.placement)
+        incremental_place(raw, iterations=8)
+        after = total_wirelength(raw.placement)
+        assert after <= before

@@ -1,0 +1,47 @@
+"""ASCII floorplan renderings."""
+
+import pytest
+
+from repro.pnr.visual import render_criticality, render_density, render_domains
+
+
+class TestRenderDomains:
+    def test_shape(self, booth8_domained):
+        text = render_domains(booth8_domained, bins=(6, 10))
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 12 for line in lines)
+
+    def test_all_domains_visible(self, booth8_domained):
+        text = render_domains(booth8_domained, bins=(10, 20))
+        digits = {c for c in text if c.isdigit()}
+        assert digits == {"0", "1", "2", "3"}
+
+    def test_grid_structure_is_spatial(self, booth8_domained):
+        """With a 2x2 grid, the bottom half shows domains 0/1 and the top
+        half 2/3 (row-major domain ids)."""
+        text = render_domains(booth8_domained, bins=(8, 16))
+        lines = text.splitlines()
+        top = "".join(lines[: len(lines) // 2])
+        bottom = "".join(lines[len(lines) // 2:])
+        assert set(c for c in bottom if c.isdigit()) <= {"0", "1"}
+        assert set(c for c in top if c.isdigit()) <= {"2", "3"}
+
+
+class TestRenderDensity:
+    def test_uses_ramp(self, booth8_base):
+        text = render_density(booth8_base, bins=(6, 12))
+        assert any(c in "@%#" for c in text)
+        assert len(text.splitlines()) == 6
+
+
+class TestRenderCriticality:
+    def test_full_width_has_critical_regions(self, booth8_base):
+        text = render_criticality(booth8_base)
+        assert "#" in text
+
+    def test_gating_removes_criticality(self, booth8_base):
+        full = render_criticality(booth8_base, active_bits=8)
+        gated = render_criticality(booth8_base, active_bits=1)
+        assert gated.count("#") <= full.count("#")
+        assert gated.count(".") >= full.count(".")

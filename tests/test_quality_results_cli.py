@@ -1,0 +1,148 @@
+"""Quality-aware selection, JSON persistence and the CLI."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.quality import (
+    characterize_quality,
+    select_mode_for_snr,
+)
+from repro.io.results import load_exploration, save_exploration
+from repro.cli import build_parser, main
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8), activity_cycles=12, activity_batch=12
+)
+
+
+@pytest.fixture(scope="module")
+def exploration(booth8_domained):
+    return ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def quality():
+    return characterize_quality(
+        lambda a, b: a * b, width=8, bitwidths=(2, 4, 6, 8)
+    )
+
+
+class TestQuality:
+    def test_snr_monotone_in_bits(self, quality):
+        snrs = [quality.reports[b].snr_db for b in (2, 4, 6, 8)]
+        assert snrs == sorted(snrs)
+
+    def test_min_bits_for_snr(self, quality):
+        modest = quality.min_bits_for_snr(10.0)
+        strict = quality.min_bits_for_snr(30.0)
+        assert modest <= strict
+        assert quality.reports[strict].snr_db >= 30.0
+
+    def test_unreachable_snr_raises(self):
+        # A table that stops short of full precision has a finite SNR cap.
+        truncated = characterize_quality(
+            lambda a, b: a * b, width=8, bitwidths=(2, 4, 6)
+        )
+        with pytest.raises(ValueError, match="no bitwidth"):
+            truncated.min_bits_for_snr(1000.0)
+
+    def test_min_bits_for_rmse(self, quality):
+        bits = quality.min_bits_for_rmse(quality.reports[6].rmse + 1.0)
+        assert bits <= 6
+
+    def test_select_mode_combines_both_tables(self, exploration, quality):
+        selection = select_mode_for_snr(exploration, quality, snr_db=15.0)
+        assert selection.point.active_bits >= selection.required_bits
+        assert "SNR" in selection.describe()
+        # A stricter budget can only cost at least as much power.
+        strict = select_mode_for_snr(exploration, quality, snr_db=35.0)
+        assert strict.point.total_power_w >= selection.point.total_power_w
+
+    def test_format_text(self, quality):
+        text = quality.format_text()
+        assert "SNR" in text and "RMSE" in text
+
+
+class TestResultsJson:
+    def test_roundtrip(self, exploration):
+        stream = io.StringIO()
+        save_exploration(exploration, stream)
+        stream.seek(0)
+        loaded = load_exploration(stream)
+        assert loaded.design_name == exploration.design_name
+        assert loaded.num_domains == exploration.num_domains
+        assert loaded.points_evaluated == exploration.points_evaluated
+        assert loaded.settings == exploration.settings
+        assert sorted(loaded.best_per_bitwidth) == sorted(
+            exploration.best_per_bitwidth
+        )
+        for bits, point in exploration.best_per_bitwidth.items():
+            assert loaded.best_per_bitwidth[bits] == point
+        assert loaded.best_per_knob_point == exploration.best_per_knob_point
+        assert loaded.feasible_counts == exploration.feasible_counts
+
+    def test_is_valid_json(self, exploration):
+        stream = io.StringIO()
+        save_exploration(exploration, stream)
+        payload = json.loads(stream.getvalue())
+        assert payload["schema"] == 1
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            load_exploration(io.StringIO('{"schema": 99}'))
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("explore", "compare", "report-timing", "characterize"):
+            assert command in text
+
+    def test_characterize_runs(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "NAND2" in out
+
+    def test_characterize_writes_liberty(self, tmp_path):
+        path = tmp_path / "out.lib"
+        assert main(["characterize", "--lib", str(path)]) == 0
+        assert path.read_text().startswith("library (")
+
+    def test_explore_small_design(self, capsys, tmp_path):
+        out_json = tmp_path / "modes.json"
+        code = main(
+            [
+                "explore", "--design", "adder", "--width", "4",
+                "--grid", "1x2", "--output", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explored" in out
+        saved = json.loads(out_json.read_text())
+        assert saved["design_name"].startswith("adder")
+
+    def test_report_timing_runs(self, capsys):
+        code = main(
+            [
+                "report-timing", "--design", "adder", "--width", "4",
+                "--paths", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data arrival" in out
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--design", "gpu"])
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--design", "adder", "--grid", "circle"])

@@ -1,0 +1,116 @@
+"""Timed event-driven simulation and glitch activity."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.operators import booth_multiplier
+from repro.sim.event import (
+    GlitchReport,
+    TimedEventSimulator,
+    measure_glitch_activity,
+)
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+def _settled_state(simulator, words):
+    values = {n.index: False for n in simulator.netlist.nets}
+    simulator._apply_words(values, words)
+    simulator._settle(values)
+    return values
+
+
+class TestEventSimulator:
+    def test_converges_to_settled_state(self):
+        """Transition parity: a net toggles an odd number of times exactly
+        when its settled value changed."""
+        netlist = booth_multiplier(LIBRARY, width=6, registered=False)
+        simulator = TimedEventSimulator(netlist)
+        rng = np.random.default_rng(5)
+        previous = {"A": 11, "B": -9}
+        for _ in range(5):
+            current = {
+                "A": int(rng.integers(-32, 32)),
+                "B": int(rng.integers(-32, 32)),
+            }
+            transitions = simulator.propagate(previous, current)
+            before = _settled_state(simulator, previous)
+            after = _settled_state(simulator, current)
+            for net in netlist.nets:
+                changed = before[net.index] != after[net.index]
+                assert (transitions[net.index] % 2 == 1) == changed, net.name
+            previous = current
+
+    def test_identical_vectors_produce_no_events(self):
+        netlist = booth_multiplier(LIBRARY, width=4, registered=False)
+        simulator = TimedEventSimulator(netlist)
+        words = {"A": 3, "B": -2}
+        transitions = simulator.propagate(words, dict(words))
+        assert transitions.sum() == 0
+
+    def test_glitches_exceed_settled_toggles(self):
+        """Unequal path delays must create some multi-toggle nets."""
+        netlist = booth_multiplier(LIBRARY, width=6, registered=False)
+        simulator = TimedEventSimulator(netlist)
+        rng = np.random.default_rng(1)
+        total_extra = 0
+        previous = {"A": 0, "B": 0}
+        for _ in range(8):
+            current = {
+                "A": int(rng.integers(-32, 32)),
+                "B": int(rng.integers(-32, 32)),
+            }
+            transitions = simulator.propagate(previous, current)
+            total_extra += int((transitions > 1).sum())
+            previous = current
+        assert total_extra > 0
+
+    def test_single_gate_no_glitch(self):
+        """A one-gate netlist cannot glitch."""
+        builder = NetlistBuilder("t", LIBRARY)
+        a = builder.input_bus("A", 2)
+        builder.output_bus("Y", [builder.and2(a[0], a[1])], signed=False)
+        simulator = TimedEventSimulator(builder.netlist)
+        transitions = simulator.propagate({"A": 0}, {"A": 3})
+        y_index = builder.netlist.output_buses["Y"].nets[0].index
+        assert transitions[y_index] == 1
+
+
+class TestGlitchReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        netlist = booth_multiplier(LIBRARY, width=6, registered=False)
+        return measure_glitch_activity(netlist, 6, samples=16)
+
+    def test_glitch_factor_in_plausible_band(self, report):
+        """Multipliers glitch: expect ~1.2x..4x the settled activity."""
+        assert 1.1 < report.glitch_factor < 5.0
+
+    def test_timed_never_below_settled(self, report):
+        assert np.all(report.timed_rates >= report.settled_rates - 1e-9)
+
+    def test_parity_consistency(self, report):
+        """Excess transitions come in pulse pairs (even counts)."""
+        excess = report.timed_rates - report.settled_rates
+        # Average excess per pair of vectors is a multiple of 2/(pairs).
+        pairs = report.samples - 1
+        counts = np.round(excess * pairs).astype(int)
+        assert np.all(counts % 2 == 0)
+
+    def test_glitchiest_nets_ranked(self, report):
+        top = report.glitchiest_nets(3)
+        excess = report.timed_rates - report.settled_rates
+        assert excess[top[0]] >= excess[top[1]] >= excess[top[2]]
+
+    def test_sample_validation(self):
+        netlist = booth_multiplier(LIBRARY, width=4, registered=False)
+        with pytest.raises(ValueError, match="two samples"):
+            measure_glitch_activity(netlist, 4, samples=1)
+
+    def test_gating_reduces_absolute_glitching(self):
+        netlist = booth_multiplier(LIBRARY, width=6, registered=False)
+        full = measure_glitch_activity(netlist, 6, samples=12, seed=3)
+        gated = measure_glitch_activity(netlist, 2, samples=12, seed=3)
+        assert gated.timed_rates.sum() < full.timed_rates.sum()

@@ -1,0 +1,91 @@
+"""Golden-model self-consistency against plain numpy arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.operators.fir import FirParameters
+from repro.sim import golden
+
+
+class TestWrapSigned:
+    def test_wraps_into_range(self):
+        assert golden._wrap_signed(np.asarray([128]), 8)[0] == -128
+        assert golden._wrap_signed(np.asarray([-129]), 8)[0] == 127
+        assert golden._wrap_signed(np.asarray([127]), 8)[0] == 127
+
+
+class TestMultiplyReference:
+    def test_matches_python(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-(1 << 15), 1 << 15, 1000)
+        b = rng.integers(-(1 << 15), 1 << 15, 1000)
+        assert np.array_equal(golden.multiply_reference(a, b, 16), a * b)
+
+    def test_wraps_out_of_range_operands(self):
+        # Operands outside the width wrap before multiplying.
+        out = golden.multiply_reference(np.asarray([300]), np.asarray([2]), 8)
+        assert out[0] == golden._wrap_signed(np.asarray([300]), 8)[0] * 2
+
+
+class TestButterflyReference:
+    def test_matches_float_model_for_small_operands(self):
+        """With small magnitudes (no truncation loss), WB ~ B*W/2^15."""
+        rng = np.random.default_rng(1)
+        n = 200
+        ar = rng.integers(-1000, 1000, n)
+        ai = rng.integers(-1000, 1000, n)
+        br = rng.integers(-1000, 1000, n)
+        bi = rng.integers(-1000, 1000, n)
+        angles = rng.uniform(0, 2 * np.pi, n)
+        wr = (np.cos(angles) * ((1 << 15) - 1)).astype(np.int64)
+        wi = (np.sin(angles) * ((1 << 15) - 1)).astype(np.int64)
+        out = golden.butterfly_reference(ar, ai, br, bi, wr, wi)
+        wb = (br + 1j * bi) * (wr + 1j * wi) / (1 << 15)
+        assert np.max(np.abs(out["XR"] - np.floor(ar + wb.real))) <= 2
+        assert np.max(np.abs(out["YI"] - np.ceil(ai - wb.imag))) <= 2
+
+    def test_zero_twiddle_passes_a(self):
+        n = 8
+        zeros = np.zeros(n, dtype=np.int64)
+        ar = np.arange(n)
+        ai = -np.arange(n)
+        out = golden.butterfly_reference(ar, ai, zeros, zeros, zeros, zeros)
+        assert np.array_equal(out["XR"], ar)
+        assert np.array_equal(out["YR"], ar)
+        assert np.array_equal(out["XI"], ai)
+        assert np.array_equal(out["YI"], ai)
+
+
+class TestFirReference:
+    def test_tap_counter_sequence(self):
+        params = FirParameters(taps=3, width=8)
+        cycles = 9
+        xs = [np.zeros(1, dtype=np.int64)] * cycles
+        out = golden.fir_reference(xs, xs, params)
+        assert [int(o["TAP"][0]) for o in out] == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_impulse_response_recovers_coefficients(self):
+        """An impulse into the FIR replays the coefficient sequence."""
+        params = FirParameters(taps=3, width=8)
+        taps = params.taps
+        coeffs = [2, -3, 5]
+        rounds = 6
+        xs, cs = [], []
+        for cycle in range(rounds * taps):
+            count = cycle % taps
+            sample_idx = cycle // taps
+            xs.append(np.asarray([1 if sample_idx == 0 else 0]))
+            cs.append(np.asarray([coeffs[(count + 1) % taps]]))
+        out = golden.fir_reference(xs, cs, params)
+        # After the impulse shifts to stage k, the full sum equals c[k].
+        # The impulse loads at end of round 0; reading Y at the start of
+        # round k+2 sees the impulse at delay stage k.
+        readings = [int(out[taps * (k + 2)]["Y"][0]) for k in range(taps)]
+        assert readings == coeffs
+
+    def test_mismatched_stimulus_rejected(self):
+        params = FirParameters(taps=3, width=8)
+        xs = [np.zeros(1)] * 3
+        cs = [np.zeros(1)] * 2
+        with pytest.raises(ValueError, match="same cycles"):
+            golden.fir_reference(xs, cs, params)

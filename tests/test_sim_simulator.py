@@ -1,0 +1,131 @@
+"""Simulator modes, stimulus handling, traces."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.operators import booth_multiplier, fir_filter, FirParameters
+from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+def _pipeline_netlist():
+    builder = NetlistBuilder("pipe", LIBRARY)
+    a = builder.input_bus("A", 2)
+    builder.clock()
+    regged = builder.register_word(a)
+    y = builder.xor2(regged[0], regged[1])
+    builder.output_bus("Y", builder.register_word([y]), signed=False)
+    return builder.build()
+
+
+def _feedback_netlist():
+    builder = NetlistBuilder("fb", LIBRARY)
+    builder.clock()
+    netlist = builder.netlist
+    q = netlist.add_net("q")
+    d = builder.inv(q)
+    netlist.add_cell("ff", LIBRARY.template("DFF"), [d, netlist.clock_net], [q])
+    netlist.mark_output_bus("Q", [q], signed=False)
+    return netlist
+
+
+class TestModes:
+    def test_transparent_rejects_feedback(self):
+        with pytest.raises(ValueError, match="sequential feedback"):
+            LogicSimulator(_feedback_netlist(), SimulationMode.TRANSPARENT)
+
+    def test_cycle_handles_feedback(self):
+        sim = LogicSimulator(_feedback_netlist(), SimulationMode.CYCLE)
+        trace = sim.run_cycles([{}] * 4)  # no input buses
+        # Toggle flop: 0, 1, 0, 1.
+        assert [trace.output("Q", t)[0] for t in range(4)] == [0, 1, 0, 1]
+
+    def test_run_combinational_requires_transparent(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.CYCLE)
+        with pytest.raises(ValueError, match="TRANSPARENT"):
+            sim.run_combinational({"A": np.asarray([1])})
+
+    def test_run_cycles_requires_cycle_mode(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.TRANSPARENT)
+        with pytest.raises(ValueError, match="CYCLE"):
+            sim.run_cycles([{"A": np.asarray([1])}])
+
+    def test_transparent_pipeline_single_shot(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.TRANSPARENT)
+        out = sim.run_combinational({"A": np.asarray([0, 1, 2, 3])})["Y"]
+        assert out.tolist() == [0, 1, 1, 0]
+
+    def test_pipeline_latency_in_cycle_mode(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.CYCLE)
+        stim = [{"A": np.asarray([1])}, {"A": np.asarray([0])},
+                {"A": np.asarray([0])}]
+        trace = sim.run_cycles(stim)
+        assert trace.output("Y", 0)[0] == 0  # reset state
+        assert trace.output("Y", 2)[0] == 1  # A=1 after 2-cycle latency
+
+
+class TestStimulusChecks:
+    def test_missing_bus_rejected(self):
+        netlist = booth_multiplier(LIBRARY, width=4, registered=False)
+        sim = LogicSimulator(netlist, SimulationMode.TRANSPARENT)
+        with pytest.raises(ValueError, match="missing stimulus"):
+            sim.run_combinational({"A": np.asarray([1])})
+
+    def test_batch_mismatch_rejected(self):
+        netlist = booth_multiplier(LIBRARY, width=4, registered=False)
+        sim = LogicSimulator(netlist, SimulationMode.TRANSPARENT)
+        with pytest.raises(ValueError, match="batch"):
+            sim.run_combinational(
+                {"A": np.asarray([1, 2]), "B": np.asarray([1])}
+            )
+
+    def test_empty_cycle_list_rejected(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.CYCLE)
+        with pytest.raises(ValueError, match="at least one cycle"):
+            sim.run_cycles([])
+
+
+class TestTrace:
+    def test_toggle_counts_require_collection(self):
+        sim = LogicSimulator(_pipeline_netlist(), SimulationMode.CYCLE)
+        trace = sim.run_cycles([{"A": np.asarray([1])}] * 3)
+        with pytest.raises(ValueError, match="collect_net_values"):
+            trace.toggle_counts()
+
+    def test_toggle_counts_shape_and_clock(self):
+        netlist = _pipeline_netlist()
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(0)
+        stim = [{"A": rng.integers(0, 4, 16)} for _ in range(10)]
+        trace = sim.run_cycles(stim, collect_net_values=True)
+        rates = trace.toggle_counts()
+        assert rates.shape == (len(netlist.nets),)
+        assert rates[netlist.clock_net.index] == 2.0
+        assert np.all(rates >= 0.0)
+        assert np.all(rates[rates != 2.0] <= 1.0)
+
+    def test_constant_input_never_toggles(self):
+        netlist = _pipeline_netlist()
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        stim = [{"A": np.asarray([3, 3])}] * 8
+        trace = sim.run_cycles(stim, collect_net_values=True)
+        rates = trace.toggle_counts()
+        a0 = netlist.input_buses["A"].nets[0].index
+        assert rates[a0] == 0.0
+
+    def test_fir_smoke_cycle_trace(self):
+        params = FirParameters(taps=4, width=6)
+        netlist = fir_filter(LIBRARY, params)
+        sim = LogicSimulator(netlist, SimulationMode.CYCLE)
+        rng = np.random.default_rng(2)
+        stim = [
+            {"X": rng.integers(-32, 32, 8), "C": rng.integers(-32, 32, 8)}
+            for _ in range(12)
+        ]
+        trace = sim.run_cycles(stim)
+        assert trace.cycles == 12
+        taps = [int(trace.output("TAP", t)[0]) for t in range(12)]
+        assert taps == [t % 4 for t in range(12)]

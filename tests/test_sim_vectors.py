@@ -1,0 +1,93 @@
+"""Bit packing, random words and the DVAS LSB-gating knob."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.vectors import bits_to_int, int_to_bits, random_words, zero_lsbs
+
+
+class TestPacking:
+    def test_known_values(self):
+        bits = int_to_bits(np.asarray([5]), 4)
+        assert bits.tolist() == [[True, False, True, False]]
+
+    def test_negative_twos_complement(self):
+        bits = int_to_bits(np.asarray([-1]), 4)
+        assert bits.tolist() == [[True, True, True, True]]
+        assert bits_to_int(bits, signed=True)[0] == -1
+        assert bits_to_int(bits, signed=False)[0] == 15
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_roundtrip_signed(self, values):
+        array = np.asarray(values)
+        assert np.array_equal(
+            bits_to_int(int_to_bits(array, 16), signed=True), array
+        )
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_roundtrip_unsigned(self, values):
+        array = np.asarray(values)
+        assert np.array_equal(
+            bits_to_int(int_to_bits(array, 16), signed=False), array
+        )
+
+
+class TestRandomWords:
+    def test_signed_range(self):
+        rng = np.random.default_rng(0)
+        words = random_words(rng, 10000, 8, signed=True)
+        assert words.min() >= -128 and words.max() <= 127
+        assert words.min() < 0 < words.max()
+
+    def test_unsigned_range(self):
+        rng = np.random.default_rng(0)
+        words = random_words(rng, 10000, 8, signed=False)
+        assert words.min() >= 0 and words.max() <= 255
+
+
+class TestZeroLsbs:
+    def test_full_width_is_identity(self):
+        values = np.asarray([13, -7, 0])
+        assert np.array_equal(zero_lsbs(values, 8, 8), values)
+
+    def test_masks_low_bits(self):
+        assert zero_lsbs(np.asarray([0b0011_0111]), 8, 4)[0] == 0b0011_0000
+
+    def test_preserves_sign(self):
+        gated = zero_lsbs(np.asarray([-3]), 8, 4)
+        assert gated[0] == -16  # 0b...11110000
+
+    def test_zero_active_bits_zeroes_everything(self):
+        values = np.asarray([123, -45])
+        assert np.array_equal(zero_lsbs(values, 8, 0), [0, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            zero_lsbs(np.asarray([1]), 8, 9)
+        with pytest.raises(ValueError):
+            zero_lsbs(np.asarray([1]), 8, -1)
+
+    @given(
+        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_quantization_error_bound(self, value, active):
+        """Gating k LSBs perturbs a value by less than 2**k (mod 2**16)."""
+        gated = zero_lsbs(np.asarray([value]), 16, active)[0]
+        assert int(gated) == int(gated) & ~((1 << (16 - active)) - 1) or \
+            active == 0
+        assert (value - int(gated)) % (1 << 16) < (1 << (16 - active))
+        assert -(1 << 15) <= int(gated) < (1 << 15)

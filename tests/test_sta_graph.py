@@ -1,0 +1,109 @@
+"""Timing-graph compilation: arcs, levels, endpoints, loads."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.operators import booth_multiplier
+from repro.pnr.placer import GlobalPlacer
+from repro.pnr.parasitics import extract_parasitics
+from repro.sta.graph import compile_timing_graph, net_pin_caps
+from repro.techlib.library import Library
+
+LIBRARY = Library()
+
+
+def _tiny_netlist():
+    builder = NetlistBuilder("tiny", LIBRARY)
+    a = builder.input_bus("A", 2)
+    builder.clock()
+    regged = builder.register_word(a)
+    s, co = builder.half_adder(regged[0], regged[1])
+    builder.output_bus("S", builder.register_word([s, co]))
+    return builder.build()
+
+
+class TestCompilation:
+    def test_arc_count_matches_pin_products(self):
+        netlist = _tiny_netlist()
+        graph = compile_timing_graph(netlist)
+        expected = sum(
+            len(c.template.inputs) * len(c.template.outputs)
+            for c in netlist.cells
+            if not c.is_sequential
+        )
+        assert len(graph.arc_from) == expected
+
+    def test_launch_points(self):
+        netlist = _tiny_netlist()
+        graph = compile_timing_graph(netlist)
+        # 4 flop Qs + 2 primary input bits.
+        assert len(graph.launch_nets) == 6
+        q_launches = graph.launch_cell >= 0
+        assert np.count_nonzero(q_launches) == 4
+        assert np.all(graph.launch_delay_ps[q_launches] > 0.0)
+        # Primary inputs are launched by an (assumed) external register.
+        clk_to_q = LIBRARY.template("DFF").clk_to_q_ps
+        assert np.all(graph.launch_delay_ps[~q_launches] == clk_to_q)
+
+    def test_endpoints(self):
+        netlist = _tiny_netlist()
+        graph = compile_timing_graph(netlist)
+        # 4 flop D pins + 2 primary output bits.
+        assert len(graph.endpoint_nets) == 6
+        d_endpoints = graph.endpoint_cell >= 0
+        assert np.all(graph.endpoint_setup_ps[d_endpoints] > 0.0)
+        assert np.all(graph.endpoint_setup_ps[~d_endpoints] == 0.0)
+
+    def test_levels_monotone_along_arcs(self):
+        netlist = booth_multiplier(LIBRARY, width=6)
+        graph = compile_timing_graph(netlist)
+        assert np.all(
+            graph.net_level[graph.arc_to] > graph.net_level[graph.arc_from]
+        )
+
+    def test_level_slices_cover_all_arcs(self):
+        netlist = booth_multiplier(LIBRARY, width=6)
+        graph = compile_timing_graph(netlist)
+        covered = sum(s.stop - s.start for s in graph.level_slices)
+        assert covered == len(graph.arc_from)
+        # And the slices are sorted by level.
+        levels = graph.net_level[graph.arc_to[graph.arc_order]]
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_arcs_of_cell(self):
+        netlist = _tiny_netlist()
+        graph = compile_timing_graph(netlist)
+        ha = next(c for c in netlist.cells if c.template.name == "HA")
+        arcs = graph.arcs_of_cell(ha.index)
+        assert len(arcs) == 4  # 2 inputs x 2 outputs
+
+
+class TestLoads:
+    def test_pin_caps_sum_sink_inputs(self):
+        netlist = _tiny_netlist()
+        caps = net_pin_caps(netlist)
+        ha = next(c for c in netlist.cells if c.template.name == "HA")
+        s_net = ha.output_nets[0]
+        dff_cap = LIBRARY.template("DFF").drives["X1"].input_cap_ff
+        assert caps[s_net.index] == pytest.approx(dff_cap)
+
+    def test_wire_parasitics_increase_delay(self):
+        netlist = booth_multiplier(LIBRARY, width=8)
+        placement = GlobalPlacer(netlist, seed=1).run()
+        parasitics = extract_parasitics(placement)
+        ideal = compile_timing_graph(netlist)
+        wired = compile_timing_graph(netlist, parasitics)
+        assert wired.arc_delay_ps.sum() > ideal.arc_delay_ps.sum()
+        assert np.all(wired.arc_delay_ps >= ideal.arc_delay_ps - 1e-9)
+
+    def test_drive_change_reflected_after_recompile(self):
+        netlist = _tiny_netlist()
+        before = compile_timing_graph(netlist)
+        ha = next(c for c in netlist.cells if c.template.name == "HA")
+        ha.set_drive("X4")
+        after = compile_timing_graph(netlist)
+        arcs = before.arcs_of_cell(ha.index)
+        assert np.all(
+            after.arc_delay_ps[arcs] < before.arc_delay_ps[arcs]
+        )

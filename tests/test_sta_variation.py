@@ -1,0 +1,93 @@
+"""Monte-Carlo timing yield under Vth variation."""
+
+import numpy as np
+import pytest
+
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import StaEngine
+from repro.sta.variation import MonteCarloTiming, YieldReport
+
+
+@pytest.fixture(scope="module")
+def mc(booth8_base, library):
+    return MonteCarloTiming(
+        booth8_base.timing_graph(), library, sigma_vth=0.012, seed=7
+    )
+
+
+class TestMonteCarlo:
+    def test_zero_sigma_matches_nominal(self, booth8_base, library):
+        graph = booth8_base.timing_graph()
+        mc0 = MonteCarloTiming(graph, library, sigma_vth=0.0)
+        fbb = np.ones(graph.num_cells, bool)
+        report = mc0.analyze_yield(
+            booth8_base.constraint, 1.0, fbb, samples=5
+        )
+        nominal = StaEngine(graph, library).analyze(
+            booth8_base.constraint, 1.0, fbb
+        )
+        assert np.allclose(
+            report.worst_slack_samples_ps, nominal.worst_slack_ps, atol=1e-6
+        )
+        assert report.timing_yield == 1.0
+
+    def test_variation_spreads_slack(self, booth8_base, mc):
+        fbb = np.ones(len(booth8_base.netlist.cells), bool)
+        report = mc.analyze_yield(
+            booth8_base.constraint, 1.0, fbb, samples=40
+        )
+        assert report.sigma_slack_ps > 0.0
+        assert report.samples == 40
+
+    def test_yield_degrades_with_tighter_clock(self, booth8_base, mc):
+        fbb = np.ones(len(booth8_base.netlist.cells), bool)
+        period = booth8_base.constraint.period_ps
+        loose = mc.analyze_yield(
+            ClockConstraint(period * 1.2), 1.0, fbb, samples=30
+        )
+        tight = mc.analyze_yield(
+            ClockConstraint(period * 0.9), 1.0, fbb, samples=30
+        )
+        assert loose.timing_yield >= tight.timing_yield
+        assert loose.timing_yield == 1.0
+
+    def test_margin_for_yield(self, booth8_base, mc):
+        fbb = np.ones(len(booth8_base.netlist.cells), bool)
+        period = booth8_base.constraint.period_ps
+        report = mc.analyze_yield(
+            ClockConstraint(period * 0.92), 1.0, fbb, samples=40
+        )
+        margin = report.margin_for_yield(0.95)
+        assert margin >= 0.0
+        if report.timing_yield < 0.95:
+            assert margin > 0.0
+        with pytest.raises(ValueError):
+            report.margin_for_yield(1.5)
+
+    def test_deterministic_given_seed(self, booth8_base, library):
+        graph = booth8_base.timing_graph()
+        fbb = np.ones(graph.num_cells, bool)
+        a = MonteCarloTiming(graph, library, seed=3).analyze_yield(
+            booth8_base.constraint, 1.0, fbb, samples=10
+        )
+        b = MonteCarloTiming(graph, library, seed=3).analyze_yield(
+            booth8_base.constraint, 1.0, fbb, samples=10
+        )
+        assert np.array_equal(
+            a.worst_slack_samples_ps, b.worst_slack_samples_ps
+        )
+
+    def test_validation(self, booth8_base, library, mc):
+        graph = booth8_base.timing_graph()
+        with pytest.raises(ValueError, match="sigma"):
+            MonteCarloTiming(graph, library, sigma_vth=-0.1)
+        fbb = np.ones(graph.num_cells, bool)
+        with pytest.raises(ValueError, match="at least one"):
+            mc.analyze_yield(booth8_base.constraint, 1.0, fbb, samples=0)
+
+    def test_summary_text(self, booth8_base, mc):
+        fbb = np.ones(len(booth8_base.netlist.cells), bool)
+        report = mc.analyze_yield(
+            booth8_base.constraint, 1.0, fbb, samples=10
+        )
+        assert "yield" in report.summary()

@@ -1,0 +1,92 @@
+"""Cell-template consistency and exhaustive truth-table checks."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.techlib.cells import CELL_TEMPLATES, get_template
+
+#: Reference boolean functions for every combinational template.
+REFERENCE = {
+    "INV": lambda a: (not a,),
+    "BUF": lambda a: (a,),
+    "NAND2": lambda a, b: (not (a and b),),
+    "NAND3": lambda a, b, c: (not (a and b and c),),
+    "NOR2": lambda a, b: (not (a or b),),
+    "NOR3": lambda a, b, c: (not (a or b or c),),
+    "AND2": lambda a, b: (a and b,),
+    "AND3": lambda a, b, c: (a and b and c,),
+    "OR2": lambda a, b: (a or b,),
+    "OR3": lambda a, b, c: (a or b or c,),
+    "XOR2": lambda a, b: (a != b,),
+    "XNOR2": lambda a, b: (a == b,),
+    "AOI21": lambda a, b, c: (not ((a and b) or c),),
+    "OAI21": lambda a, b, c: (not ((a or b) and c),),
+    "MUX2": lambda a, b, s: (b if s else a,),
+    "HA": lambda a, b: (a != b, a and b),
+    "FA": lambda a, b, ci: ((a + b + ci) % 2 == 1, (a + b + ci) >= 2),
+    "TIELO": lambda: (False,),
+    "TIEHI": lambda: (True,),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE))
+def test_truth_table_exhaustive(name):
+    template = get_template(name)
+    for inputs in itertools.product((False, True), repeat=len(template.inputs)):
+        got = tuple(bool(np.asarray(o)) for o in template.evaluate(*inputs))
+        assert got == tuple(REFERENCE[name](*inputs)), f"{name}{inputs}"
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE))
+def test_vectorized_evaluation_matches_scalar(name):
+    template = get_template(name)
+    n_in = len(template.inputs)
+    if n_in == 0:
+        return
+    rng = np.random.default_rng(5)
+    arrays = [rng.integers(0, 2, 64).astype(bool) for _ in range(n_in)]
+    vec = template.evaluate(*arrays)
+    for i in range(64):
+        scalar = template.evaluate(*[a[i] for a in arrays])
+        for out_vec, out_scalar in zip(vec, scalar):
+            assert bool(np.asarray(out_vec)[i]) == bool(np.asarray(out_scalar))
+
+
+class TestElectricalConsistency:
+    @pytest.mark.parametrize("name", sorted(CELL_TEMPLATES))
+    def test_drive_ordering(self, name):
+        template = CELL_TEMPLATES[name]
+        drives = [template.drives[d] for d in template.drive_names]
+        sizes = [d.size for d in drives]
+        assert sizes == sorted(sizes)
+        # Bigger drive: weaker load dependence, more cap/leakage/area.
+        for weak, strong in zip(drives, drives[1:]):
+            assert strong.load_coeff_ps_per_ff < weak.load_coeff_ps_per_ff
+            assert strong.leakage_nw > weak.leakage_nw
+            assert strong.area_um2 > weak.area_um2
+
+    @pytest.mark.parametrize("name", sorted(CELL_TEMPLATES))
+    def test_pin_counts_match_function(self, name):
+        template = CELL_TEMPLATES[name]
+        if template.is_sequential:
+            assert template.evaluate is None
+            assert template.clk_to_q_ps > 0.0
+            assert template.setup_ps > 0.0
+            return
+        # evaluate accepts exactly len(inputs) args and yields len(outputs).
+        args = [False] * len(template.inputs)
+        outputs = template.evaluate(*args)
+        assert len(outputs) == len(template.outputs)
+
+    def test_complex_gates_cost_more_than_inverter(self):
+        inv = CELL_TEMPLATES["INV"].drives["X1"]
+        fa = CELL_TEMPLATES["FA"].drives["X1"]
+        assert fa.area_um2 > inv.area_um2
+        assert fa.leakage_nw > inv.leakage_nw
+        assert fa.intrinsic_delay_ps > inv.intrinsic_delay_ps
+
+    def test_get_template_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown cell"):
+            get_template("NAND17")

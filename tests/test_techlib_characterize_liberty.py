@@ -1,0 +1,98 @@
+"""Cross-checks between the characterization tables and the delay engine.
+
+These tests close the loop between the three views of the same physics:
+the raw model functions, the characterization tables, and what STA
+actually computes -- inconsistencies here would silently skew every
+experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import StaEngine
+from repro.sta.graph import compile_timing_graph
+from repro.techlib.characterize import characterize
+from repro.techlib.library import Library
+from repro.techlib.models import delay_scale_factor, leakage_scale_factor
+
+LIBRARY = Library()
+
+
+class TestModelTableEngineConsistency:
+    @pytest.mark.parametrize("vdd", [1.0, 0.8, 0.6])
+    @pytest.mark.parametrize("fbb", [True, False])
+    def test_sta_uses_exactly_the_table_numbers(self, vdd, fbb):
+        """An inverter chain's STA delay must equal the characterized
+        cell numbers, stage by stage."""
+        corner = (
+            LIBRARY.fbb_corner(vdd) if fbb else LIBRARY.nobb_corner(vdd)
+        )
+        factor = LIBRARY.delay_factor(corner)
+        if not np.isfinite(factor):
+            pytest.skip("corner below threshold")
+        table = characterize(LIBRARY, [corner])
+        row = table.lookup("INV", "X1", corner)
+
+        builder = NetlistBuilder("chain", LIBRARY)
+        a = builder.input_bus("A", 1)
+        builder.clock()
+        net = builder.register_word(a)[0]
+        stages = 5
+        for _ in range(stages):
+            net = builder.inv(net)
+        builder.output_bus("Y", builder.register_word([net]))
+        netlist = builder.build()
+
+        graph = compile_timing_graph(netlist)
+        engine = StaEngine(graph, LIBRARY)
+        fbb_cells = np.full(graph.num_cells, fbb, dtype=bool)
+        delay = engine.critical_path_delay(vdd, fbb_cells)
+
+        inv_cap = LIBRARY.template("INV").drives["X1"].input_cap_ff
+        dff = LIBRARY.template("DFF")
+        dff_cap = dff.drives["X1"].input_cap_ff
+        expected = (
+            dff.clk_to_q_ps * factor
+            + (stages - 1)
+            * (row.intrinsic_delay_ps + row.load_coeff_ps_per_ff * inv_cap)
+            + (row.intrinsic_delay_ps + row.load_coeff_ps_per_ff * dff_cap)
+        )
+        assert delay == pytest.approx(expected, rel=1e-9)
+
+    def test_model_functions_match_library_cache(self):
+        for vdd in (1.0, 0.8):
+            for vbb in (0.0, 1.1, -1.1):
+                from repro.techlib.library import Corner
+
+                corner = Corner(vdd, vbb)
+                assert LIBRARY.delay_factor(corner) == pytest.approx(
+                    delay_scale_factor(vdd, vbb, LIBRARY.process)
+                )
+                assert LIBRARY.leakage_factor(corner) == pytest.approx(
+                    leakage_scale_factor(vdd, vbb, LIBRARY.process)
+                )
+
+    def test_delay_leakage_antimonotone_in_vbb(self):
+        """Across the full bias range: more forward bias = faster and
+        leakier, with no crossovers."""
+        vbbs = np.linspace(-1.1, 1.1, 12)
+        delays = [delay_scale_factor(1.0, v) for v in vbbs]
+        leaks = [leakage_scale_factor(1.0, v) for v in vbbs]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+        assert all(b > a for a, b in zip(leaks, leaks[1:]))
+
+
+class TestUncertaintyValidation:
+    def test_constraint_rejects_bad_uncertainty(self):
+        with pytest.raises(ValueError):
+            ClockConstraint(100.0, uncertainty_ps=100.0)
+        with pytest.raises(ValueError):
+            ClockConstraint(100.0, uncertainty_ps=-1.0)
+        with pytest.raises(ValueError):
+            ClockConstraint(0.0)
+
+    def test_frequency_roundtrip(self):
+        constraint = ClockConstraint(800.0)
+        assert constraint.frequency_ghz == pytest.approx(1.25)

@@ -1,0 +1,72 @@
+"""Process parameter validation and paper-sourced constants."""
+
+import dataclasses
+
+import pytest
+
+from repro.techlib.fdsoi import FdsoiProcess, NOMINAL_PROCESS
+
+
+class TestNominalProcess:
+    def test_validates(self):
+        NOMINAL_PROCESS.validate()
+
+    def test_paper_body_factor(self):
+        # Section II-C: "the body factor ... is as high as 85 mV/V".
+        assert NOMINAL_PROCESS.body_factor == pytest.approx(0.085)
+
+    def test_paper_guardband_and_cell_height(self):
+        # Section II-C: 3.5 um guardbands, 1.2 um cell rows.
+        assert NOMINAL_PROCESS.guardband_width_um == pytest.approx(3.5)
+        assert NOMINAL_PROCESS.cell_height_um == pytest.approx(1.2)
+
+    def test_paper_fbb_voltage(self):
+        # Section IV-B: "a BB voltage of +/-1.1 V ... as FBB condition".
+        assert NOMINAL_PROCESS.fbb_voltage == pytest.approx(1.1)
+
+    def test_paper_bb_range(self):
+        # Section II-C: usable back-bias range "spanning more than 2 V".
+        assert NOMINAL_PROCESS.max_bb_voltage >= 2.0
+
+    def test_nominal_supply(self):
+        assert NOMINAL_PROCESS.vdd_nominal == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_vth_above_vdd(self):
+        with pytest.raises(ValueError, match="vth0"):
+            dataclasses.replace(NOMINAL_PROCESS, vth0=1.5).validate()
+
+    def test_rejects_zero_vth(self):
+        with pytest.raises(ValueError, match="vth0"):
+            dataclasses.replace(NOMINAL_PROCESS, vth0=0.0).validate()
+
+    def test_rejects_negative_body_factor(self):
+        with pytest.raises(ValueError, match="body_factor"):
+            dataclasses.replace(NOMINAL_PROCESS, body_factor=-0.1).validate()
+
+    def test_rejects_negative_lvt_offset(self):
+        with pytest.raises(ValueError, match="lvt_offset"):
+            dataclasses.replace(NOMINAL_PROCESS, lvt_offset=-0.01).validate()
+
+    def test_rejects_unphysical_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            dataclasses.replace(NOMINAL_PROCESS, alpha=2.5).validate()
+        with pytest.raises(ValueError, match="alpha"):
+            dataclasses.replace(NOMINAL_PROCESS, alpha=0.5).validate()
+
+    def test_rejects_zero_swing(self):
+        with pytest.raises(ValueError, match="swing"):
+            dataclasses.replace(NOMINAL_PROCESS, subthreshold_swing=0.0).validate()
+
+    def test_rejects_fbb_beyond_range(self):
+        with pytest.raises(ValueError, match="back-bias range"):
+            dataclasses.replace(NOMINAL_PROCESS, fbb_voltage=3.0).validate()
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="geometry"):
+            dataclasses.replace(NOMINAL_PROCESS, guardband_width_um=0.0).validate()
+
+    def test_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NOMINAL_PROCESS.vth0 = 0.3

@@ -1,0 +1,84 @@
+"""Library facade: corners, factors, characterization tables."""
+
+import pytest
+
+from repro.techlib.characterize import (
+    CharacterizationTable,
+    characterize,
+    default_corner_grid,
+)
+from repro.techlib.library import Corner, Library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return Library()
+
+
+class TestCorner:
+    def test_labels(self):
+        assert Corner(1.0, 0.0).label == "1.00V/NoBB"
+        assert Corner(0.8, 1.1).label == "0.80V/FBB"
+        assert Corner(0.8, -0.5).label == "0.80V/RBB"
+
+
+class TestLibrary:
+    def test_reference_corner_is_fbb_nominal(self, library):
+        ref = library.reference_corner
+        assert ref.vdd == library.process.vdd_nominal
+        assert ref.vbb == library.process.fbb_voltage
+        assert library.delay_factor(ref) == pytest.approx(1.0)
+
+    def test_factor_caching_returns_same_value(self, library):
+        corner = library.nobb_corner(0.8)
+        assert library.delay_factor(corner) == library.delay_factor(corner)
+        assert library.leakage_factor(corner) == library.leakage_factor(corner)
+
+    def test_vdd_sweep_matches_paper(self, library):
+        # Section III-C: 100 mV step between 0.6 V and 1.0 V -> NVDD = 5.
+        sweep = library.vdd_sweep()
+        assert sweep == [1.0, 0.9, 0.8, 0.7, 0.6]
+
+    def test_vdd_sweep_rejects_bad_step(self, library):
+        with pytest.raises(ValueError):
+            library.vdd_sweep(step=0.0)
+
+    def test_unknown_template(self, library):
+        with pytest.raises(KeyError):
+            library.template("FOO")
+
+    def test_has_template(self, library):
+        assert library.has_template("NAND2")
+        assert not library.has_template("FOO")
+
+
+class TestCharacterization:
+    def test_characterize_covers_all_cells_and_corners(self, library):
+        corners = default_corner_grid(library)
+        table = characterize(library, corners)
+        assert len(corners) == 10  # 5 VDDs x {NoBB, FBB}
+        per_corner = len(table.rows) / len(corners)
+        drives = sum(
+            len(t.drives) for t in library.templates.values()
+        )
+        assert per_corner == drives
+
+    def test_slow_corner_has_larger_delay(self, library):
+        table = characterize(
+            library, [library.fbb_corner(1.0), library.fbb_corner(0.6)]
+        )
+        fast = table.lookup("NAND2", "X1", library.fbb_corner(1.0))
+        slow = table.lookup("NAND2", "X1", library.fbb_corner(0.6))
+        assert slow.intrinsic_delay_ps > fast.intrinsic_delay_ps
+        assert slow.load_coeff_ps_per_ff > fast.load_coeff_ps_per_ff
+
+    def test_lookup_missing_raises(self, library):
+        table = characterize(library, [library.fbb_corner(1.0)])
+        with pytest.raises(KeyError):
+            table.lookup("NAND2", "X1", library.fbb_corner(0.6))
+
+    def test_format_text_lists_requested_cells(self, library):
+        table = characterize(library, [library.nobb_corner()])
+        text = table.format_text(cells=("INV",))
+        assert "INV" in text
+        assert "NAND2" not in text

@@ -1,0 +1,100 @@
+"""Device-physics model behaviour: monotonicity, limits, array support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.techlib.fdsoi import NOMINAL_PROCESS
+from repro.techlib.models import (
+    delay_scale_factor,
+    drive_strength,
+    leakage_scale_factor,
+    threshold_voltage,
+)
+
+VDD = NOMINAL_PROCESS.vdd_nominal
+FBB = NOMINAL_PROCESS.fbb_voltage
+
+
+class TestThresholdVoltage:
+    def test_forward_bias_lowers_vth(self):
+        assert threshold_voltage(FBB, VDD) < threshold_voltage(0.0, VDD)
+
+    def test_reverse_bias_raises_vth(self):
+        assert threshold_voltage(-0.5, VDD) > threshold_voltage(0.0, VDD)
+
+    def test_boost_shift_combines_body_and_flavour(self):
+        shift = threshold_voltage(0.0, VDD) - threshold_voltage(FBB, VDD)
+        expected = (
+            NOMINAL_PROCESS.body_factor * FBB + NOMINAL_PROCESS.lvt_offset
+        )
+        assert shift == pytest.approx(expected)
+
+    def test_dibl_lowers_vth_at_high_vdd(self):
+        assert threshold_voltage(0.0, 1.2) < threshold_voltage(0.0, 1.0)
+
+    def test_accepts_arrays(self):
+        vbb = np.asarray([0.0, FBB])
+        result = threshold_voltage(vbb, VDD)
+        assert result.shape == (2,)
+        assert result[1] < result[0]
+
+    @given(st.floats(min_value=-1.0, max_value=1.1))
+    def test_monotone_in_vbb(self, vbb):
+        eps = 0.01
+        assert threshold_voltage(vbb + eps, VDD) < threshold_voltage(vbb, VDD)
+
+
+class TestDelayFactor:
+    def test_reference_corner_is_unity(self):
+        assert delay_scale_factor(VDD, FBB) == pytest.approx(1.0)
+
+    def test_nobb_slower_than_fbb(self):
+        assert delay_scale_factor(VDD, 0.0) > 1.0
+
+    def test_lower_vdd_slower(self):
+        factors = [delay_scale_factor(v, FBB) for v in (1.0, 0.9, 0.8, 0.7, 0.6)]
+        assert factors == sorted(factors)
+        assert factors[-1] > factors[0]
+
+    def test_subthreshold_supply_is_infeasible_not_error(self):
+        # NoBB Vth at low VDD exceeds the supply: delay factor must be inf.
+        assert delay_scale_factor(0.3, 0.0) == np.inf
+
+    def test_array_mixed_feasibility(self):
+        factors = delay_scale_factor(np.asarray([1.0, 0.3]), 0.0)
+        assert np.isfinite(factors[0])
+        assert factors[1] == np.inf
+
+    @given(st.floats(min_value=0.7, max_value=1.0))
+    def test_fbb_always_faster_than_nobb(self, vdd):
+        assert delay_scale_factor(vdd, FBB) < delay_scale_factor(vdd, 0.0)
+
+
+class TestLeakageFactor:
+    def test_nobb_nominal_is_unity(self):
+        assert leakage_scale_factor(VDD, 0.0) == pytest.approx(1.0)
+
+    def test_boost_multiplies_leakage_by_an_order_of_magnitude(self):
+        ratio = leakage_scale_factor(VDD, FBB)
+        assert 5.0 < ratio < 50.0
+
+    def test_leakage_drops_with_vdd(self):
+        assert leakage_scale_factor(0.6, FBB) < leakage_scale_factor(1.0, FBB)
+
+    @given(st.floats(min_value=0.6, max_value=1.0))
+    def test_fbb_always_leakier(self, vdd):
+        assert leakage_scale_factor(vdd, FBB) > leakage_scale_factor(vdd, 0.0)
+
+
+class TestDriveStrength:
+    def test_raises_below_threshold(self):
+        with pytest.raises(ValueError, match="never switches"):
+            drive_strength(0.2, 0.0)
+
+    def test_speed_leakage_tradeoff_is_coupled(self):
+        """The paper's core physics: boosting buys speed, costs leakage."""
+        speedup = delay_scale_factor(VDD, 0.0) / delay_scale_factor(VDD, FBB)
+        leak_cost = leakage_scale_factor(VDD, FBB) / leakage_scale_factor(VDD, 0.0)
+        assert speedup > 1.2
+        assert leak_cost > speedup  # leakage is the exponential side

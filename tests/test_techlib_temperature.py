@@ -1,0 +1,54 @@
+"""Temperature-dependent leakage."""
+
+import pytest
+
+from repro.techlib.fdsoi import NOMINAL_PROCESS
+from repro.techlib.library import Library
+from repro.techlib.models import (
+    leakage_scale_factor,
+    temperature_leakage_multiplier,
+)
+
+
+class TestTemperatureModel:
+    def test_nominal_temperature_is_unity(self):
+        assert temperature_leakage_multiplier(
+            NOMINAL_PROCESS.nominal_temperature_c
+        ) == pytest.approx(1.0)
+
+    def test_doubles_per_step(self):
+        step = NOMINAL_PROCESS.leakage_doubling_c
+        base = NOMINAL_PROCESS.nominal_temperature_c
+        assert temperature_leakage_multiplier(base + step) == pytest.approx(2.0)
+        assert temperature_leakage_multiplier(base + 2 * step) == pytest.approx(4.0)
+        assert temperature_leakage_multiplier(base - step) == pytest.approx(0.5)
+
+    def test_leakage_scale_factor_accepts_temperature(self):
+        cold = leakage_scale_factor(1.0, 1.1, temperature_c=25.0)
+        hot = leakage_scale_factor(1.0, 1.1, temperature_c=85.0)
+        assert hot == pytest.approx(cold * 8.0)
+
+    def test_library_temperature_plumbs_through(self):
+        hot = Library(temperature_c=85.0)
+        cold = Library(temperature_c=25.0)
+        corner = cold.fbb_corner(1.0)
+        assert hot.leakage_factor(corner) == pytest.approx(
+            cold.leakage_factor(corner) * 8.0
+        )
+        # Delay is temperature-independent in this first-order model.
+        assert hot.delay_factor(corner) == pytest.approx(
+            cold.delay_factor(corner)
+        )
+
+    def test_default_library_uses_nominal_temperature(self):
+        assert Library().temperature_c == pytest.approx(
+            NOMINAL_PROCESS.nominal_temperature_c
+        )
+
+    def test_process_validation(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="leakage_doubling"):
+            dataclasses.replace(
+                NOMINAL_PROCESS, leakage_doubling_c=0.0
+            ).validate()
