@@ -1,0 +1,79 @@
+"""Benchmark: sharded + cached exploration vs the serial sweep.
+
+Records three numbers on the Booth multiplier (the paper's Table I
+workhorse):
+
+* serial wall-clock of the full knob sweep (the Fig. 4 bottleneck);
+* the same sweep sharded over a 4-worker process pool;
+* a cache-warm re-run of an identical sweep (all shards hit).
+
+The differential suite guarantees all three produce bit-identical
+results; this bench guarantees the fast paths are actually fast.  The
+parallel assertion needs real cores: on runners with fewer than 4 CPUs
+the number is recorded but not enforced.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.core.exploration import ExhaustiveExplorer
+from repro.sim.activity import clear_activity_cache
+
+
+def _timed(explorer, settings):
+    clear_activity_cache()  # every variant pays the full simulation cost
+    start = time.perf_counter()
+    result = explorer.run(settings)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_and_cache_speedups(bundles, settings, tmp_path):
+    design = bundles["booth"].domained()
+    explorer = ExhaustiveExplorer(design)
+
+    serial_result, serial_s = _timed(explorer, settings)
+
+    pooled = dataclasses.replace(settings, workers=4)
+    parallel_result, parallel_s = _timed(explorer, pooled)
+
+    cached = dataclasses.replace(
+        settings, cache=True, cache_dir=str(tmp_path)
+    )
+    cold_result, cold_s = _timed(explorer, cached)
+    warm_result, warm_s = _timed(explorer, cached)
+
+    parallel_speedup = serial_s / parallel_s
+    warm_speedup = serial_s / warm_s
+    print(
+        f"\nserial sweep:     {serial_s * 1e3:8.1f} ms"
+        f"\n4-worker pool:    {parallel_s * 1e3:8.1f} ms"
+        f"  ({parallel_speedup:.2f}x)"
+        f"\ncache cold:       {cold_s * 1e3:8.1f} ms"
+        f"  (+{(cold_s - serial_s) * 1e3:.1f} ms write overhead)"
+        f"\ncache warm:       {warm_s * 1e3:8.1f} ms"
+        f"  ({warm_speedup:.2f}x, {warm_result.cache_stats.hits} shards hit)"
+    )
+
+    # Identical numbers on every path (the differential suite's contract,
+    # re-checked here on the benchmark workload).
+    for result in (parallel_result, cold_result, warm_result):
+        assert result.best_per_bitwidth == serial_result.best_per_bitwidth
+        assert result.feasible_counts == serial_result.feasible_counts
+
+    assert warm_result.cache_stats.misses == 0
+    assert warm_speedup >= 5.0, (
+        f"cache-warm re-run only {warm_speedup:.1f}x faster than serial"
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s): recorded {parallel_speedup:.2f}x at "
+            "4 workers, assertion needs >= 4 cores"
+        )
+    assert parallel_speedup >= 2.0, (
+        f"4-worker pool only {parallel_speedup:.1f}x faster than serial"
+    )

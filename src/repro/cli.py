@@ -79,7 +79,12 @@ def _parse_grid(text: str) -> GridPartition:
 
 
 def _settings(args) -> ExplorationSettings:
-    return ExplorationSettings(bitwidths=tuple(range(1, args.width + 1)))
+    return ExplorationSettings(
+        bitwidths=tuple(range(1, args.width + 1)),
+        workers=getattr(args, "workers", 0),
+        cache=getattr(args, "cache", False) or getattr(args, "resume", False),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def cmd_explore(args) -> int:
@@ -95,6 +100,8 @@ def cmd_explore(args) -> int:
         f"explored {result.points_evaluated} points, filtered "
         f"{result.filtered_fraction * 100:.1f}%, {result.runtime_s:.1f} s"
     )
+    if result.cache_stats is not None:
+        print(result.cache_stats.describe())
     for point in result.pareto():
         print(" ", point.describe())
     if args.output:
@@ -168,6 +175,18 @@ def cmd_report_timing(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.parallel.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.disk_usage().describe())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.directory}")
+    return 0
+
+
 def cmd_characterize(args) -> int:
     library = Library()
     if args.lib:
@@ -196,16 +215,60 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--design", default="booth")
         p.add_argument("--width", type=int, default=16)
 
+    def add_engine_args(p):
+        from repro.core.config import AUTO_WORKERS
+
+        p.add_argument(
+            "--workers",
+            type=int,
+            nargs="?",
+            const=AUTO_WORKERS,
+            default=0,
+            help="shard the sweep over N worker processes (bare --workers "
+            "auto-detects; $REPRO_WORKERS overrides auto; 1 = sharded "
+            "but serial; default: legacy in-process sweep)",
+        )
+        p.add_argument(
+            "--cache",
+            dest="cache",
+            action="store_true",
+            help="persist per-shard results (default dir ~/.cache/repro "
+            "or $REPRO_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--no-cache",
+            dest="cache",
+            action="store_false",
+            help="disable the persistent result cache",
+        )
+        p.set_defaults(cache=False)
+        p.add_argument("--cache-dir", help="override the cache directory")
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted sweep from its cached shards "
+            "(implies --cache)",
+        )
+
     p = sub.add_parser("explore", help="implement + optimize one design")
     add_design_args(p)
+    add_engine_args(p)
     p.add_argument("--grid", default="2x2")
     p.add_argument("--output", help="write the mode table as JSON")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("compare", help="proposed vs DVAS (Fig. 5)")
     add_design_args(p)
+    add_engine_args(p)
     p.add_argument("--grid", default="2x2")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent exploration cache"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", help="override the cache directory")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("report-timing", help="worst paths at a corner")
     add_design_args(p)

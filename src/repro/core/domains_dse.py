@@ -102,7 +102,7 @@ def explore_domain_configurations(
     library: Library,
     constraint: ClockConstraint,
     candidates: Sequence[Tuple[int, int]] = DEFAULT_CANDIDATES,
-    settings: ExplorationSettings = ExplorationSettings(),
+    settings: Optional[ExplorationSettings] = None,
     bitwidths_of_interest: Optional[Sequence[int]] = None,
     area_budget: Optional[float] = None,
     max_domains: int = 10,
@@ -115,6 +115,8 @@ def explore_domain_configurations(
     Candidates with more than *max_domains* domains are skipped, matching
     the paper's exhaustive-up-to-10-groups remark.
     """
+    if settings is None:
+        settings = ExplorationSettings()
     start = time.perf_counter()
     interest = tuple(bitwidths_of_interest or settings.bitwidths)
     evaluated: List[GridCandidate] = []

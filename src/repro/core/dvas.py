@@ -16,7 +16,7 @@ implementation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class DvasResult:
 def dvas_explore(
     design: ImplementedDesign,
     fbb: bool,
-    settings: ExplorationSettings = ExplorationSettings(),
+    settings: Optional[ExplorationSettings] = None,
 ) -> DvasResult:
     """Explore the DVAS knobs (bitwidth x VDD) for one back-bias flavour.
 
@@ -58,6 +58,8 @@ def dvas_explore(
     domains are simply driven to the same state -- which is useful for
     what-if analyses.
     """
+    if settings is None:
+        settings = ExplorationSettings()
     explorer = ExhaustiveExplorer(design)
     configs = np.full((1, design.num_domains), fbb, dtype=bool)
     result: ExplorationResult = explorer.run(settings, configs=configs)

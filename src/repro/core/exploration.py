@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,42 @@ from repro.power.analysis import PowerAnalyzer
 from repro.sim.activity import ActivityReport, measure_activity
 from repro.sta.batch import BatchStaEngine, all_bb_configs
 from repro.sta.caseanalysis import dvas_case
+
+
+@dataclass(frozen=True)
+class KnobCellResult:
+    """Outcome of one (bitwidth, VDD) cell of the knob grid.
+
+    The unit of work the sharded engine distributes and caches; the
+    serial explorer produces the same records, so merging a list of them
+    (:func:`merge_cell_results`) is bit-identical either way.
+    """
+
+    bits: int
+    vdd: float
+    evaluated: int
+    feasible_count: int
+    best: Optional[OperatingPoint]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bits": self.bits,
+            "vdd": self.vdd,
+            "evaluated": self.evaluated,
+            "feasible_count": self.feasible_count,
+            "best": self.best.to_dict() if self.best is not None else None,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "KnobCellResult":
+        best = data["best"]
+        return KnobCellResult(
+            bits=int(data["bits"]),
+            vdd=float(data["vdd"]),
+            evaluated=int(data["evaluated"]),
+            feasible_count=int(data["feasible_count"]),
+            best=OperatingPoint.from_dict(best) if best is not None else None,
+        )
 
 
 @dataclass
@@ -46,6 +82,8 @@ class ExplorationResult:
     best_per_knob_point: Dict[Tuple[int, float], OperatingPoint] = field(
         default_factory=dict
     )
+    # Persistent-cache statistics of the run (None on the legacy path).
+    cache_stats: Optional[object] = None
 
     @property
     def filtered_fraction(self) -> float:
@@ -93,74 +131,143 @@ class ExhaustiveExplorer:
             seed=settings.seed,
         )
 
+    def evaluate_cells(
+        self,
+        bitwidths: Sequence[int],
+        vdd_values: Sequence[float],
+        settings: ExplorationSettings,
+        configs: np.ndarray,
+    ) -> List[KnobCellResult]:
+        """Evaluate a rectangular sub-grid of the (bitwidth, VDD) knobs.
+
+        One case analysis + activity simulation per bitwidth, one batched
+        STA sweep over all *configs* per (bitwidth, VDD).  This is the
+        single implementation both the serial sweep and every shard of
+        the parallel engine execute, which is what makes their merged
+        results bit-identical.
+        """
+        design = self.design
+        config_tuples = [tuple(bool(x) for x in row) for row in configs]
+        cells: List[KnobCellResult] = []
+        for bits in bitwidths:
+            case = dvas_case(design.netlist, bits)
+            activity = self._activity(bits, settings)
+            for vdd in vdd_values:
+                result = self.batch_engine.analyze(
+                    design.constraint, vdd, configs=configs, case=case
+                )
+                feasible = result.feasible
+                count = int(np.count_nonzero(feasible))
+                point: Optional[OperatingPoint] = None
+                if count:
+                    powers = self.power.total_batch(
+                        activity,
+                        vdd,
+                        design.fclk_ghz,
+                        design.domains,
+                        configs,
+                    )
+                    powers = np.where(feasible, powers, np.inf)
+                    winner = int(np.argmin(powers))
+                    dynamic = self.power.dynamic.total(
+                        activity, vdd, design.fclk_ghz
+                    )
+                    point = OperatingPoint(
+                        active_bits=bits,
+                        vdd=vdd,
+                        bb_config=config_tuples[winner],
+                        total_power_w=float(powers[winner]),
+                        dynamic_power_w=dynamic,
+                        leakage_power_w=float(powers[winner]) - dynamic,
+                        worst_slack_ps=float(result.worst_slack_ps[winner]),
+                    )
+                cells.append(
+                    KnobCellResult(
+                        bits=bits,
+                        vdd=vdd,
+                        evaluated=len(config_tuples),
+                        feasible_count=count,
+                        best=point,
+                    )
+                )
+        return cells
+
     def run(
         self,
-        settings: ExplorationSettings = ExplorationSettings(),
+        settings: Optional[ExplorationSettings] = None,
         configs: Optional[np.ndarray] = None,
     ) -> ExplorationResult:
         """Explore every (BB assignment, bitwidth, VDD) combination.
 
         *configs* restricts the BB assignments (used by the DVAS baseline
         and by ablations); by default all 2^NMAX assignments are explored.
+        When *settings* selects workers or the persistent cache, the sweep
+        is delegated to the sharded engine in :mod:`repro.parallel`.
         """
+        if settings is None:
+            settings = ExplorationSettings()
+        if settings.uses_parallel_engine:
+            from repro.parallel.engine import ParallelExplorer
+
+            return ParallelExplorer(self.design, explorer=self).run(
+                settings, configs=configs
+            )
         start = time.perf_counter()
         design = self.design
         if configs is None:
             configs = all_bb_configs(design.num_domains)
-        config_tuples = [tuple(bool(x) for x in row) for row in configs]
-
-        best: Dict[int, OperatingPoint] = {}
-        best_per_knob: Dict[Tuple[int, float], OperatingPoint] = {}
-        feasible_counts: Dict[Tuple[int, float], int] = {}
-        evaluated = 0
-        feasible_total = 0
-
-        for bits in settings.bitwidths:
-            case = dvas_case(design.netlist, bits)
-            activity = self._activity(bits, settings)
-            for vdd in settings.vdd_values:
-                result = self.batch_engine.analyze(
-                    design.constraint, vdd, configs=configs, case=case
-                )
-                evaluated += len(config_tuples)
-                feasible = result.feasible
-                count = int(np.count_nonzero(feasible))
-                feasible_counts[(bits, vdd)] = count
-                feasible_total += count
-                if count == 0:
-                    continue
-                powers = self.power.total_batch(
-                    activity,
-                    vdd,
-                    design.fclk_ghz,
-                    design.domains,
-                    configs,
-                )
-                powers = np.where(feasible, powers, np.inf)
-                winner = int(np.argmin(powers))
-                dynamic = self.power.dynamic.total(activity, vdd, design.fclk_ghz)
-                point = OperatingPoint(
-                    active_bits=bits,
-                    vdd=vdd,
-                    bb_config=config_tuples[winner],
-                    total_power_w=float(powers[winner]),
-                    dynamic_power_w=dynamic,
-                    leakage_power_w=float(powers[winner]) - dynamic,
-                    worst_slack_ps=float(result.worst_slack_ps[winner]),
-                )
-                best_per_knob[(bits, vdd)] = point
-                incumbent = best.get(bits)
-                if incumbent is None or point.total_power_w < incumbent.total_power_w:
-                    best[bits] = point
-
-        return ExplorationResult(
-            design_name=design.netlist.name,
-            settings=settings,
-            num_domains=design.num_domains,
-            best_per_bitwidth=best,
-            points_evaluated=evaluated,
-            points_feasible=feasible_total,
-            runtime_s=time.perf_counter() - start,
-            feasible_counts=feasible_counts,
-            best_per_knob_point=best_per_knob,
+        cells = self.evaluate_cells(
+            settings.bitwidths, settings.vdd_values, settings, configs
         )
+        return merge_cell_results(
+            design, settings, cells, time.perf_counter() - start
+        )
+
+
+def merge_cell_results(
+    design: ImplementedDesign,
+    settings: ExplorationSettings,
+    cells: Sequence[KnobCellResult],
+    runtime_s: float,
+) -> ExplorationResult:
+    """Fold per-cell records into an :class:`ExplorationResult`.
+
+    Cells are consumed in canonical knob order (``settings.bitwidths``
+    major, ``settings.vdd_values`` minor) regardless of the order they
+    were computed in, so ties in the per-bitwidth minimum resolve exactly
+    as the serial loop resolves them (first VDD in settings order wins).
+    """
+    by_knob = {(cell.bits, cell.vdd): cell for cell in cells}
+    best: Dict[int, OperatingPoint] = {}
+    best_per_knob: Dict[Tuple[int, float], OperatingPoint] = {}
+    feasible_counts: Dict[Tuple[int, float], int] = {}
+    evaluated = 0
+    feasible_total = 0
+    for bits in settings.bitwidths:
+        for vdd in settings.vdd_values:
+            cell = by_knob.get((bits, vdd))
+            if cell is None:
+                raise ValueError(
+                    f"missing knob cell ({bits} bits, {vdd} V) in merge"
+                )
+            evaluated += cell.evaluated
+            feasible_counts[(bits, vdd)] = cell.feasible_count
+            feasible_total += cell.feasible_count
+            point = cell.best
+            if point is None:
+                continue
+            best_per_knob[(bits, vdd)] = point
+            incumbent = best.get(bits)
+            if incumbent is None or point.total_power_w < incumbent.total_power_w:
+                best[bits] = point
+    return ExplorationResult(
+        design_name=design.netlist.name,
+        settings=settings,
+        num_domains=design.num_domains,
+        best_per_bitwidth=best,
+        points_evaluated=evaluated,
+        points_feasible=feasible_total,
+        runtime_s=runtime_s,
+        feasible_counts=feasible_counts,
+        best_per_knob_point=best_per_knob,
+    )

@@ -17,27 +17,11 @@ SCHEMA_VERSION = 1
 
 
 def _point_to_dict(point: OperatingPoint) -> Dict:
-    return {
-        "active_bits": point.active_bits,
-        "vdd": point.vdd,
-        "bb_config": list(point.bb_config),
-        "total_power_w": point.total_power_w,
-        "dynamic_power_w": point.dynamic_power_w,
-        "leakage_power_w": point.leakage_power_w,
-        "worst_slack_ps": point.worst_slack_ps,
-    }
+    return point.to_dict()
 
 
 def _point_from_dict(data: Dict) -> OperatingPoint:
-    return OperatingPoint(
-        active_bits=int(data["active_bits"]),
-        vdd=float(data["vdd"]),
-        bb_config=tuple(bool(x) for x in data["bb_config"]),
-        total_power_w=float(data["total_power_w"]),
-        dynamic_power_w=float(data["dynamic_power_w"]),
-        leakage_power_w=float(data["leakage_power_w"]),
-        worst_slack_ps=float(data["worst_slack_ps"]),
-    )
+    return OperatingPoint.from_dict(data)
 
 
 def save_exploration(result: ExplorationResult, stream: TextIO) -> None:

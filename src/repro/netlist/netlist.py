@@ -182,6 +182,119 @@ class Netlist:
             levels[cell.index] = level
         return levels
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Flat, index-based state for pickling.
+
+        The live object graph is cyclic (cells reference nets reference
+        pins reference cells), so default pickling recurses once per
+        object along the longest connectivity chain and overflows the
+        interpreter stack on anything bigger than a toy design.  The flat
+        form is what lets implemented designs cross process boundaries
+        (the parallel exploration engine ships one per worker).
+        """
+        templates: List[CellTemplate] = []
+        template_ids: Dict[int, int] = {}
+        cells = []
+        for cell in self.cells:
+            slot = template_ids.get(id(cell.template))
+            if slot is None:
+                slot = len(templates)
+                template_ids[id(cell.template)] = slot
+                templates.append(cell.template)
+            cells.append(
+                (
+                    cell.name,
+                    slot,
+                    cell.drive_name,
+                    [n.index for n in cell.input_nets],
+                    [n.index for n in cell.output_nets],
+                    cell.x,
+                    cell.y,
+                    cell.domain,
+                )
+            )
+        nets = [
+            (
+                net.name,
+                net.is_primary_input,
+                net.is_primary_output,
+                net.is_clock,
+                (net.driver.cell.index, net.driver.position)
+                if net.driver is not None
+                else None,
+                [(pin.cell.index, pin.position) for pin in net.sinks],
+            )
+            for net in self.nets
+        ]
+        buses = {
+            "in": [
+                (bus.name, [n.index for n in bus.nets], bus.signed)
+                for bus in self.input_buses.values()
+            ],
+            "out": [
+                (bus.name, [n.index for n in bus.nets], bus.signed)
+                for bus in self.output_buses.values()
+            ],
+        }
+        return {
+            "name": self.name,
+            "library": self.library,
+            "templates": templates,
+            "cells": cells,
+            "nets": nets,
+            "buses": buses,
+            "clock": self.clock_net.index if self.clock_net else None,
+        }
+
+    def __setstate__(self, state):
+        from repro.netlist.net import PinRef
+
+        self.name = state["name"]
+        self.library = state["library"]
+        templates = state["templates"]
+        self.nets = [Net(spec[0], i) for i, spec in enumerate(state["nets"])]
+        self._net_by_name = {net.name: net for net in self.nets}
+        self.cells = []
+        self._cell_by_name = {}
+        for index, spec in enumerate(state["cells"]):
+            name, slot, drive_name, in_idx, out_idx, x, y, domain = spec
+            cell = CellInst(
+                name,
+                index,
+                templates[slot],
+                drive_name,
+                [self.nets[i] for i in in_idx],
+                [self.nets[i] for i in out_idx],
+            )
+            cell.x, cell.y, cell.domain = x, y, domain
+            self.cells.append(cell)
+            self._cell_by_name[name] = cell
+        # Wire drivers/sinks directly (not via add_cell) so the restored
+        # pin order is exactly the recorded one, including any transform
+        # rewiring that happened after construction.
+        for net, spec in zip(self.nets, state["nets"]):
+            _, is_pi, is_po, is_clk, driver, sinks = spec
+            net.is_primary_input = is_pi
+            net.is_primary_output = is_po
+            net.is_clock = is_clk
+            if driver is not None:
+                net.driver = PinRef(self.cells[driver[0]], driver[1], True)
+            net.sinks = [
+                PinRef(self.cells[ci], pos, False) for ci, pos in sinks
+            ]
+        self.input_buses = {
+            name: PortBus(name, [self.nets[i] for i in idx], True, signed)
+            for name, idx, signed in state["buses"]["in"]
+        }
+        self.output_buses = {
+            name: PortBus(name, [self.nets[i] for i in idx], False, signed)
+            for name, idx, signed in state["buses"]["out"]
+        }
+        clock = state["clock"]
+        self.clock_net = self.nets[clock] if clock is not None else None
+
     # -- statistics --------------------------------------------------------
 
     def cell_area_um2(self) -> float:

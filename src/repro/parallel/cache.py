@@ -1,0 +1,192 @@
+"""Persistent, content-addressed cache of exploration shard results.
+
+Layout: one JSON file per shard under the cache root (default
+``$REPRO_CACHE_DIR``, else ``~/.cache/repro``), named by the shard's
+SHA-256 key.  Every entry embeds a checksum of its own body; a corrupted,
+truncated or stale-schema entry is *detected, discarded and recomputed* --
+never silently served.  Writes are atomic (temp file + ``os.replace``) so
+a killed sweep can only ever lose the shard it was writing, which is what
+makes the cache double as the checkpoint store for resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.exploration import KnobCellResult
+from repro.parallel.fingerprint import FINGERPRINT_SCHEMA, canonical_json
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of one sweep (or one cache object)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate * 100:.0f}%), "
+            f"{self.invalidations} invalidated, {self.writes} written"
+        )
+
+
+@dataclass
+class DiskUsage:
+    """What ``repro cache stats`` reports about the on-disk store."""
+
+    directory: Path
+    entries: int
+    total_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.directory}: {self.entries} entries, "
+            f"{self.total_bytes / 1024:.1f} KiB"
+        )
+
+
+def _body_checksum(body: Dict) -> str:
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+class ResultCache:
+    """Stores shard results keyed by content fingerprint.
+
+    All lookups/writes update :attr:`stats`; :meth:`load` may be handed a
+    sweep-local :class:`CacheStats` to track one run independently of the
+    cache object's lifetime counters.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- lookup ------------------------------------------------------------
+
+    def load(
+        self, key: str, stats: Optional[CacheStats] = None
+    ) -> Optional[List[KnobCellResult]]:
+        """The shard's cells, or None on miss/corruption (counted apart)."""
+        trackers = [self.stats] + ([stats] if stats is not None else [])
+        path = self._path(key)
+        try:
+            with open(path, "r") as stream:
+                entry = json.load(stream)
+            if entry.get("schema") != FINGERPRINT_SCHEMA:
+                raise ValueError(f"schema {entry.get('schema')!r}")
+            if entry.get("key") != key:
+                raise ValueError("key mismatch (renamed or copied entry)")
+            body = entry["body"]
+            if _body_checksum(body) != entry.get("checksum"):
+                raise ValueError("checksum mismatch")
+            cells = [KnobCellResult.from_dict(c) for c in body["cells"]]
+        except FileNotFoundError:
+            for tracker in trackers:
+                tracker.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            # Corrupted or incompatible: drop it so the slot is recomputed.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            for tracker in trackers:
+                tracker.invalidations += 1
+                tracker.misses += 1
+            return None
+        for tracker in trackers:
+            tracker.hits += 1
+        return cells
+
+    # -- store -------------------------------------------------------------
+
+    def store(
+        self,
+        key: str,
+        cells: List[KnobCellResult],
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        """Atomically persist one shard's cells under *key*."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        body = {"cells": [cell.to_dict() for cell in cells]}
+        entry = {
+            "schema": FINGERPRINT_SCHEMA,
+            "key": key,
+            "checksum": _body_checksum(body),
+            "body": body,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump(entry, stream)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        if stats is not None:
+            stats.writes += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def _entries(self) -> List[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.glob("*.json") if p.is_file()
+        )
+
+    def disk_usage(self) -> DiskUsage:
+        entries = self._entries()
+        return DiskUsage(
+            directory=self.directory,
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        return removed

@@ -1,0 +1,222 @@
+"""The sharded exploration engine.
+
+Execution model: plan shards, satisfy as many as possible from the
+persistent cache, run the misses (in-process at one worker, on a
+``ProcessPoolExecutor`` otherwise), checkpoint each shard into the cache
+the moment it completes, then merge everything in canonical knob order.
+Because a completed shard is durable before the next one is awaited, an
+interrupted sweep resumes from its last finished shard: re-running the
+same call simply turns completed shards into cache hits.
+
+Workers receive the pickled :class:`ImplementedDesign` once (pool
+initializer), compile their own timing graph, and are sent only tiny
+shard descriptions; per-shard return values are a handful of operating
+points.  Determinism: every engine along the path (simulation, batched
+STA, power) is seeded/closed-form numpy, so a shard computes the same
+bits in any process -- the differential suite holds the engine to that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AUTO_WORKERS, ExplorationSettings
+from repro.core.exploration import (
+    ExhaustiveExplorer,
+    ExplorationResult,
+    KnobCellResult,
+    merge_cell_results,
+)
+from repro.core.flow import ImplementedDesign
+from repro.parallel.cache import CacheStats, ResultCache
+from repro.parallel.fingerprint import (
+    configs_fingerprint,
+    design_fingerprint,
+    shard_key,
+)
+from repro.parallel.shards import Shard, plan_shards
+from repro.sta.batch import all_bb_configs
+
+#: Environment override for auto-detected worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_worker_count(requested: int) -> int:
+    """Map a ``settings.workers`` value to an actual worker count.
+
+    ``AUTO_WORKERS`` consults ``$REPRO_WORKERS`` then the CPU count;
+    explicit positive values are taken as-is (0 resolves to 1: the engine
+    was engaged by the cache knob alone, so run serially).
+    """
+    if requested == AUTO_WORKERS:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be an integer, got {env!r}"
+                )
+        return max(1, os.cpu_count() or 1)
+    return max(1, requested)
+
+
+# -- worker-process side ----------------------------------------------------
+
+#: Per-worker-process state installed by the pool initializer; the
+#: explorer is built lazily so workers that never receive a shard don't
+#: pay graph compilation.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    design: ImplementedDesign,
+    settings: ExplorationSettings,
+    configs: np.ndarray,
+) -> None:
+    _WORKER_STATE["design"] = design
+    _WORKER_STATE["settings"] = settings
+    _WORKER_STATE["configs"] = configs
+    _WORKER_STATE.pop("explorer", None)
+
+
+def _run_shard(shard: Shard) -> List[KnobCellResult]:
+    explorer = _WORKER_STATE.get("explorer")
+    if explorer is None:
+        explorer = ExhaustiveExplorer(_WORKER_STATE["design"])
+        _WORKER_STATE["explorer"] = explorer
+    settings: ExplorationSettings = _WORKER_STATE["settings"]
+    return explorer.evaluate_cells(
+        shard.bitwidths, shard.vdd_values, settings, _WORKER_STATE["configs"]
+    )
+
+
+# -- orchestrating side -----------------------------------------------------
+
+
+class ParallelExplorer:
+    """Runs the optimization phase sharded, cached and resumable.
+
+    ``on_shard_complete(shard, from_cache)`` fires after each shard's
+    result is durable (cached when caching is on) -- the progress hook the
+    CLI uses and the seam the fault-injection tests kill a sweep through.
+    """
+
+    def __init__(
+        self,
+        design: ImplementedDesign,
+        explorer: Optional[ExhaustiveExplorer] = None,
+        on_shard_complete: Optional[Callable[[Shard, bool], None]] = None,
+    ):
+        self.design = design
+        self._explorer = explorer
+        self.on_shard_complete = on_shard_complete
+
+    def _serial_explorer(self) -> ExhaustiveExplorer:
+        if self._explorer is None:
+            self._explorer = ExhaustiveExplorer(self.design)
+        return self._explorer
+
+    def run(
+        self,
+        settings: Optional[ExplorationSettings] = None,
+        configs: Optional[np.ndarray] = None,
+        max_vdds_per_shard: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Explore the full knob grid; bit-identical to the serial path."""
+        if settings is None:
+            settings = ExplorationSettings()
+        start = time.perf_counter()
+        if configs is None:
+            configs = all_bb_configs(self.design.num_domains)
+        configs = np.asarray(configs, dtype=bool)
+        shards = plan_shards(settings, max_vdds_per_shard)
+
+        cache = ResultCache(settings.cache_dir) if settings.cache else None
+        stats = CacheStats() if cache else None
+        design_digest: Optional[str] = None
+        configs_digest: Optional[str] = None
+        if cache:
+            design_digest = design_fingerprint(self.design)
+            configs_digest = configs_fingerprint(configs)
+
+        cells: List[KnobCellResult] = []
+        pending: List[Tuple[Shard, Optional[str]]] = []
+        for shard in shards:
+            key = (
+                shard_key(design_digest, settings, configs_digest, shard)
+                if cache
+                else None
+            )
+            cached = cache.load(key, stats) if cache else None
+            if cached is not None:
+                cells.extend(cached)
+                if self.on_shard_complete:
+                    self.on_shard_complete(shard, True)
+            else:
+                pending.append((shard, key))
+
+        workers = resolve_worker_count(settings.workers)
+        if pending:
+            if workers == 1 or len(pending) == 1:
+                self._run_serial(pending, settings, configs, cache, stats, cells)
+            else:
+                self._run_pool(
+                    pending, settings, configs, cache, stats, cells, workers
+                )
+
+        result = merge_cell_results(
+            self.design, settings, cells, time.perf_counter() - start
+        )
+        result.cache_stats = stats
+        return result
+
+    def _complete(
+        self,
+        shard: Shard,
+        key: Optional[str],
+        shard_cells: List[KnobCellResult],
+        cache: Optional[ResultCache],
+        stats: Optional[CacheStats],
+        cells: List[KnobCellResult],
+    ) -> None:
+        """Make one shard durable, then visible, then announce it."""
+        if cache:
+            cache.store(key, shard_cells, stats)
+        cells.extend(shard_cells)
+        if self.on_shard_complete:
+            self.on_shard_complete(shard, False)
+
+    def _run_serial(self, pending, settings, configs, cache, stats, cells):
+        explorer = self._serial_explorer()
+        for shard, key in pending:
+            shard_cells = explorer.evaluate_cells(
+                shard.bitwidths, shard.vdd_values, settings, configs
+            )
+            self._complete(shard, key, shard_cells, cache, stats, cells)
+
+    def _run_pool(
+        self, pending, settings, configs, cache, stats, cells, workers
+    ):
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(self.design, settings, configs),
+        ) as pool:
+            futures = {
+                pool.submit(_run_shard, shard): (shard, key)
+                for shard, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard, key = futures[future]
+                    self._complete(
+                        shard, key, future.result(), cache, stats, cells
+                    )

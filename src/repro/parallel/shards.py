@@ -1,0 +1,60 @@
+"""Shard planning: slicing the (bitwidth, VDD) knob grid.
+
+A shard is a rectangular slice of the knob grid that one worker evaluates
+in one go.  The canonical plan is one shard per bitwidth carrying every
+VDD: activity simulation (the per-bitwidth fixed cost) then runs exactly
+once per shard, and with the paper's 16 bitwidths there is ample
+parallelism for any sane worker count.  ``max_vdds_per_shard`` splits
+further for very tall VDD sweeps (or for shard-boundary testing); results
+are invariant to the plan because every plan covers each (bitwidth, VDD)
+cell exactly once and the merge re-orders cells canonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import ExplorationSettings
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independently computable slice of the knob grid."""
+
+    index: int
+    bitwidths: Tuple[int, ...]
+    vdd_values: Tuple[float, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.bitwidths) * len(self.vdd_values)
+
+    def describe(self) -> str:
+        bits = ",".join(str(b) for b in self.bitwidths)
+        vdds = ",".join(f"{v:g}" for v in self.vdd_values)
+        return f"shard {self.index}: bits [{bits}] x vdd [{vdds}]"
+
+
+def plan_shards(
+    settings: ExplorationSettings,
+    max_vdds_per_shard: Optional[int] = None,
+) -> List[Shard]:
+    """Deterministic shard plan covering the settings' knob grid.
+
+    The plan depends only on the knob grid (never on worker count), so
+    cache keys derived from shards are stable across machines and
+    executions with different parallelism.
+    """
+    if max_vdds_per_shard is not None and max_vdds_per_shard < 1:
+        raise ValueError("max_vdds_per_shard must be >= 1")
+    step = max_vdds_per_shard or len(settings.vdd_values)
+    vdd_groups = [
+        settings.vdd_values[i:i + step]
+        for i in range(0, len(settings.vdd_values), step)
+    ]
+    shards: List[Shard] = []
+    for bits in settings.bitwidths:
+        for group in vdd_groups:
+            shards.append(Shard(len(shards), (bits,), tuple(group)))
+    return shards

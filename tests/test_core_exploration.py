@@ -116,6 +116,49 @@ class TestDvas:
         assert max(s for s in savings if s is not None) > 0.05
 
 
+class TestDefaultSettingsNotShared:
+    """Regression: the entry points used to evaluate
+    ``settings=ExplorationSettings()`` at *def* time, sharing one instance
+    across every call site -- a state-leak hazard now that settings carry
+    worker/cache execution state."""
+
+    def test_no_instance_baked_into_signatures(self):
+        import inspect
+
+        from repro.core.domains_dse import explore_domain_configurations
+        from repro.core.dvas import dvas_explore
+
+        for func, param in (
+            (ExhaustiveExplorer.run, "settings"),
+            (dvas_explore, "settings"),
+            (explore_domain_configurations, "settings"),
+        ):
+            default = inspect.signature(func).parameters[param].default
+            assert default is None, (
+                f"{func.__qualname__} bakes a shared ExplorationSettings "
+                "instance into its signature"
+            )
+
+    def test_back_to_back_default_runs_share_nothing(self, library):
+        from repro.core.flow import implement_base
+        from repro.operators import adequate_adder
+
+        design = implement_base(
+            lambda: adequate_adder(library, width=4, name="defaults_adder"),
+            library,
+        )
+        explorer = ExhaustiveExplorer(design)
+        first = explorer.run()
+        second = explorer.run()
+        # Fresh settings per call, not one module-lifetime instance...
+        assert first.settings is not second.settings
+        assert first.settings == second.settings == ExplorationSettings()
+        # ...and no state leaked between the runs.
+        assert first.best_per_bitwidth == second.best_per_bitwidth
+        assert first.feasible_counts == second.feasible_counts
+        assert first.points_evaluated == second.points_evaluated
+
+
 class TestPareto:
     def test_pareto_filters_dominated(self):
         points = [

@@ -1,0 +1,131 @@
+"""Fault injection: a killed sweep resumes from its completed shards.
+
+The checkpoint store *is* the shard cache: every finished shard is
+durable (atomic write) before the engine moves on, so re-running the
+same sweep turns completed shards into cache hits and only the remainder
+is recomputed.  These tests kill a sweep through the progress hook and
+assert (a) the merged resume result is bit-identical to an uninterrupted
+run and (b) completed shards were served from cache, not re-executed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import implement_with_domains
+from repro.operators import adequate_adder
+from repro.parallel.cache import ResultCache
+from repro.parallel.engine import ParallelExplorer
+from repro.parallel.shards import plan_shards
+from repro.pnr.grid import GridPartition
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(1, 2, 3, 4), activity_cycles=8, activity_batch=8
+)
+
+
+class SimulatedCrash(RuntimeError):
+    pass
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    return implement_with_domains(
+        lambda: adequate_adder(library, width=4, name="resume_adder"),
+        library,
+        GridPartition(2, 1),
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(design):
+    return ExhaustiveExplorer(design).run(SETTINGS)
+
+
+def crash_after(n):
+    completions = []
+
+    def hook(shard, from_cache):
+        completions.append((shard.index, from_cache))
+        if len(completions) >= n:
+            raise SimulatedCrash(f"injected after {n} shards")
+
+    return hook, completions
+
+
+@pytest.mark.parametrize("crash_point", [1, 2, 3])
+def test_resume_equals_uninterrupted(
+    crash_point, design, uninterrupted, tmp_path
+):
+    settings = dataclasses.replace(
+        SETTINGS, workers=1, cache=True, cache_dir=str(tmp_path)
+    )
+    total_shards = len(plan_shards(settings))
+    assert crash_point < total_shards
+
+    hook, completions = crash_after(crash_point)
+    with pytest.raises(SimulatedCrash):
+        ParallelExplorer(design, on_shard_complete=hook).run(settings)
+    assert len(completions) == crash_point
+
+    # The completed shards survived the crash...
+    cache = ResultCache(tmp_path)
+    assert cache.disk_usage().entries == crash_point
+
+    # ...and the resume serves exactly them from cache, recomputes the
+    # rest, and merges to the uninterrupted result bit-for-bit.
+    resumed = ExhaustiveExplorer(design).run(settings)
+    assert resumed.cache_stats.hits == crash_point
+    assert resumed.cache_stats.misses == total_shards - crash_point
+    assert resumed.cache_stats.writes == total_shards - crash_point
+    assert resumed.best_per_bitwidth == uninterrupted.best_per_bitwidth
+    assert resumed.best_per_knob_point == uninterrupted.best_per_knob_point
+    assert resumed.feasible_counts == uninterrupted.feasible_counts
+    assert resumed.points_evaluated == uninterrupted.points_evaluated
+    assert resumed.points_feasible == uninterrupted.points_feasible
+
+
+def test_resume_into_parallel_run(design, uninterrupted, tmp_path):
+    """A sweep killed serially may resume on a pool (and vice versa)."""
+    serial = dataclasses.replace(
+        SETTINGS, workers=1, cache=True, cache_dir=str(tmp_path)
+    )
+    hook, _ = crash_after(2)
+    with pytest.raises(SimulatedCrash):
+        ParallelExplorer(design, on_shard_complete=hook).run(serial)
+
+    pooled = dataclasses.replace(serial, workers=2)
+    resumed = ExhaustiveExplorer(design).run(pooled)
+    assert resumed.cache_stats.hits == 2
+    assert resumed.best_per_bitwidth == uninterrupted.best_per_bitwidth
+    assert resumed.feasible_counts == uninterrupted.feasible_counts
+
+
+def test_completed_shards_not_reexecuted_counts_stay_exact(
+    design, uninterrupted, tmp_path
+):
+    """Two consecutive crashes make progress; the final resume only pays
+    for what never completed."""
+    settings = dataclasses.replace(
+        SETTINGS, workers=1, cache=True, cache_dir=str(tmp_path)
+    )
+    total_shards = len(plan_shards(settings))
+
+    hook, _ = crash_after(1)
+    with pytest.raises(SimulatedCrash):
+        ParallelExplorer(design, on_shard_complete=hook).run(settings)
+
+    # Second attempt: the 1 finished shard hits, then crash 2 shards later.
+    hook, completions = crash_after(3)
+    with pytest.raises(SimulatedCrash):
+        ParallelExplorer(design, on_shard_complete=hook).run(settings)
+    assert [from_cache for _, from_cache in completions] == [
+        True, False, False,
+    ]
+
+    final = ExhaustiveExplorer(design).run(settings)
+    assert final.cache_stats.hits == 3
+    assert final.cache_stats.misses == total_shards - 3
+    assert final.best_per_bitwidth == uninterrupted.best_per_bitwidth
