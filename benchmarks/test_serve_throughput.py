@@ -1,0 +1,102 @@
+"""Benchmark: the serving subsystem end to end, greedy vs hysteresis.
+
+Drives the asyncio server in-process with a deterministic three-operator
+request mix over a ModeTable compiled from the Booth multiplier, once
+per policy, and records:
+
+* sustained requests/second through the bounded queue + drain worker;
+* p99 service latency in virtual ns (queue wait + settling, from the
+  telemetry histogram) -- the mode-switch latency an operator would
+  observe on the modeled hardware;
+* mode switches and degradations, where hysteresis must not switch more
+  than greedy.
+
+The numbers are emitted as one JSON object per policy so CI logs are
+machine-scrapeable.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.serve.scheduler import ModeScheduler
+from repro.serve.server import AccuracyServer
+from repro.serve.table import compile_mode_table
+
+REQUESTS = 5_000
+OPERATORS = ("mac0", "mac1", "mac2")
+
+
+def _drive(table, policy):
+    """Run the request mix against a fresh server; return (stats, seconds)."""
+    scheduler = ModeScheduler(
+        table,
+        num_generators=2,
+        policy=policy,
+        max_queue_depth=8,
+        policy_kwargs={"dwell_cycles": 5_000} if policy == "hysteresis" else {},
+    )
+    rng = np.random.default_rng(2017)
+    bitwidths = sorted(table.modes)
+    trace = [
+        (
+            OPERATORS[i % 3],
+            int(rng.choice(bitwidths)),
+            int(rng.integers(100, 10_000)),
+        )
+        for i in range(REQUESTS)
+    ]
+
+    async def body():
+        async with AccuracyServer(scheduler, max_pending=256) as server:
+            start = time.perf_counter()
+            for chunk_start in range(0, REQUESTS, 64):
+                chunk = trace[chunk_start : chunk_start + 64]
+                phases = await asyncio.gather(
+                    *(server.request(op, bits, cycles)
+                      for op, bits, cycles in chunk)
+                )
+                for (op, bits, _cycles), phase in zip(chunk, phases):
+                    assert phase.served_bits >= bits
+            elapsed = time.perf_counter() - start
+            return server.stats(), elapsed
+
+    return asyncio.run(body())
+
+
+def test_serve_throughput_greedy_vs_hysteresis(bundles):
+    bundle = bundles["booth"]
+    table = compile_mode_table(bundle.domained(), bundle.proposed())
+
+    results = {}
+    for policy in ("greedy", "hysteresis"):
+        stats, elapsed = _drive(table, policy)
+        counters = stats["counters"]
+        record = {
+            "policy": policy,
+            "requests": counters["requests"],
+            "req_per_s": round(counters["requests"] / elapsed, 1),
+            "p99_latency_ns": stats["latency_ns"]["p99"],
+            "p50_latency_ns": stats["latency_ns"]["p50"],
+            "mode_switches": counters["mode_switches"],
+            "batched_slews": counters["batched_slews"],
+            "degraded": counters["degraded"],
+            "violations": counters["accuracy_violations"],
+        }
+        results[policy] = record
+        print(f"\nserve_bench {json.dumps(record, sort_keys=True)}")
+
+    for record in results.values():
+        assert record["requests"] == REQUESTS
+        assert record["violations"] == 0
+        # Pure-python scheduler behind an asyncio queue: anything under
+        # this floor means an accidental O(n^2) crept into the hot path.
+        assert record["req_per_s"] > 1_000
+
+    # Debouncing exists to cut switch count; it must never raise it.
+    assert (
+        results["hysteresis"]["mode_switches"]
+        <= results["greedy"]["mode_switches"]
+    )

@@ -31,9 +31,10 @@ from repro.core import (
     implement_with_domains,
 )
 from repro.pnr.grid import GridPartition
+from repro.serve import ModeTable, compile_mode_table
 from repro.techlib.library import Library
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def quick_flow(netlist_factory, library, grid=(2, 2), settings=None):
@@ -63,6 +64,8 @@ __all__ = [
     "implement_with_domains",
     "GridPartition",
     "Library",
+    "ModeTable",
+    "compile_mode_table",
     "quick_flow",
     "__version__",
 ]

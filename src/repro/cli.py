@@ -11,6 +11,14 @@ Commands:
                       design at a chosen corner.
 * ``characterize`` -- dump the synthetic library at a corner, as a text
                       table or as a Liberty (.lib) file.
+* ``compile-table``-- implement + explore a design and freeze the result
+                      into the serving artifact (a versioned ModeTable
+                      JSON with a precomputed transition-cost matrix).
+* ``serve``        -- run the asyncio accuracy server from a compiled
+                      table; ``--soak N`` drives N requests through the
+                      socket and exits (the CI smoke path).
+* ``replay``       -- replay a workload trace through the serve
+                      scheduler under a chosen policy.
 """
 
 from __future__ import annotations
@@ -187,6 +195,175 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _implement_for(args):
+    library = Library()
+    factory = _design_factory(args.design, args.width, library)
+    constraint = select_clock_for(factory, library)
+    return implement_with_domains(
+        factory, library, _parse_grid(args.grid), constraint=constraint
+    )
+
+
+def cmd_compile_table(args) -> int:
+    from repro.core.runtime import BiasGeneratorModel
+    from repro.io.results import load_exploration, save_mode_table
+    from repro.serve.table import compile_mode_table
+
+    design = _implement_for(args)
+    print(design.describe())
+    if args.exploration:
+        with open(args.exploration) as stream:
+            result = load_exploration(stream)
+        if result.design_name.split("_")[0] not in design.netlist.name:
+            print(
+                f"warning: exploration was run on {result.design_name!r}, "
+                f"compiling against {design.netlist.name!r}"
+            )
+    else:
+        result = ExhaustiveExplorer(design).run(_settings(args))
+    table = compile_mode_table(design, result, BiasGeneratorModel())
+    print(table.describe())
+    with open(args.output, "w") as stream:
+        save_mode_table(table, stream)
+    print(f"mode table compiled to {args.output}")
+    return 0
+
+
+def _load_table(path):
+    from repro.io.results import load_mode_table
+
+    with open(path) as stream:
+        return load_mode_table(stream)
+
+
+def _soak_requests(table, count, seed):
+    """Deterministic request mix over three operator instances."""
+    rng = np.random.default_rng(seed)
+    bitwidths = table.bitwidths
+    operators = ("op0", "op1", "op2")
+    for index in range(count):
+        yield (
+            operators[index % len(operators)],
+            int(rng.choice(bitwidths)),
+            int(rng.integers(1_000, 20_000)),
+        )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.serve.scheduler import ModeScheduler
+    from repro.serve.server import AccuracyServer
+
+    table = _load_table(args.table)
+    print(table.describe())
+    scheduler = ModeScheduler(
+        table,
+        num_generators=args.generators,
+        policy=args.policy,
+        max_queue_depth=args.queue_depth,
+    )
+    server = AccuracyServer(
+        scheduler, host=args.host, port=args.port, max_pending=args.max_pending
+    )
+
+    async def soak() -> dict:
+        async with server:
+            print(f"serving on {args.host}:{server.port}")
+
+            async def client(requests):
+                reader, writer = await asyncio.open_connection(
+                    args.host, server.port
+                )
+                try:
+                    for op, bits, cycles in requests:
+                        writer.write(
+                            json_module.dumps(
+                                {"op": op, "bits": bits, "cycles": cycles}
+                            ).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                        response = json_module.loads(await reader.readline())
+                        if "error" in response:
+                            raise RuntimeError(response["error"])
+                        if response["served_bits"] < bits:
+                            raise RuntimeError(
+                                f"served {response['served_bits']} bits "
+                                f"for a {bits}-bit request"
+                            )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+            everything = list(_soak_requests(table, args.soak, args.seed))
+            shard = max(1, len(everything) // args.clients)
+            await asyncio.gather(
+                *(
+                    client(everything[i : i + shard])
+                    for i in range(0, len(everything), shard)
+                )
+            )
+            return server.stats()
+
+    async def forever() -> None:
+        async with server:
+            print(f"serving on {args.host}:{server.port} (ctrl-c to stop)")
+            while True:
+                await asyncio.sleep(3600)
+
+    if args.soak:
+        stats = asyncio.run(soak())
+        counters = stats["counters"]
+        print(
+            f"soak complete: {counters['requests']} requests, "
+            f"{counters['mode_switches']} switches, "
+            f"{counters['degraded']} degraded, "
+            f"{counters['accuracy_violations']} violations, "
+            f"p99 latency {stats['latency_ns']['p99']:.0f} ns"
+        )
+        if args.stats_output:
+            with open(args.stats_output, "w") as stream:
+                json_module.dump(stats, stream, indent=2)
+            print(f"telemetry written to {args.stats_output}")
+        return 1 if counters["accuracy_violations"] else 0
+    try:
+        asyncio.run(forever())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    import json as json_module
+
+    from repro.core.runtime import WorkloadPhase
+    from repro.serve.scheduler import replay_trace
+
+    table = _load_table(args.table)
+    if args.trace:
+        with open(args.trace) as stream:
+            entries = json_module.load(stream)
+        workload = [
+            WorkloadPhase(int(e["bits"]), int(e["cycles"])) for e in entries
+        ]
+    else:
+        rng = np.random.default_rng(args.seed)
+        bitwidths = table.bitwidths
+        workload = [
+            WorkloadPhase(
+                int(rng.choice(bitwidths)), int(rng.integers(5_000, 100_000))
+            )
+            for _ in range(args.phases)
+        ]
+    report = replay_trace(
+        table, workload, policy=args.policy, lookahead_window=args.window
+    )
+    print(f"policy {args.policy}: {report.summary()}")
+    return 0
+
+
 def cmd_characterize(args) -> int:
     library = Library()
     if args.lib:
@@ -269,6 +446,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--cache-dir", help="override the cache directory")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "compile-table",
+        help="freeze exploration + implementation into a serving ModeTable",
+    )
+    add_design_args(p)
+    add_engine_args(p)
+    p.add_argument("--grid", default="2x2")
+    p.add_argument(
+        "--exploration",
+        help="load a saved exploration JSON instead of re-exploring",
+    )
+    p.add_argument(
+        "--output", required=True, help="write the compiled table here"
+    )
+    p.set_defaults(func=cmd_compile_table)
+
+    p = sub.add_parser(
+        "serve", help="run the asyncio accuracy server from a compiled table"
+    )
+    p.add_argument("--table", required=True, help="compiled ModeTable JSON")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p.add_argument(
+        "--policy",
+        default="greedy",
+        choices=["greedy", "hysteresis", "lookahead"],
+    )
+    p.add_argument("--generators", type=int, default=2)
+    p.add_argument("--queue-depth", type=int, default=8)
+    p.add_argument("--max-pending", type=int, default=64)
+    p.add_argument(
+        "--soak",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drive N requests through the socket, print telemetry, exit",
+    )
+    p.add_argument("--clients", type=int, default=4, help="soak connections")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--stats-output", help="write soak telemetry JSON here")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "replay", help="replay a workload trace through the serve scheduler"
+    )
+    p.add_argument("--table", required=True, help="compiled ModeTable JSON")
+    p.add_argument(
+        "--policy",
+        default="greedy",
+        choices=["greedy", "hysteresis", "lookahead"],
+    )
+    p.add_argument(
+        "--trace", help='JSON trace: a list of {"bits": b, "cycles": c}'
+    )
+    p.add_argument(
+        "--phases", type=int, default=64, help="synthetic trace length"
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--window", type=int, default=4, help="lookahead window")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report-timing", help="worst paths at a corner")
     add_design_args(p)

@@ -8,10 +8,19 @@ the runtime selection to the application.  This module models that runtime:
   ("two DC-DC converters (e.g., charge pumps) can be used to generate FBB
   voltages ... and some power switches to selectively connect the Well pins
   of each domain"): switching a domain's well costs the energy to slew its
-  well capacitance and takes a settling time.
+  well capacitance and takes a settling time, and re-targeting the supply
+  rail costs the energy to slew the rail/decap capacitance of the whole
+  operator through the regulator.
 * :class:`AccuracyController` -- replays a workload trace (phases of
   required accuracy) against an exploration result, accounting mode-switch
   energy/time, and reports the adaptive-vs-static energy picture.
+
+The controller's :meth:`AccuracyController.replay` is a thin client of the
+online serving subsystem (:mod:`repro.serve`): it compiles the exploration
+into a :class:`repro.serve.table.ModeTable` and runs the trace through the
+shared-bias scheduler with the paper-greedy policy.
+:meth:`AccuracyController.replay_reference` keeps the original closed-form
+accounting loop as the differential oracle the serve tests compare against.
 """
 
 from __future__ import annotations
@@ -28,18 +37,27 @@ from repro.core.flow import ImplementedDesign
 
 @dataclass(frozen=True)
 class BiasGeneratorModel:
-    """First-order electrical model of the back-bias generation hardware.
+    """First-order electrical model of the bias/supply generation hardware.
 
     ``well_cap_ff_per_um2`` is the junction/wiring capacitance each domain
     presents to its bias rail per unit of domain area; slewing a well from
     bias ``a`` to ``b`` costs ``C_well * (a - b)^2`` through the charge
     pump (efficiency folded in) and takes ``transition_time_ns`` before
     the domain may be timed at the new corner.
+
+    Re-targeting VDD is *not* free either: the operator's supply rail and
+    decap present ``rail_cap_ff_per_um2`` per unit of total area, slewed
+    through the regulator at ``regulator_efficiency``, settling in
+    ``vdd_transition_time_ns``.  Well and rail slews proceed in parallel,
+    so a combined transition settles in the slower of the two.
     """
 
     transition_time_ns: float = 100.0
     well_cap_ff_per_um2: float = 0.08
     pump_efficiency: float = 0.5
+    vdd_transition_time_ns: float = 50.0
+    rail_cap_ff_per_um2: float = 0.2
+    regulator_efficiency: float = 0.9
 
     def transition_energy_j(
         self, domain_area_um2: float, vbb_from: float, vbb_to: float
@@ -49,6 +67,61 @@ class BiasGeneratorModel:
         cap_f = domain_area_um2 * self.well_cap_ff_per_um2 * 1e-15
         swing = abs(vbb_from - vbb_to)
         return cap_f * swing**2 / self.pump_efficiency
+
+    def rail_transition_energy_j(
+        self, total_area_um2: float, vdd_from: float, vdd_to: float
+    ) -> float:
+        """Energy to slew the supply rail of the whole operator."""
+        if vdd_from == vdd_to:
+            return 0.0
+        cap_f = total_area_um2 * self.rail_cap_ff_per_um2 * 1e-15
+        swing = abs(vdd_from - vdd_to)
+        return cap_f * swing**2 / self.regulator_efficiency
+
+
+def measure_domain_areas(design: ImplementedDesign) -> np.ndarray:
+    """Total cell area per Vth domain (the load each well presents)."""
+    areas = np.zeros(design.num_domains)
+    domains = design.domains
+    for cell, domain in zip(design.netlist.cells, domains):
+        areas[int(domain)] += cell.area_um2
+    return areas
+
+
+def pairwise_transition_cost(
+    old: OperatingPoint,
+    new: OperatingPoint,
+    domain_areas: Sequence[float],
+    generator: BiasGeneratorModel,
+    fbb_voltage: float,
+) -> Tuple[float, float]:
+    """(energy J, time ns) to move the hardware between two operating points.
+
+    The single costing routine shared by the offline controller and the
+    compiled :class:`repro.serve.table.ModeTable` transition matrix --
+    keeping both bit-identical is what makes the serve scheduler's greedy
+    replay reproduce the legacy accounting exactly.
+    """
+    state_vbb = {False: 0.0, True: fbb_voltage}
+    energy = 0.0
+    settle_ns = 0.0
+    if old.bb_config != new.bb_config:
+        for domain, (before, after) in enumerate(
+            zip(old.bb_config, new.bb_config)
+        ):
+            energy += generator.transition_energy_j(
+                float(domain_areas[domain]),
+                state_vbb[before],
+                state_vbb[after],
+            )
+        settle_ns = generator.transition_time_ns
+    if old.vdd != new.vdd:
+        total_area = float(sum(domain_areas))
+        energy += generator.rail_transition_energy_j(
+            total_area, old.vdd, new.vdd
+        )
+        settle_ns = max(settle_ns, generator.vdd_transition_time_ns)
+    return (energy, settle_ns)
 
 
 @dataclass(frozen=True)
@@ -110,20 +183,16 @@ class AccuracyController:
         if not exploration.best_per_bitwidth:
             raise ValueError("exploration found no feasible operating points")
         self.design = design
+        self.exploration = exploration
         self.generator = generator
         self.mode_table: Dict[int, OperatingPoint] = dict(
             exploration.best_per_bitwidth
         )
-        self._domain_areas = self._measure_domain_areas()
+        self._domain_areas = measure_domain_areas(design)
         fbb = design.netlist.library.process.fbb_voltage
+        self._fbb_voltage = fbb
         self._state_vbb = {False: 0.0, True: fbb}
-
-    def _measure_domain_areas(self) -> np.ndarray:
-        areas = np.zeros(self.design.num_domains)
-        domains = self.design.domains
-        for cell, domain in zip(self.design.netlist.cells, domains):
-            areas[int(domain)] += cell.area_um2
-        return areas
+        self._compiled_table = None
 
     # -- mode selection ------------------------------------------------------
 
@@ -144,24 +213,56 @@ class AccuracyController:
     def transition_cost(
         self, old: Optional[OperatingPoint], new: OperatingPoint
     ) -> Tuple[float, float]:
-        """(energy J, time ns) to move the hardware between two modes."""
-        if old is None or old.bb_config == new.bb_config:
+        """(energy J, time ns) to move the hardware between two modes.
+
+        A ``None`` *old* models power-on into the first mode: the rails
+        are assumed pre-charged, so it costs nothing.  A VDD-only change
+        (identical back-bias assignment at a different supply) pays the
+        rail slew -- it is *not* free.
+        """
+        if old is None:
             return (0.0, 0.0)
-        energy = 0.0
-        for domain, (before, after) in enumerate(
-            zip(old.bb_config, new.bb_config)
-        ):
-            energy += self.generator.transition_energy_j(
-                self._domain_areas[domain],
-                self._state_vbb[before],
-                self._state_vbb[after],
+        return pairwise_transition_cost(
+            old, new, self._domain_areas, self.generator, self._fbb_voltage
+        )
+
+    def compiled(self):
+        """The exploration compiled as a serve-layer ModeTable (cached)."""
+        if self._compiled_table is None:
+            from repro.serve.table import compile_mode_table
+
+            self._compiled_table = compile_mode_table(
+                self.design, self.exploration, self.generator
             )
-        return (energy, self.generator.transition_time_ns)
+        return self._compiled_table
 
     # -- workload replay -------------------------------------------------------
 
-    def replay(self, workload: Sequence[WorkloadPhase]) -> RuntimeReport:
-        """Replay a trace of accuracy phases; account compute + transitions."""
+    def replay(
+        self, workload: Sequence[WorkloadPhase], policy: str = "greedy"
+    ) -> RuntimeReport:
+        """Replay a trace of accuracy phases through the serve scheduler.
+
+        Thin client of :mod:`repro.serve`: with the default greedy policy
+        the numbers reproduce :meth:`replay_reference` exactly (the serve
+        differential suite locks that in); other policies trade accuracy
+        headroom for fewer transitions.
+        """
+        if not workload:
+            raise ValueError("empty workload")
+        from repro.serve.scheduler import replay_trace
+
+        return replay_trace(self.compiled(), workload, policy=policy)
+
+    def replay_reference(
+        self, workload: Sequence[WorkloadPhase]
+    ) -> RuntimeReport:
+        """The closed-form accounting loop (differential oracle for serve).
+
+        Greedy per-phase mode selection; a mode *switch* is counted
+        whenever the operating point changes (including free first-phase
+        power-on), not only when the transition costs energy.
+        """
         if not workload:
             raise ValueError("empty workload")
         fclk_hz = self.design.fclk_ghz * 1e9
@@ -179,7 +280,7 @@ class AccuracyController:
         for phase in workload:
             point = self.mode_for(phase.required_bits)
             energy, settle_ns = self.transition_cost(current, point)
-            if energy > 0.0 or settle_ns > 0.0:
+            if point != current:
                 switches += 1
             transition_energy += energy
             transition_time += settle_ns

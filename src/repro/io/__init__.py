@@ -10,7 +10,22 @@ of each format.
 
 from repro.io.liberty import write_liberty
 from repro.io.defio import write_def
+from repro.io.results import (
+    load_exploration,
+    load_mode_table,
+    save_exploration,
+    save_mode_table,
+)
 from repro.io.spef import write_spef
 from repro.io.vcd import write_vcd
 
-__all__ = ["write_liberty", "write_def", "write_spef", "write_vcd"]
+__all__ = [
+    "write_liberty",
+    "write_def",
+    "write_spef",
+    "write_vcd",
+    "save_exploration",
+    "load_exploration",
+    "save_mode_table",
+    "load_mode_table",
+]

@@ -1,8 +1,15 @@
-"""JSON persistence for exploration results and mode tables.
+"""JSON persistence for exploration results and compiled mode tables.
 
 Explorations of the big designs take seconds to minutes; systems built on
-the mode tables (runtime controllers, SoC composition) want to load them
-without re-running the flow.  The JSON schema is versioned and stable.
+the mode tables (runtime controllers, SoC composition, the serve layer)
+want to load them without re-running the flow.  Two artifacts live here:
+
+* the full :class:`ExplorationResult` (every knob-grid statistic), and
+* the compiled :class:`repro.serve.table.ModeTable` the serving
+  subsystem consumes (`repro compile-table` / `repro serve`).
+
+Both JSON schemas are versioned; loaders reject a mismatched version with
+a clear error instead of guessing.
 """
 
 from __future__ import annotations
@@ -61,8 +68,9 @@ def load_exploration(stream: TextIO) -> ExplorationResult:
     payload = json.load(stream)
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(
-            f"unsupported schema {payload.get('schema')!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"unsupported exploration schema {payload.get('schema')!r} "
+            f"(this build reads schema {SCHEMA_VERSION}); re-run the "
+            "exploration to regenerate the artifact"
         )
     settings = ExplorationSettings(
         bitwidths=tuple(payload["settings"]["bitwidths"]),
@@ -91,3 +99,19 @@ def load_exploration(stream: TextIO) -> ExplorationResult:
             for e in payload["best_per_knob_point"]
         },
     )
+
+
+def save_mode_table(table, stream: TextIO) -> None:
+    """Serialize a compiled :class:`repro.serve.table.ModeTable` as JSON."""
+    json.dump(table.to_dict(), stream, indent=2)
+
+
+def load_mode_table(stream: TextIO):
+    """Load a mode table saved by :func:`save_mode_table`.
+
+    Rejects artifacts with a mismatched schema version (the check lives
+    in :meth:`repro.serve.table.ModeTable.from_dict`).
+    """
+    from repro.serve.table import ModeTable
+
+    return ModeTable.from_dict(json.load(stream))

@@ -1,0 +1,63 @@
+"""repro.serve -- the online accuracy-serving subsystem.
+
+Turns exploration results into a live, concurrent accuracy-mode service:
+
+* :mod:`repro.serve.table` -- the compiled, versioned :class:`ModeTable`
+  artifact (operating points + precomputed transition-cost matrix),
+* :mod:`repro.serve.policy` -- pluggable mode-selection policies
+  (greedy / hysteresis / lookahead),
+* :mod:`repro.serve.scheduler` -- the event-driven shared-bias-generator
+  scheduler with batching, backpressure and graceful degradation,
+* :mod:`repro.serve.server` -- the asyncio front end (in-proc API +
+  JSON-lines socket),
+* :mod:`repro.serve.telemetry` -- counters and latency/energy histograms.
+
+See ``docs/serve.md`` for the subsystem overview and invariants.
+"""
+
+from repro.serve.policy import (
+    GreedyPolicy,
+    HysteresisPolicy,
+    LookaheadPolicy,
+    POLICIES,
+    SelectionPolicy,
+    make_policy,
+)
+from repro.serve.scheduler import (
+    AccuracyViolation,
+    GeneratorPool,
+    ModeScheduler,
+    ServedPhase,
+    ServeRequest,
+    replay_trace,
+)
+from repro.serve.server import AccuracyServer
+from repro.serve.table import (
+    MODE_TABLE_SCHEMA,
+    ModeTable,
+    TransitionCost,
+    compile_mode_table,
+)
+from repro.serve.telemetry import Histogram, Telemetry
+
+__all__ = [
+    "AccuracyServer",
+    "AccuracyViolation",
+    "GeneratorPool",
+    "GreedyPolicy",
+    "Histogram",
+    "HysteresisPolicy",
+    "LookaheadPolicy",
+    "MODE_TABLE_SCHEMA",
+    "ModeScheduler",
+    "ModeTable",
+    "POLICIES",
+    "SelectionPolicy",
+    "ServeRequest",
+    "ServedPhase",
+    "Telemetry",
+    "TransitionCost",
+    "compile_mode_table",
+    "make_policy",
+    "replay_trace",
+]

@@ -1,0 +1,175 @@
+"""Pluggable mode-selection policies for the serving subsystem.
+
+A policy decides which compiled mode serves a request, given the mode the
+operator currently sits in and (optionally) a bounded window of upcoming
+requests.  The contract every policy must honour -- and the scheduler
+re-checks centrally -- is the accuracy invariant: **the selected mode never
+offers fewer bits than the request demands**.  Policies only get to trade
+*headroom* (serving more bits than asked) against transition cost.
+
+Three policies ship:
+
+* ``greedy`` -- the paper baseline: cheapest sufficient mode, every phase.
+* ``hysteresis`` -- takes every upswitch (accuracy first), but refuses a
+  downswitch unless the projected compute saving over an expected dwell
+  beats the transition energy by a configurable margin.  Kills mode
+  thrash on alternating workloads.
+* ``lookahead`` -- evaluates, over a bounded window of known upcoming
+  phases, the full energy of "greedy per phase" vs "hold one covering
+  mode", and commits to the cheaper plan's first step.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from repro.serve.table import ModeTable
+
+#: An upcoming request as the scheduler exposes it to policies:
+#: ``(required_bits, cycles)``.
+Upcoming = Tuple[int, int]
+
+
+class SelectionPolicy(ABC):
+    """Chooses the mode key serving a request."""
+
+    name = "base"
+
+    def __init__(self, table: ModeTable):
+        self.table = table
+
+    @abstractmethod
+    def select(
+        self,
+        required_bits: int,
+        current_bits: Optional[int],
+        upcoming: Sequence[Upcoming] = (),
+    ) -> int:
+        """Return the mode key to serve *required_bits* with."""
+
+    def _phase_energy_j(self, bits_key: int, cycles: int) -> float:
+        power = self.table.modes[bits_key].total_power_w
+        return power * cycles / (self.table.fclk_ghz * 1e9)
+
+
+class GreedyPolicy(SelectionPolicy):
+    """Paper baseline: cheapest sufficient mode, reconsidered every phase."""
+
+    name = "greedy"
+
+    def select(self, required_bits, current_bits, upcoming=()):
+        return self.table.mode_key_for(required_bits)
+
+
+class HysteresisPolicy(SelectionPolicy):
+    """Debounced greedy: a downswitch must pay for itself.
+
+    When greedy wants a cheaper mode than the current one, the move is
+    taken only if the projected compute saving over ``dwell_cycles``
+    exceeds ``margin`` times the transition energy; otherwise the operator
+    holds its (sufficient) current mode.  Upswitches are never delayed.
+    """
+
+    name = "hysteresis"
+
+    def __init__(
+        self, table: ModeTable, dwell_cycles: int = 20_000, margin: float = 2.0
+    ):
+        super().__init__(table)
+        if dwell_cycles <= 0:
+            raise ValueError("dwell_cycles must be positive")
+        if margin < 0.0:
+            raise ValueError("margin must be non-negative")
+        self.dwell_cycles = dwell_cycles
+        self.margin = margin
+
+    def select(self, required_bits, current_bits, upcoming=()):
+        target = self.table.mode_key_for(required_bits)
+        if current_bits is None or target == current_bits:
+            return target
+        current = self.table.modes[current_bits]
+        if current.active_bits < required_bits:
+            return target  # upswitch: accuracy always wins
+        saving_w = current.total_power_w - self.table.modes[target].total_power_w
+        if saving_w <= 0.0:
+            return current_bits
+        dwell_s = self.dwell_cycles / (self.table.fclk_ghz * 1e9)
+        cost = self.table.transition_between(current_bits, target)
+        if saving_w * dwell_s <= self.margin * cost.energy_j:
+            return current_bits
+        return target
+
+
+class LookaheadPolicy(SelectionPolicy):
+    """Bounded-window plan comparison: greedy-per-phase vs hold-covering.
+
+    Considers the current request plus up to ``window`` known upcoming
+    phases, prices both plans exactly with the compiled table (compute
+    energy + every transition either plan incurs), and serves the first
+    step of the cheaper one.  With an empty window it degenerates to
+    greedy.
+    """
+
+    name = "lookahead"
+
+    def __init__(self, table: ModeTable, window: int = 4):
+        super().__init__(table)
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.window = window
+
+    def _plan_energy_j(
+        self,
+        keys: Sequence[int],
+        phases: Sequence[Upcoming],
+        start_key: Optional[int],
+    ) -> float:
+        energy = 0.0
+        current = start_key
+        for key, (_bits, cycles) in zip(keys, phases):
+            energy += self.table.transition_between(current, key).energy_j
+            energy += self._phase_energy_j(key, cycles)
+            current = key
+        return energy
+
+    def select(self, required_bits, current_bits, upcoming=()):
+        horizon: Sequence[Upcoming] = [
+            (required_bits, 0),
+            *list(upcoming)[: self.window],
+        ]
+        # The current request's cycle count is unknown at selection time
+        # (the scheduler passes only the future); weight it like the mean
+        # of the visible future so plans stay comparable.
+        future = horizon[1:]
+        mean_cycles = (
+            sum(c for _b, c in future) // len(future) if future else 0
+        )
+        horizon = [(required_bits, mean_cycles), *future]
+
+        greedy_keys = [self.table.mode_key_for(b) for b, _c in horizon]
+        peak_key = self.table.mode_key_for(max(b for b, _c in horizon))
+        if all(key == greedy_keys[0] for key in greedy_keys):
+            return greedy_keys[0]
+        hold_keys = [peak_key] * len(horizon)
+        greedy_cost = self._plan_energy_j(greedy_keys, horizon, current_bits)
+        hold_cost = self._plan_energy_j(hold_keys, horizon, current_bits)
+        return peak_key if hold_cost < greedy_cost else greedy_keys[0]
+
+
+POLICIES: Dict[str, Type[SelectionPolicy]] = {
+    GreedyPolicy.name: GreedyPolicy,
+    HysteresisPolicy.name: HysteresisPolicy,
+    LookaheadPolicy.name: LookaheadPolicy,
+}
+
+
+def make_policy(name: str, table: ModeTable, **kwargs) -> SelectionPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        )
+    return cls(table, **kwargs)

@@ -1,0 +1,378 @@
+"""Event-driven shared-bias scheduler for concurrent operator instances.
+
+The paper's Section III hardware sketch shares *two* charge pumps (plus
+power switches) across all Vth domains -- and an SoC shares them across
+operators.  Mode transitions are therefore a scheduling problem: every
+well/rail slew occupies a bias generator for its settling time, and
+concurrent operators contend for the finite pool.
+
+:class:`ModeScheduler` models that in deterministic virtual time:
+
+* each operator instance carries its own virtual clock (advanced by the
+  compute duration of every phase it serves);
+* a transition acquires the earliest-free generator; starting later than
+  requested is accounted as queue wait;
+* transitions *pending* on the pool that target the same electrical
+  signature (VDD, per-domain bias) are **batched**: the power switches
+  gang extra wells onto an already-scheduled slew, paying energy but no
+  extra generator time;
+* when the number of not-yet-started transitions reaches
+  ``max_queue_depth`` the scheduler **degrades gracefully**: the request
+  is served in the static maximum-accuracy mode (always sufficient, and
+  the hardware's power-on default rail, so it bypasses the pool) instead
+  of erroring or violating accuracy;
+* the accuracy invariant is enforced centrally -- a policy bug surfaces
+  as :class:`AccuracyViolation`, never as a silently wrong answer.
+
+:func:`replay_trace` runs an offline workload through the same machinery
+(one operator, unconstrained pool); with the greedy policy it reproduces
+``AccuracyController.replay_reference`` bit-for-bit, which
+``tests/test_serve_scheduler.py`` locks in differentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import OperatingPoint
+from repro.core.runtime import RuntimeReport, WorkloadPhase
+from repro.serve.policy import SelectionPolicy, Upcoming, make_policy
+from repro.serve.table import ModeTable, TransitionCost
+from repro.serve.telemetry import Telemetry
+
+
+class AccuracyViolation(RuntimeError):
+    """A policy tried to serve fewer bits than the request demands."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One phase of work demanded by an application."""
+
+    operator: str
+    required_bits: int
+    cycles: int
+
+    def __post_init__(self):
+        if self.required_bits < 1:
+            raise ValueError("required_bits must be >= 1")
+        if self.cycles < 0:
+            raise ValueError("cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServedPhase:
+    """The scheduler's answer: which mode ran and what it cost."""
+
+    operator: str
+    required_bits: int
+    mode: OperatingPoint
+    compute_energy_j: float
+    transition_energy_j: float
+    settle_ns: float
+    queue_wait_ns: float
+    switched: bool
+    batched: bool
+    degraded: bool
+
+    @property
+    def served_bits(self) -> int:
+        return self.mode.active_bits
+
+
+@dataclass
+class _Grant:
+    """A scheduled slew on one generator (or a batch join of one)."""
+
+    signature: Tuple
+    start_ns: float
+    end_ns: float
+
+
+class GeneratorPool:
+    """Finite pool of bias generators with slew batching.
+
+    Virtual-time bookkeeping only: ``free_at_ns[i]`` is when generator
+    *i* finishes its last scheduled slew.  Completed grants are pruned
+    lazily against the requesting operator's clock.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("need at least one bias generator")
+        self.size = size
+        self.free_at_ns = [0.0] * size
+        self.pending: List[_Grant] = []
+        self.max_depth_seen = 0
+
+    def queue_depth(self, now_ns: float) -> int:
+        """Number of scheduled slews that have not yet started."""
+        self._prune(now_ns)
+        return sum(1 for grant in self.pending if grant.start_ns > now_ns)
+
+    def _prune(self, now_ns: float) -> None:
+        self.pending = [g for g in self.pending if g.end_ns > now_ns]
+
+    def acquire(
+        self, now_ns: float, settle_ns: float, signature: Tuple
+    ) -> Tuple[float, float, bool]:
+        """Schedule a slew at *now_ns*; returns (start, end, batched).
+
+        A pending, not-yet-started grant with the same signature absorbs
+        the request (power switches gang the extra wells onto the same
+        slew) without consuming more generator time.
+        """
+        self._prune(now_ns)
+        for grant in self.pending:
+            if grant.signature == signature and grant.start_ns >= now_ns:
+                return (grant.start_ns, grant.end_ns, True)
+        generator = min(range(self.size), key=lambda i: self.free_at_ns[i])
+        start = max(now_ns, self.free_at_ns[generator])
+        end = start + settle_ns
+        self.free_at_ns[generator] = end
+        self.pending.append(_Grant(signature, start, end))
+        self.max_depth_seen = max(self.max_depth_seen, self.queue_depth(now_ns))
+        return (start, end, False)
+
+
+@dataclass
+class _OperatorState:
+    table: ModeTable
+    policy: SelectionPolicy
+    clock_ns: float = 0.0
+    current_bits: Optional[int] = None
+    phases: int = 0
+    cycles: int = 0
+    compute_energy_j: float = 0.0
+    transition_energy_j: float = 0.0
+    transition_time_ns: float = 0.0
+    switches: int = 0
+    static_energy_j: float = 0.0
+
+
+class ModeScheduler:
+    """Serves accuracy-mode requests for many operators over one pool."""
+
+    def __init__(
+        self,
+        table: ModeTable,
+        num_generators: int = 2,
+        policy: str = "greedy",
+        max_queue_depth: int = 8,
+        policy_kwargs: Optional[Dict] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.default_table = table
+        self.policy_name = policy
+        self.policy_kwargs = dict(policy_kwargs or {})
+        self.pool = GeneratorPool(num_generators)
+        self.max_queue_depth = max_queue_depth
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._operators: Dict[str, _OperatorState] = {}
+
+    # -- operator registry ---------------------------------------------------
+
+    def register(
+        self,
+        operator: str,
+        table: Optional[ModeTable] = None,
+        policy: Optional[str] = None,
+        **policy_kwargs,
+    ) -> None:
+        """Declare an operator instance (optional: submit auto-registers)."""
+        if operator in self._operators:
+            raise ValueError(f"operator {operator!r} already registered")
+        table = table if table is not None else self.default_table
+        name = policy if policy is not None else self.policy_name
+        kwargs = policy_kwargs if policy_kwargs else self.policy_kwargs
+        self._operators[operator] = _OperatorState(
+            table=table, policy=make_policy(name, table, **kwargs)
+        )
+
+    def _state(self, operator: str) -> _OperatorState:
+        if operator not in self._operators:
+            self.register(operator)
+        return self._operators[operator]
+
+    @property
+    def operators(self) -> List[str]:
+        return list(self._operators)
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(
+        self, request: ServeRequest, upcoming: Sequence[Upcoming] = ()
+    ) -> ServedPhase:
+        """Serve one request; deterministic in submission order."""
+        state = self._state(request.operator)
+        table = state.table
+        bits_key = state.policy.select(
+            request.required_bits, state.current_bits, upcoming
+        )
+        mode = table.modes[bits_key]
+        if mode.active_bits < request.required_bits:
+            self.telemetry.bump("accuracy_violations")
+            raise AccuracyViolation(
+                f"policy {state.policy.name!r} chose a {mode.active_bits}-bit "
+                f"mode for a {request.required_bits}-bit request"
+            )
+
+        switched = bits_key != state.current_bits
+        cost = table.transition_between(state.current_bits, bits_key)
+        degraded = False
+        batched = False
+        queue_wait_ns = 0.0
+        settle_ns = 0.0
+
+        if switched and not cost.is_free:
+            now = state.clock_ns
+            if self.pool.queue_depth(now) >= self.max_queue_depth:
+                # Saturated: fall back to the static maximum-accuracy
+                # mode.  Its rail is the hardware's always-on power-on
+                # default, so the switch bypasses the generator pool.
+                degraded = True
+                bits_key = table.max_bits
+                switched = bits_key != state.current_bits
+                mode = table.modes[bits_key]
+                cost = table.transition_between(state.current_bits, bits_key)
+                settle_ns = cost.settle_ns
+            else:
+                signature = (mode.vdd, mode.bb_config)
+                start, end, batched = self.pool.acquire(
+                    now, cost.settle_ns, signature
+                )
+                queue_wait_ns = start - now
+                settle_ns = end - start
+                state.clock_ns = end
+
+        served = ServedPhase(
+            operator=request.operator,
+            required_bits=request.required_bits,
+            mode=mode,
+            compute_energy_j=self._compute_energy_j(table, mode, request.cycles),
+            transition_energy_j=cost.energy_j if switched else 0.0,
+            settle_ns=settle_ns,
+            queue_wait_ns=queue_wait_ns,
+            switched=switched,
+            batched=batched,
+            degraded=degraded,
+        )
+
+        # Account the phase against the operator's running report.
+        state.current_bits = bits_key
+        state.phases += 1
+        state.cycles += request.cycles
+        state.compute_energy_j += served.compute_energy_j
+        state.transition_energy_j += served.transition_energy_j
+        state.transition_time_ns += settle_ns
+        if switched:
+            state.switches += 1
+        state.static_energy_j += self._compute_energy_j(
+            table, table.static_mode, request.cycles
+        )
+        state.clock_ns += request.cycles / table.fclk_ghz
+        self.telemetry.record_phase(served)
+        return served
+
+    def submit_degraded(self, request: ServeRequest) -> ServedPhase:
+        """Serve in the static max-accuracy mode, bypassing the pool.
+
+        The front end's overload path: when its bounded request queue is
+        full it must still answer -- correctly, if not cheaply.
+        """
+        state = self._state(request.operator)
+        table = state.table
+        bits_key = table.max_bits
+        mode = table.modes[bits_key]
+        switched = bits_key != state.current_bits
+        cost = table.transition_between(state.current_bits, bits_key)
+        served = ServedPhase(
+            operator=request.operator,
+            required_bits=request.required_bits,
+            mode=mode,
+            compute_energy_j=self._compute_energy_j(table, mode, request.cycles),
+            transition_energy_j=cost.energy_j if switched else 0.0,
+            settle_ns=cost.settle_ns if switched else 0.0,
+            queue_wait_ns=0.0,
+            switched=switched,
+            batched=False,
+            degraded=True,
+        )
+        state.current_bits = bits_key
+        state.phases += 1
+        state.cycles += request.cycles
+        state.compute_energy_j += served.compute_energy_j
+        state.transition_energy_j += served.transition_energy_j
+        state.transition_time_ns += served.settle_ns
+        if switched:
+            state.switches += 1
+        state.static_energy_j += self._compute_energy_j(
+            table, mode, request.cycles
+        )
+        state.clock_ns += request.cycles / table.fclk_ghz
+        self.telemetry.record_phase(served)
+        return served
+
+    @staticmethod
+    def _compute_energy_j(
+        table: ModeTable, mode: OperatingPoint, cycles: int
+    ) -> float:
+        duration_s = cycles / (table.fclk_ghz * 1e9)
+        return mode.total_power_w * duration_s
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, operator: str) -> RuntimeReport:
+        """Legacy-shaped accounting of everything one operator served."""
+        state = self._operators[operator]
+        return RuntimeReport(
+            phases=state.phases,
+            total_cycles=state.cycles,
+            compute_energy_j=state.compute_energy_j,
+            transition_energy_j=state.transition_energy_j,
+            transition_time_ns=state.transition_time_ns,
+            mode_switches=state.switches,
+            static_energy_j=state.static_energy_j,
+        )
+
+
+def replay_trace(
+    table: ModeTable,
+    workload: Sequence[WorkloadPhase],
+    policy: str = "greedy",
+    num_generators: int = 1,
+    lookahead_window: int = 4,
+    **policy_kwargs,
+) -> RuntimeReport:
+    """Replay an offline trace through the scheduler; return the report.
+
+    Single operator, pool never saturated (depth bound is the trace
+    length), so the only differences between policies are the selection
+    decisions themselves.  The lookahead policy sees the next
+    ``lookahead_window`` phases of the trace.
+    """
+    if not workload:
+        raise ValueError("empty workload")
+    if policy == "lookahead" and "window" not in policy_kwargs:
+        policy_kwargs["window"] = lookahead_window
+    scheduler = ModeScheduler(
+        table,
+        num_generators=num_generators,
+        policy=policy,
+        max_queue_depth=len(workload) + 1,
+        policy_kwargs=policy_kwargs,
+    )
+    window = lookahead_window if policy == "lookahead" else 0
+    for index, phase in enumerate(workload):
+        upcoming = tuple(
+            (p.required_bits, p.cycles)
+            for p in workload[index + 1 : index + 1 + window]
+        )
+        scheduler.submit(
+            ServeRequest("replay", phase.required_bits, phase.cycles),
+            upcoming=upcoming,
+        )
+    return scheduler.report("replay")

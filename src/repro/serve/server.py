@@ -1,0 +1,191 @@
+"""Asyncio front end of the accuracy-serving subsystem.
+
+Two entry points onto one :class:`~repro.serve.scheduler.ModeScheduler`:
+
+* an **in-process API** -- ``await server.request(op, bits, cycles)`` --
+  for applications living in the same interpreter;
+* a **JSON-lines socket** -- one request object per line, one response
+  object per line -- for everything else.  ``{"cmd": "stats"}`` returns
+  the telemetry snapshot.
+
+All submissions funnel through one bounded queue drained by a single
+worker task, which both serializes access to the (synchronous, virtual
+time) scheduler and provides backpressure: when the queue is full the
+request is *still answered* -- served immediately on the scheduler's
+degraded path (static maximum-accuracy mode) instead of queueing, so an
+overloaded server sheds precision headroom, never correctness.
+
+Shutdown is graceful: in-flight requests finish, the socket closes, the
+worker drains and exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.serve.scheduler import (
+    AccuracyViolation,
+    ModeScheduler,
+    ServedPhase,
+    ServeRequest,
+)
+
+
+def phase_to_dict(served: ServedPhase) -> dict:
+    """Wire form of a served phase."""
+    return {
+        "operator": served.operator,
+        "required_bits": served.required_bits,
+        "served_bits": served.served_bits,
+        "vdd": served.mode.vdd,
+        "bb_config": list(served.mode.bb_config),
+        "compute_energy_j": served.compute_energy_j,
+        "transition_energy_j": served.transition_energy_j,
+        "settle_ns": served.settle_ns,
+        "queue_wait_ns": served.queue_wait_ns,
+        "switched": served.switched,
+        "batched": served.batched,
+        "degraded": served.degraded,
+    }
+
+
+class AccuracyServer:
+    """Serves accuracy-mode requests over asyncio (in-proc and socket)."""
+
+    def __init__(
+        self,
+        scheduler: ModeScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 64,
+        drain_delay_s: float = 0.0,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.scheduler = scheduler
+        self.host = host
+        self._requested_port = port
+        #: Artificial per-request drain pause (tests/benchmarks use it to
+        #: force queue saturation deterministically).
+        self.drain_delay_s = drain_delay_s
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._worker is not None:
+            raise RuntimeError("server already started")
+        self._worker = asyncio.ensure_future(self._drain())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Finish in-flight work, close the socket, stop the worker."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._worker is not None:
+            await self._queue.join()
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+
+    async def __aenter__(self) -> "AccuracyServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- in-process API ------------------------------------------------------
+
+    async def request(
+        self, operator: str, required_bits: int, cycles: int
+    ) -> ServedPhase:
+        """Serve one request; degrades instead of blocking when saturated."""
+        if self._stopping:
+            raise RuntimeError("server is stopping")
+        req = ServeRequest(operator, required_bits, cycles)
+        future = asyncio.get_event_loop().create_future()
+        try:
+            self._queue.put_nowait((req, future))
+        except asyncio.QueueFull:
+            return self.scheduler.submit_degraded(req)
+        return await future
+
+    def stats(self) -> dict:
+        return self.scheduler.telemetry.snapshot()
+
+    # -- internals -----------------------------------------------------------
+
+    async def _drain(self) -> None:
+        while True:
+            req, future = await self._queue.get()
+            try:
+                served = self.scheduler.submit(req)
+                if not future.done():
+                    future.set_result(served)
+            except Exception as error:  # surfaced to the caller, not lost
+                if not future.done():
+                    future.set_exception(error)
+            finally:
+                self._queue.task_done()
+            if self.drain_delay_s > 0.0:
+                await asyncio.sleep(self.drain_delay_s)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            self.scheduler.telemetry.bump("errors")
+            return {"error": f"bad json: {error}"}
+        if not isinstance(payload, dict):
+            self.scheduler.telemetry.bump("errors")
+            return {"error": "expected a json object"}
+        if payload.get("cmd") == "stats":
+            return {"stats": self.stats()}
+        try:
+            served = await self.request(
+                str(payload["op"]),
+                int(payload["bits"]),
+                int(payload.get("cycles", 0)),
+            )
+            return phase_to_dict(served)
+        except (KeyError, TypeError, ValueError) as error:
+            self.scheduler.telemetry.bump("errors")
+            return {"error": f"bad request: {error}"}
+        except AccuracyViolation as error:
+            return {"error": f"accuracy violation: {error}"}

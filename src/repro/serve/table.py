@@ -1,0 +1,251 @@
+"""Compiled, versioned mode-table artifact for the serving subsystem.
+
+Exploration produces an :class:`~repro.core.exploration.ExplorationResult`;
+serving wants something leaner and self-contained: the per-bitwidth
+operating points, the physical metadata the bias hardware model needs
+(per-domain well areas, FBB voltage, clock), and -- precomputed between
+every pair of modes -- the transition energy/settling cost, including
+VDD-rail re-targeting.  A :class:`ModeTable` freezes all of that into a
+JSON-serializable artifact loadable without re-running the flow, so a
+server process never imports the implementation stack.
+
+The transition matrix is computed with the *same* routine the offline
+:class:`~repro.core.runtime.AccuracyController` costs transitions with
+(:func:`repro.core.runtime.pairwise_transition_cost`), which is what makes
+the serve scheduler's greedy replay bit-identical to the legacy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import OperatingPoint
+from repro.core.exploration import ExplorationResult
+from repro.core.flow import ImplementedDesign
+from repro.core.runtime import (
+    BiasGeneratorModel,
+    measure_domain_areas,
+    pairwise_transition_cost,
+)
+
+#: Schema of the serialized artifact.  Bump on any layout change; loaders
+#: reject a mismatch rather than guess.
+MODE_TABLE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TransitionCost:
+    """Cost of moving the hardware between two compiled modes."""
+
+    energy_j: float
+    settle_ns: float
+
+    @property
+    def is_free(self) -> bool:
+        return self.energy_j == 0.0 and self.settle_ns == 0.0
+
+
+@dataclass(frozen=True)
+class ModeTable:
+    """A compiled accuracy-mode table for one operator.
+
+    ``modes`` preserves the exploration's per-bitwidth insertion order so
+    power ties in :meth:`mode_key_for` break exactly as the legacy
+    controller breaks them.  ``transitions`` covers every ordered pair of
+    mode keys (diagonal included, always free).
+    """
+
+    design_name: str
+    fclk_ghz: float
+    num_domains: int
+    domain_areas_um2: Tuple[float, ...]
+    fbb_voltage: float
+    generator: BiasGeneratorModel
+    modes: Mapping[int, OperatingPoint]
+    transitions: Mapping[Tuple[int, int], TransitionCost] = field(repr=False)
+
+    def __post_init__(self):
+        if not self.modes:
+            raise ValueError("mode table has no modes")
+        for bits, point in self.modes.items():
+            if point.active_bits != bits:
+                raise ValueError(
+                    f"mode key {bits} maps to a {point.active_bits}-bit point"
+                )
+        for a in self.modes:
+            for b in self.modes:
+                if (a, b) not in self.transitions:
+                    raise ValueError(
+                        f"transition matrix is missing the ({a}, {b}) pair"
+                    )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def bitwidths(self) -> List[int]:
+        return sorted(self.modes)
+
+    @property
+    def max_bits(self) -> int:
+        return max(self.modes)
+
+    @property
+    def static_mode(self) -> OperatingPoint:
+        """The always-sufficient fallback: the maximum-accuracy mode."""
+        return self.modes[self.max_bits]
+
+    @property
+    def total_area_um2(self) -> float:
+        return float(sum(self.domain_areas_um2))
+
+    def mode_key_for(self, required_bits: int) -> int:
+        """Key of the cheapest mode with at least *required_bits* bits.
+
+        Mirrors ``AccuracyController.mode_for`` (candidate order and
+        tie-break included) so the greedy policy is the paper baseline.
+        """
+        candidates = [
+            (bits, point)
+            for bits, point in self.modes.items()
+            if bits >= required_bits
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no feasible mode provides {required_bits} bits "
+                f"(table covers up to {self.max_bits})"
+            )
+        return min(candidates, key=lambda bp: bp[1].total_power_w)[0]
+
+    def mode_for(self, required_bits: int) -> OperatingPoint:
+        return self.modes[self.mode_key_for(required_bits)]
+
+    def transition_between(
+        self, from_bits: Optional[int], to_bits: int
+    ) -> TransitionCost:
+        """Cost from one mode key to another; power-on (None) is free."""
+        if from_bits is None or from_bits == to_bits:
+            return TransitionCost(0.0, 0.0)
+        return self.transitions[(from_bits, to_bits)]
+
+    def describe(self) -> str:
+        costly = sum(
+            1 for (a, b), c in self.transitions.items() if a != b and not c.is_free
+        )
+        return (
+            f"{self.design_name}: {len(self.modes)} modes "
+            f"({min(self.modes)}..{self.max_bits} bits), "
+            f"{self.num_domains} domains over {self.total_area_um2:.0f} um^2, "
+            f"fclk {self.fclk_ghz:.2f} GHz, "
+            f"{costly} costed transitions"
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": MODE_TABLE_SCHEMA,
+            "kind": "repro-mode-table",
+            "design_name": self.design_name,
+            "fclk_ghz": self.fclk_ghz,
+            "num_domains": self.num_domains,
+            "domain_areas_um2": list(self.domain_areas_um2),
+            "fbb_voltage": self.fbb_voltage,
+            "generator": {
+                "transition_time_ns": self.generator.transition_time_ns,
+                "well_cap_ff_per_um2": self.generator.well_cap_ff_per_um2,
+                "pump_efficiency": self.generator.pump_efficiency,
+                "vdd_transition_time_ns": self.generator.vdd_transition_time_ns,
+                "rail_cap_ff_per_um2": self.generator.rail_cap_ff_per_um2,
+                "regulator_efficiency": self.generator.regulator_efficiency,
+            },
+            "modes": {
+                str(bits): point.to_dict()
+                for bits, point in self.modes.items()
+            },
+            "transitions": [
+                {
+                    "from": a,
+                    "to": b,
+                    "energy_j": cost.energy_j,
+                    "settle_ns": cost.settle_ns,
+                }
+                for (a, b), cost in self.transitions.items()
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "ModeTable":
+        schema = payload.get("schema")
+        if schema != MODE_TABLE_SCHEMA:
+            raise ValueError(
+                f"unsupported mode-table schema {schema!r} (this build reads "
+                f"schema {MODE_TABLE_SCHEMA}); re-run `repro compile-table`"
+            )
+        generator = BiasGeneratorModel(**payload["generator"])
+        modes = {
+            int(bits): OperatingPoint.from_dict(point)
+            for bits, point in payload["modes"].items()
+        }
+        transitions = {
+            (int(e["from"]), int(e["to"])): TransitionCost(
+                energy_j=float(e["energy_j"]),
+                settle_ns=float(e["settle_ns"]),
+            )
+            for e in payload["transitions"]
+        }
+        return ModeTable(
+            design_name=payload["design_name"],
+            fclk_ghz=float(payload["fclk_ghz"]),
+            num_domains=int(payload["num_domains"]),
+            domain_areas_um2=tuple(
+                float(a) for a in payload["domain_areas_um2"]
+            ),
+            fbb_voltage=float(payload["fbb_voltage"]),
+            generator=generator,
+            modes=modes,
+            transitions=transitions,
+        )
+
+
+def compile_transitions(
+    modes: Mapping[int, OperatingPoint],
+    domain_areas_um2: Tuple[float, ...],
+    generator: BiasGeneratorModel,
+    fbb_voltage: float,
+) -> Dict[Tuple[int, int], TransitionCost]:
+    """Precompute the full pairwise transition-cost matrix."""
+    transitions: Dict[Tuple[int, int], TransitionCost] = {}
+    for a, point_a in modes.items():
+        for b, point_b in modes.items():
+            if a == b:
+                transitions[(a, b)] = TransitionCost(0.0, 0.0)
+                continue
+            energy, settle = pairwise_transition_cost(
+                point_a, point_b, domain_areas_um2, generator, fbb_voltage
+            )
+            transitions[(a, b)] = TransitionCost(energy, settle)
+    return transitions
+
+
+def compile_mode_table(
+    design: ImplementedDesign,
+    exploration: ExplorationResult,
+    generator: BiasGeneratorModel = BiasGeneratorModel(),
+) -> ModeTable:
+    """Freeze an exploration + implementation into a serving artifact."""
+    if not exploration.best_per_bitwidth:
+        raise ValueError("exploration found no feasible operating points")
+    modes = dict(exploration.best_per_bitwidth)
+    domain_areas = tuple(float(a) for a in measure_domain_areas(design))
+    fbb = design.netlist.library.process.fbb_voltage
+    return ModeTable(
+        design_name=exploration.design_name,
+        fclk_ghz=design.fclk_ghz,
+        num_domains=design.num_domains,
+        domain_areas_um2=domain_areas,
+        fbb_voltage=fbb,
+        generator=generator,
+        modes=modes,
+        transitions=compile_transitions(modes, domain_areas, generator, fbb),
+    )

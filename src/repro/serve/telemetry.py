@@ -1,0 +1,147 @@
+"""Per-request counters and histograms for the serving subsystem.
+
+Everything here is deterministic and dependency-free: fixed-bucket
+histograms (geometric bounds) with exact count/sum/min/max, and a flat
+counter map.  Snapshots are plain JSON-ready dicts so the server can
+answer a ``stats`` request or dump telemetry at shutdown without any
+formatting layer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence
+
+
+def geometric_bounds(
+    lo: float, hi: float, per_decade: int = 4
+) -> List[float]:
+    """Geometrically spaced bucket bounds covering [lo, hi]."""
+    if lo <= 0.0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    bounds = []
+    factor = 10.0 ** (1.0 / per_decade)
+    value = lo
+    while value < hi * (1.0 + 1e-12):
+        bounds.append(value)
+        value *= factor
+    return bounds
+
+
+class Histogram:
+    """Fixed-bound histogram with exact moments and bucket percentiles.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything larger.  Percentiles
+    return the upper edge of the bucket containing the rank (the usual
+    Prometheus-style conservative estimate).
+    """
+
+    def __init__(self, bounds: Sequence[float], unit: str = ""):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be non-empty and ascending")
+        self.bounds = [float(b) for b in bounds]
+        self.unit = unit
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        index = bisect_right(self.bounds, value)
+        if index > 0 and value == self.bounds[index - 1]:
+            index -= 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile (0..100)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.total == 0:
+            return 0.0
+        rank = p / 100.0 * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank and count > 0 or cumulative >= self.total:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max if self.max is not None else self.bounds[-1]
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "count": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "bounds": self.bounds,
+            "counts": list(self.counts),
+        }
+
+
+class Telemetry:
+    """All serve-side observability: counters, per-operator tallies, hists."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "mode_switches": 0,
+            "degraded": 0,
+            "batched_slews": 0,
+            "accuracy_violations": 0,
+            "errors": 0,
+        }
+        self.per_operator: Dict[str, int] = {}
+        # Service latency: queue wait + settling, in virtual ns.
+        self.latency_ns = Histogram(
+            geometric_bounds(1.0, 1e7), unit="ns"
+        )
+        # Settling time of actual hardware transitions.
+        self.settle_ns = Histogram(geometric_bounds(1.0, 1e6), unit="ns")
+        # Per-request served energy (compute + transition share), in pJ.
+        self.energy_pj = Histogram(geometric_bounds(1e-3, 1e9), unit="pJ")
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def record_phase(self, served) -> None:
+        """Account one ServedPhase (duck-typed to avoid an import cycle)."""
+        self.bump("requests")
+        self.per_operator[served.operator] = (
+            self.per_operator.get(served.operator, 0) + 1
+        )
+        if served.switched:
+            self.bump("mode_switches")
+        if served.degraded:
+            self.bump("degraded")
+        if served.batched:
+            self.bump("batched_slews")
+        self.latency_ns.record(served.queue_wait_ns + served.settle_ns)
+        if served.settle_ns > 0.0:
+            self.settle_ns.record(served.settle_ns)
+        self.energy_pj.record(
+            (served.compute_energy_j + served.transition_energy_j) * 1e12
+        )
+
+    def snapshot(self) -> Dict:
+        return {
+            "counters": dict(self.counters),
+            "per_operator": dict(self.per_operator),
+            "latency_ns": self.latency_ns.to_dict(),
+            "settle_ns": self.settle_ns.to_dict(),
+            "energy_pj": self.energy_pj.to_dict(),
+        }

@@ -51,3 +51,52 @@ def booth8_domained(library, booth8_factory, booth8_base):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+def build_synthetic_table(generator=None):
+    """A hand-built ModeTable exercising every transition flavour.
+
+    Four modes over two domains: 2->4 flips one well, 4->6 flips the
+    other, 6->8 is a VDD-only rail move, 2->8 moves everything.  Powers
+    ascend with bits so greedy selection is unambiguous.
+    """
+    from repro.core.config import OperatingPoint
+    from repro.core.runtime import BiasGeneratorModel
+    from repro.serve.table import ModeTable, compile_transitions
+
+    generator = generator if generator is not None else BiasGeneratorModel()
+    spec = {
+        2: (0.6, (False, False), 1.0e-3),
+        4: (0.8, (True, False), 2.0e-3),
+        6: (0.8, (True, True), 3.0e-3),
+        8: (1.0, (True, True), 4.0e-3),
+    }
+    modes = {
+        bits: OperatingPoint(
+            active_bits=bits,
+            vdd=vdd,
+            bb_config=bb,
+            total_power_w=power,
+            dynamic_power_w=power * 0.6,
+            leakage_power_w=power * 0.4,
+            worst_slack_ps=10.0,
+        )
+        for bits, (vdd, bb, power) in spec.items()
+    }
+    areas = (1000.0, 2000.0)
+    fbb = 1.1
+    return ModeTable(
+        design_name="synthetic",
+        fclk_ghz=1.0,
+        num_domains=2,
+        domain_areas_um2=areas,
+        fbb_voltage=fbb,
+        generator=generator,
+        modes=modes,
+        transitions=compile_transitions(modes, areas, generator, fbb),
+    )
+
+
+@pytest.fixture()
+def synthetic_table():
+    return build_synthetic_table()

@@ -161,3 +161,103 @@ class TestRuntimeController:
         large = generator.transition_energy_j(1000.0, 0.0, 1.1)
         assert large == pytest.approx(10 * small)
         assert generator.transition_energy_j(100.0, 1.1, 1.1) == 0.0
+
+
+class TestVddRailTransitions:
+    """Satellite regression: a VDD-only mode change is not free."""
+
+    def test_rail_energy_scales_with_area_and_swing(self):
+        generator = BiasGeneratorModel()
+        small = generator.rail_transition_energy_j(100.0, 0.6, 1.0)
+        large = generator.rail_transition_energy_j(1000.0, 0.6, 1.0)
+        assert small > 0.0
+        assert large == pytest.approx(10 * small)
+        double_swing = generator.rail_transition_energy_j(100.0, 0.2, 1.0)
+        assert double_swing == pytest.approx(4 * small)
+        assert generator.rail_transition_energy_j(100.0, 0.8, 0.8) == 0.0
+
+    def test_rail_slew_direction_symmetric(self):
+        generator = BiasGeneratorModel()
+        up = generator.rail_transition_energy_j(500.0, 0.6, 1.0)
+        down = generator.rail_transition_energy_j(500.0, 1.0, 0.6)
+        assert up == down
+
+    def test_vdd_only_transition_costs(self, booth8_domained, two_state):
+        """Two points differing only in VDD: energy > 0, rail settle."""
+        import dataclasses
+
+        controller = AccuracyController(booth8_domained, two_state)
+        mode = controller.mode_for(8)
+        other_vdd = 0.6 if mode.vdd != 0.6 else 1.0
+        sibling = dataclasses.replace(mode, vdd=other_vdd)
+        energy, settle = controller.transition_cost(mode, sibling)
+        assert energy > 0.0
+        assert settle == controller.generator.vdd_transition_time_ns
+
+    def test_combined_transition_takes_slower_settle(
+        self, booth8_domained, two_state
+    ):
+        import dataclasses
+
+        controller = AccuracyController(booth8_domained, two_state)
+        mode = controller.mode_for(8)
+        flipped = tuple(not b for b in mode.bb_config)
+        other_vdd = 0.6 if mode.vdd != 0.6 else 1.0
+        sibling = dataclasses.replace(
+            mode, vdd=other_vdd, bb_config=flipped
+        )
+        energy, settle = controller.transition_cost(mode, sibling)
+        generator = controller.generator
+        assert energy > generator.rail_transition_energy_j(
+            0.0, mode.vdd, other_vdd
+        )
+        assert settle == max(
+            generator.transition_time_ns, generator.vdd_transition_time_ns
+        )
+
+    def test_power_on_from_none_is_free(self, booth8_domained, two_state):
+        controller = AccuracyController(booth8_domained, two_state)
+        assert controller.transition_cost(None, controller.mode_for(8)) == (
+            0.0,
+            0.0,
+        )
+
+
+class TestSwitchCounting:
+    """Satellite regression: a switch is any operating-point change,
+    even one whose transition happens to cost nothing."""
+
+    def test_point_change_counts_even_if_free(
+        self, booth8_domained, two_state
+    ):
+        controller = AccuracyController(booth8_domained, two_state)
+        trace = [
+            WorkloadPhase(required_bits=8, cycles=1_000),
+            WorkloadPhase(required_bits=2, cycles=1_000),
+            WorkloadPhase(required_bits=8, cycles=1_000),
+        ]
+        report = controller.replay(trace)
+        points = [controller.mode_for(p.required_bits) for p in trace]
+        expected = sum(
+            1
+            for i, point in enumerate(points)
+            if i == 0 or point != points[i - 1]
+        )
+        assert report.mode_switches == expected
+
+    def test_reference_and_scheduler_agree_on_counting(
+        self, booth8_domained, two_state
+    ):
+        controller = AccuracyController(booth8_domained, two_state)
+        rng = np.random.default_rng(3)
+        trace = [
+            WorkloadPhase(
+                required_bits=int(rng.choice(SETTINGS.bitwidths)),
+                cycles=int(rng.integers(1, 10_000)),
+            )
+            for _ in range(20)
+        ]
+        assert (
+            controller.replay(trace).mode_switches
+            == controller.replay_reference(trace).mode_switches
+        )

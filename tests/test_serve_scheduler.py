@@ -1,0 +1,312 @@
+"""The shared-bias scheduler: differential replay, pool contention, soak."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.runtime import AccuracyController, WorkloadPhase
+from repro.serve.scheduler import (
+    AccuracyViolation,
+    GeneratorPool,
+    ModeScheduler,
+    ServeRequest,
+    replay_trace,
+)
+from repro.serve.table import compile_mode_table
+from tests.conftest import build_synthetic_table
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 4, 6, 8), activity_cycles=12, activity_batch=12
+)
+
+
+@pytest.fixture(scope="module")
+def controller(booth8_domained):
+    exploration = ExhaustiveExplorer(booth8_domained).run(SETTINGS)
+    return AccuracyController(booth8_domained, exploration)
+
+
+def random_trace(rng, length):
+    return [
+        WorkloadPhase(
+            required_bits=int(rng.choice(SETTINGS.bitwidths)),
+            cycles=int(rng.integers(100, 50_000)),
+        )
+        for _ in range(length)
+    ]
+
+
+class TestDifferentialReplay:
+    """Greedy through the scheduler == the legacy closed-form accounting."""
+
+    def test_thirty_random_traces_bit_identical(self, controller):
+        table = controller.compiled()
+        rng = np.random.default_rng(2017)
+        for _ in range(30):
+            trace = random_trace(rng, int(rng.integers(1, 40)))
+            served = replay_trace(table, trace, policy="greedy")
+            oracle = controller.replay_reference(trace)
+            assert served.compute_energy_j == oracle.compute_energy_j
+            assert served.transition_energy_j == oracle.transition_energy_j
+            assert served.transition_time_ns == oracle.transition_time_ns
+            assert served.mode_switches == oracle.mode_switches
+            assert served.static_energy_j == oracle.static_energy_j
+            assert served.phases == oracle.phases
+            assert served.total_cycles == oracle.total_cycles
+
+    def test_controller_replay_is_the_scheduler(self, controller):
+        rng = np.random.default_rng(7)
+        trace = random_trace(rng, 25)
+        assert controller.replay(trace) == controller.replay_reference(trace)
+
+    def test_switches_counted_on_every_point_change(self, controller):
+        """Satellite regression: a switch is the operating point changing,
+        not the transition costing energy."""
+        trace = [
+            WorkloadPhase(required_bits=8, cycles=1_000),
+            WorkloadPhase(required_bits=2, cycles=1_000),
+            WorkloadPhase(required_bits=2, cycles=1_000),
+            WorkloadPhase(required_bits=8, cycles=1_000),
+        ]
+        report = controller.replay(trace)
+        distinct_points = [controller.mode_for(p.required_bits) for p in trace]
+        expected = sum(
+            1
+            for i, point in enumerate(distinct_points)
+            if i == 0 or point != distinct_points[i - 1]
+        )
+        assert report.mode_switches == expected
+        assert report.mode_switches == controller.replay_reference(
+            trace
+        ).mode_switches
+
+    def test_non_greedy_policies_reported_separately(self, controller):
+        rng = np.random.default_rng(11)
+        trace = random_trace(rng, 30)
+        for policy in ("hysteresis", "lookahead"):
+            report = controller.replay(trace, policy=policy)
+            assert report.phases == len(trace)
+            assert report.total_energy_j > 0.0
+
+
+class TestGeneratorPool:
+    def test_needs_a_generator(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GeneratorPool(0)
+
+    def test_serial_acquisitions_queue(self):
+        pool = GeneratorPool(1)
+        start1, end1, batched1 = pool.acquire(0.0, 100.0, ("a",))
+        start2, end2, batched2 = pool.acquire(0.0, 100.0, ("b",))
+        assert (start1, end1, batched1) == (0.0, 100.0, False)
+        assert (start2, end2) == (100.0, 200.0)
+        assert not batched2
+
+    def test_compatible_slews_batch(self):
+        pool = GeneratorPool(1)
+        pool.acquire(0.0, 100.0, ("busy",))
+        start1, end1, _ = pool.acquire(0.0, 100.0, ("target",))
+        start2, end2, batched = pool.acquire(0.0, 100.0, ("target",))
+        assert batched
+        assert (start2, end2) == (start1, end1)
+        # The batch consumed no extra generator time.
+        assert pool.free_at_ns == [200.0]
+
+    def test_started_slews_do_not_batch(self):
+        pool = GeneratorPool(2)
+        pool.acquire(0.0, 100.0, ("target",))  # starts immediately
+        _start, _end, batched = pool.acquire(50.0, 100.0, ("target",))
+        assert not batched  # mid-flight wells cannot join a slew
+
+    def test_queue_depth_counts_only_pending(self):
+        pool = GeneratorPool(1)
+        pool.acquire(0.0, 100.0, ("a",))
+        pool.acquire(0.0, 100.0, ("b",))
+        pool.acquire(0.0, 100.0, ("c",))
+        assert pool.queue_depth(0.0) == 2  # b and c wait; a is slewing
+        assert pool.queue_depth(150.0) == 1  # b slewing; only c pending
+        assert pool.queue_depth(1_000.0) == 0
+
+
+class TestSharedPool:
+    def test_power_on_bypasses_the_pool(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table, num_generators=1)
+        first = scheduler.submit(ServeRequest("a", 8, 0))
+        assert first.switched
+        assert first.settle_ns == 0.0  # power-on default, no slew
+        assert scheduler.pool.free_at_ns == [0.0]
+
+    def test_contention_shows_up_as_queue_wait(self, synthetic_table):
+        scheduler = ModeScheduler(
+            synthetic_table, num_generators=1, max_queue_depth=100
+        )
+        # Power both operators on (free), then demand different targets
+        # at virtual time zero.
+        scheduler.submit(ServeRequest("a", 4, 0))
+        scheduler.submit(ServeRequest("b", 2, 0))
+        first = scheduler.submit(ServeRequest("a", 6, 0))
+        second = scheduler.submit(ServeRequest("b", 4, 0))
+        assert first.switched and second.switched
+        assert first.queue_wait_ns == 0.0
+        assert second.queue_wait_ns > 0.0
+
+    def test_identical_targets_batch_across_operators(self, synthetic_table):
+        scheduler = ModeScheduler(
+            synthetic_table, num_generators=1, max_queue_depth=100
+        )
+        for op in ("warm", "a", "b"):
+            scheduler.submit(ServeRequest(op, 2, 0))  # free power-on
+        scheduler.submit(ServeRequest("warm", 4, 0))  # occupies the pump
+        a = scheduler.submit(ServeRequest("a", 8, 0))
+        b = scheduler.submit(ServeRequest("b", 8, 0))
+        assert not a.batched
+        assert b.batched
+        assert b.queue_wait_ns > 0.0
+        assert a.queue_wait_ns == b.queue_wait_ns  # same scheduled slew
+        assert scheduler.telemetry.counters["batched_slews"] == 1
+        # Both still paid their own well-charge energy.
+        assert a.transition_energy_j > 0.0
+        assert b.transition_energy_j > 0.0
+
+    def test_free_transitions_skip_the_pool(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table, num_generators=1)
+        scheduler.submit(ServeRequest("a", 8, 1_000))
+        again = scheduler.submit(ServeRequest("a", 8, 1_000))
+        assert not again.switched
+        assert again.settle_ns == 0.0
+        assert scheduler.pool.queue_depth(0.0) <= 1
+
+    def test_per_operator_reports_are_independent(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table, num_generators=2)
+        scheduler.submit(ServeRequest("a", 2, 5_000))
+        scheduler.submit(ServeRequest("b", 8, 1_000))
+        scheduler.submit(ServeRequest("a", 2, 5_000))
+        report_a = scheduler.report("a")
+        report_b = scheduler.report("b")
+        assert report_a.phases == 2
+        assert report_b.phases == 1
+        assert report_a.total_cycles == 10_000
+        assert report_b.total_cycles == 1_000
+
+
+class TestDegradation:
+    def test_saturation_falls_back_to_static_mode(self, synthetic_table):
+        scheduler = ModeScheduler(
+            synthetic_table, num_generators=1, max_queue_depth=1
+        )
+        # Power six operators on (free), then demand switches at virtual
+        # time zero: the slews stack onto the single pump until the
+        # depth bound trips.
+        operators = [f"op{i}" for i in range(6)]
+        for op in operators:
+            scheduler.submit(ServeRequest(op, 8, 0))
+        served = [
+            scheduler.submit(ServeRequest(op, 2 if i % 2 else 4, 0))
+            for i, op in enumerate(operators)
+        ]
+        degraded = [phase for phase in served if phase.degraded]
+        assert degraded, "forced saturation never degraded"
+        for phase in degraded:
+            assert phase.served_bits == synthetic_table.max_bits
+            assert phase.served_bits >= phase.required_bits
+        assert scheduler.telemetry.counters["degraded"] == len(degraded)
+
+    def test_degraded_path_is_explicit_api(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table, num_generators=1)
+        served = scheduler.submit_degraded(ServeRequest("op", 2, 1_000))
+        assert served.degraded
+        assert served.served_bits == synthetic_table.max_bits
+        report = scheduler.report("op")
+        assert report.phases == 1
+        assert report.mode_switches == 1
+
+    def test_violating_policy_is_caught_centrally(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table, max_queue_depth=10)
+
+        class Liar:
+            name = "liar"
+
+            def select(self, required_bits, current_bits, upcoming=()):
+                return 2  # always the cheapest mode, sufficient or not
+
+        scheduler.register("op")
+        scheduler._operators["op"].policy = Liar()
+        with pytest.raises(AccuracyViolation, match="2-bit mode"):
+            scheduler.submit(ServeRequest("op", 8, 100))
+        assert scheduler.telemetry.counters["accuracy_violations"] == 1
+
+
+class TestValidation:
+    def test_bad_requests_rejected(self):
+        with pytest.raises(ValueError, match="required_bits"):
+            ServeRequest("op", 0, 100)
+        with pytest.raises(ValueError, match="cycles"):
+            ServeRequest("op", 4, -1)
+
+    def test_double_registration_rejected(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table)
+        scheduler.register("op")
+        with pytest.raises(ValueError, match="already registered"):
+            scheduler.register("op")
+
+    def test_empty_replay_rejected(self, synthetic_table):
+        with pytest.raises(ValueError, match="empty"):
+            replay_trace(synthetic_table, [])
+
+    def test_bad_queue_depth_rejected(self, synthetic_table):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            ModeScheduler(synthetic_table, max_queue_depth=0)
+
+
+class TestSoak:
+    def test_three_operators_two_generators_10k_requests(
+        self, synthetic_table
+    ):
+        """The acceptance soak: bounded queue, populated telemetry,
+        degradation exercised, zero violations, no errors."""
+        # With three operators a submitter can see at most two foreign
+        # pending slews, so the depth bound sits right at that edge to
+        # make saturation reachable.
+        scheduler = ModeScheduler(
+            synthetic_table,
+            num_generators=2,
+            policy="greedy",
+            max_queue_depth=2,
+        )
+        rng = np.random.default_rng(42)
+        bitwidths = sorted(synthetic_table.modes)
+        operators = ("op0", "op1", "op2")
+        total = 10_500
+        served_all = []
+        for index in range(total):
+            request = ServeRequest(
+                operators[index % 3],
+                int(rng.choice(bitwidths)),
+                # Mostly tiny phases: clocks barely advance, so the two
+                # pumps saturate and the depth bound must engage.
+                int(rng.integers(0, 50)),
+            )
+            served_all.append(scheduler.submit(request))
+
+        counters = scheduler.telemetry.counters
+        assert counters["requests"] == total
+        assert counters["accuracy_violations"] == 0
+        assert counters["degraded"] > 0, "saturation never exercised"
+        assert all(
+            phase.served_bits >= phase.required_bits for phase in served_all
+        )
+        # The depth bound held at every instant the pool was consulted.
+        assert scheduler.pool.max_depth_seen <= scheduler.max_queue_depth
+        # Histograms populated and self-consistent.
+        telemetry = scheduler.telemetry
+        assert telemetry.latency_ns.total == total
+        assert telemetry.energy_pj.total == total
+        # Power-on and same-rail degraded switches settle for free, so
+        # the settle histogram is a subset of the switch count.
+        assert 0 < telemetry.settle_ns.total <= counters["mode_switches"]
+        snapshot = telemetry.snapshot()
+        assert snapshot["per_operator"] == {
+            "op0": 3_500, "op1": 3_500, "op2": 3_500
+        }
+        assert snapshot["latency_ns"]["p99"] >= snapshot["latency_ns"]["p50"]
