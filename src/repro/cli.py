@@ -92,6 +92,7 @@ def _settings(args) -> ExplorationSettings:
         workers=getattr(args, "workers", 0),
         cache=getattr(args, "cache", False) or getattr(args, "resume", False),
         cache_dir=getattr(args, "cache_dir", None),
+        sim_engine=getattr(args, "sim_engine", "auto"),
     )
 
 
@@ -425,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="resume an interrupted sweep from its cached shards "
             "(implies --cache)",
+        )
+        p.add_argument(
+            "--sim-engine",
+            choices=["auto", "packed", "interpreted"],
+            default="auto",
+            help="switching-activity simulation engine (auto picks the "
+            "compiled bit-packed engine when the netlist supports it; "
+            "results are bit-identical either way)",
         )
 
     p = sub.add_parser("explore", help="implement + optimize one design")

@@ -27,6 +27,12 @@ class ExplorationSettings:
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), which also provides
     checkpoint/resume of interrupted sweeps.  Neither knob may change the
     numbers: results are bit-identical to the serial explorer.
+
+    ``sim_engine`` picks the switching-activity simulation engine
+    (``"auto"``, ``"packed"`` or ``"interpreted"``; see
+    :mod:`repro.sim.simulator`).  The engines are differential-tested
+    bit-identical, but the choice is still a semantic field (it is part
+    of shard cache keys) out of caution.
     """
 
     bitwidths: Tuple[int, ...] = tuple(range(1, 17))
@@ -37,6 +43,7 @@ class ExplorationSettings:
     workers: int = 0
     cache: bool = False
     cache_dir: Optional[str] = None
+    sim_engine: str = "auto"
 
     def __post_init__(self):
         if not self.bitwidths:
@@ -50,6 +57,11 @@ class ExplorationSettings:
         if self.workers < AUTO_WORKERS:
             raise ValueError(
                 f"workers must be >= {AUTO_WORKERS} (got {self.workers})"
+            )
+        if self.sim_engine not in ("auto", "packed", "interpreted"):
+            raise ValueError(
+                f"sim_engine must be auto, packed or interpreted "
+                f"(got {self.sim_engine!r})"
             )
 
     @property
@@ -68,11 +80,15 @@ class ExplorationSettings:
         Execution knobs (workers, cache, cache_dir) are excluded: they
         change how results are computed, never what they are, so cached
         shards stay valid across worker counts and cache locations.
+        ``sim_engine`` *is* included: the engines are differential-tested
+        bit-identical, but fingerprinting the choice keeps cached shards
+        attributable to the engine that produced them.
         """
         return {
             "activity_cycles": self.activity_cycles,
             "activity_batch": self.activity_batch,
             "seed": self.seed,
+            "sim_engine": self.sim_engine,
         }
 
 

@@ -129,6 +129,7 @@ class ExhaustiveExplorer:
             cycles=settings.activity_cycles,
             batch=settings.activity_batch,
             seed=settings.seed,
+            engine=settings.sim_engine,
         )
 
     def evaluate_cells(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -294,6 +295,40 @@ class Netlist:
         }
         clock = state["clock"]
         self.clock_net = self.nets[clock] if clock is not None else None
+
+    # -- identity ----------------------------------------------------------
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the simulation-relevant structure.
+
+        Covers cell templates and index-based connectivity, port-bus
+        layout/signedness and the clock -- everything per-net simulation
+        results depend on -- and deliberately excludes instance/net names
+        and drive strengths.  Structurally identical designs (e.g. two
+        factory invocations of the same operator) therefore share a
+        fingerprint, while rebuilt designs that merely coincide in name
+        and net count do not collide.
+        """
+        digest = hashlib.sha256()
+        for cell in self.cells:
+            digest.update(
+                (
+                    f"{cell.template.name}"
+                    f"|{','.join(str(n.index) for n in cell.input_nets)}"
+                    f"|{','.join(str(n.index) for n in cell.output_nets)};"
+                ).encode()
+            )
+        for kind, buses in (("i", self.input_buses), ("o", self.output_buses)):
+            for name, bus in buses.items():
+                digest.update(
+                    (
+                        f"{kind}|{name}|{int(bus.signed)}"
+                        f"|{','.join(str(n.index) for n in bus.nets)};"
+                    ).encode()
+                )
+        clock = self.clock_net.index if self.clock_net is not None else -1
+        digest.update(f"clk:{clock};nets:{len(self.nets)}".encode())
+        return digest.hexdigest()
 
     # -- statistics --------------------------------------------------------
 

@@ -35,8 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.shards import Shard
 
 #: Bump when the fingerprint recipe or shard payload schema changes;
-#: old entries then miss instead of being misinterpreted.
-FINGERPRINT_SCHEMA = 1
+#: old entries then miss instead of being misinterpreted.  Schema 2 added
+#: the simulation-engine choice to the settings' semantic fields.
+FINGERPRINT_SCHEMA = 2
 
 
 def canonical_json(obj) -> str:

@@ -9,25 +9,40 @@ batch of stimuli.  It serves three purposes in the flow:
 3. application-level accuracy measurement under LSB gating.
 """
 
-from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.sim.simulator import (
+    ENGINES,
+    LogicSimulator,
+    SimulationMode,
+    resolve_engine_request,
+)
+from repro.sim.packed import PackedCompileError, PackedEngine
 from repro.sim.vectors import (
     int_to_bits,
     bits_to_int,
     random_words,
     zero_lsbs,
 )
-from repro.sim.activity import measure_activity, ActivityReport
+from repro.sim.activity import (
+    measure_activity,
+    clear_activity_cache,
+    ActivityReport,
+)
 from repro.sim.errors import error_metrics, ErrorReport
 from repro.sim import golden
 
 __all__ = [
+    "ENGINES",
     "LogicSimulator",
     "SimulationMode",
+    "resolve_engine_request",
+    "PackedCompileError",
+    "PackedEngine",
     "int_to_bits",
     "bits_to_int",
     "random_words",
     "zero_lsbs",
     "measure_activity",
+    "clear_activity_cache",
     "ActivityReport",
     "error_metrics",
     "ErrorReport",

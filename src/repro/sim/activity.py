@@ -4,17 +4,29 @@ For each accuracy mode (active bitwidth) we simulate the netlist with
 random stimulus whose LSBs are gated per DVAS, and record per-net toggle
 rates.  Dynamic power analysis multiplies these rates by net capacitance,
 VDD squared and clock frequency.
+
+Simulation runs on :meth:`LogicSimulator.toggle_rates`: with the packed
+engine (the default) consecutive-cycle bitplanes are XOR-popcounted into
+per-net counters and no per-cycle net-value matrix is ever materialized;
+the interpreted engine falls back to the legacy ``collect_net_values``
+path.  Both are bit-identical, so memoized reports are valid whichever
+engine produced them.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.netlist.netlist import Netlist
-from repro.sim.simulator import LogicSimulator, SimulationMode
+from repro.sim.simulator import (
+    LogicSimulator,
+    SimulationMode,
+    resolve_engine_request,
+)
 from repro.sim.vectors import random_words, zero_lsbs
 
 
@@ -59,14 +71,26 @@ def _gated_stimulus(
 
 #: Memo of measured reports: the exploration and both DVAS flavours ask
 #: for identical (netlist, mode) activities; simulation is the expensive
-#: part, so share it.  Keys use the netlist name + net count (factories
-#: generate unique names, and the count guards against accidental reuse).
-_ACTIVITY_CACHE: Dict[tuple, ActivityReport] = {}
+#: part, so share it.  Keys use the netlist *content fingerprint* (names
+#: and cell counts can collide across rebuilt designs; structure cannot)
+#: plus every stimulus parameter and the requested engine.  The dict is
+#: LRU-bounded so long-lived serve/explore processes don't grow without
+#: limit.
+_ACTIVITY_CACHE: "OrderedDict[tuple, ActivityReport]" = OrderedDict()
+
+#: Maximum number of memoized reports (one per (design, mode, stimulus)
+#: combination; a full 16-bitwidth sweep of one design uses 16 entries).
+ACTIVITY_CACHE_LIMIT = 256
 
 
 def clear_activity_cache() -> None:
     """Drop all memoized activity reports."""
     _ACTIVITY_CACHE.clear()
+
+
+def activity_cache_size() -> int:
+    """Number of currently memoized activity reports."""
+    return len(_ACTIVITY_CACHE)
 
 
 def measure_activity(
@@ -76,6 +100,7 @@ def measure_activity(
     batch: int = 64,
     seed: int = 2017,
     warmup_cycles: int = 4,
+    engine: Optional[str] = None,
 ) -> ActivityReport:
     """Measure per-net toggle rates of *netlist* at an accuracy mode.
 
@@ -83,25 +108,29 @@ def measure_activity(
     words every cycle, drops *warmup_cycles* cycles of reset transient,
     and averages transitions per cycle across the remaining cycles and the
     whole batch of independent streams.  Results are memoized per
-    (netlist, mode, stimulus parameters).
+    (netlist content, mode, stimulus parameters, engine); *engine* is an
+    engine request as accepted by :class:`LogicSimulator` (None consults
+    ``$REPRO_SIM_ENGINE``, defaulting to ``"auto"``).
     """
     if cycles < warmup_cycles + 2:
         raise ValueError("need at least warmup_cycles + 2 cycles")
+    requested_engine = resolve_engine_request(engine)
     cache_key = (
-        netlist.name, len(netlist.nets), len(netlist.cells),
+        netlist.content_fingerprint(), requested_engine,
         active_bits, cycles, batch, seed, warmup_cycles,
     )
     cached = _ACTIVITY_CACHE.get(cache_key)
     if cached is not None:
+        _ACTIVITY_CACHE.move_to_end(cache_key)
         return cached
     rng = np.random.default_rng(seed + 977 * active_bits)
-    simulator = LogicSimulator(netlist, SimulationMode.CYCLE)
+    simulator = LogicSimulator(
+        netlist, SimulationMode.CYCLE, engine=requested_engine
+    )
     stimulus = [
         _gated_stimulus(rng, netlist, active_bits, batch) for _ in range(cycles)
     ]
-    trace = simulator.run_cycles(stimulus, collect_net_values=True)
-    trace.net_values_per_cycle = trace.net_values_per_cycle[warmup_cycles:]
-    rates = trace.toggle_counts()
+    rates = simulator.toggle_rates(stimulus, warmup_cycles=warmup_cycles)
     report = ActivityReport(
         netlist_name=netlist.name,
         active_bits=active_bits,
@@ -110,6 +139,8 @@ def measure_activity(
         rates=rates,
     )
     _ACTIVITY_CACHE[cache_key] = report
+    while len(_ACTIVITY_CACHE) > ACTIVITY_CACHE_LIMIT:
+        _ACTIVITY_CACHE.popitem(last=False)
     return report
 
 
@@ -119,9 +150,12 @@ def activity_sweep(
     cycles: int = 48,
     batch: int = 64,
     seed: int = 2017,
+    engine: Optional[str] = None,
 ) -> Dict[int, ActivityReport]:
     """Measure activity for every accuracy mode in *bitwidths*."""
     return {
-        bits: measure_activity(netlist, bits, cycles=cycles, batch=batch, seed=seed)
+        bits: measure_activity(
+            netlist, bits, cycles=cycles, batch=batch, seed=seed, engine=engine
+        )
         for bits in bitwidths
     }

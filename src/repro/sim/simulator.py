@@ -9,18 +9,58 @@ Two evaluation modes:
 * ``CYCLE`` -- true cycle-accurate simulation: flip-flops hold state,
   inputs are applied per cycle, state advances on the (implicit) clock
   edge.  Required for the FIR (accumulator/counter/delay-line feedback).
+
+Two execution engines behind the same API:
+
+* ``interpreted`` -- one Python-level evaluation per cell on ``(batch,)``
+  boolean arrays.  The reference semantics.
+* ``packed`` -- the compiled bit-packed engine of :mod:`repro.sim.packed`:
+  uint64 bitplanes, 64 stimuli per word, one vectorized bitwise op per
+  (level, cell-template) group.  Bit-identical to the interpreted engine
+  (boolean algebra is exact) and differential-tested to stay that way.
+
+``engine="auto"`` (the default, overridable via ``$REPRO_SIM_ENGINE``)
+compiles the packed engine and silently falls back to interpreted when
+the netlist uses a template without a packed op or the host is
+big-endian; ``engine="packed"`` makes that fallback an error.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.netlist.cell import CellInst
 from repro.netlist.netlist import Netlist
+from repro.sim.packed import (
+    PackedCompileError,
+    PackedEngine,
+    lane_mask,
+    popcount_rows,
+    unpack_lanes,
+)
 from repro.sim.vectors import bits_to_int, int_to_bits
+
+#: Environment variable selecting the default simulation engine.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: Valid engine requests.
+ENGINES = ("auto", "packed", "interpreted")
+
+
+def resolve_engine_request(engine: Optional[str]) -> str:
+    """Normalize an engine request (None -> ``$REPRO_SIM_ENGINE`` -> auto)."""
+    requested = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR)
+    if not requested:
+        requested = "auto"
+    if requested not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {requested!r}; expected one of {ENGINES}"
+        )
+    return requested
 
 
 class SimulationMode(enum.Enum):
@@ -31,10 +71,27 @@ class SimulationMode(enum.Enum):
 class LogicSimulator:
     """Compiles a netlist once, then evaluates stimulus batches."""
 
-    def __init__(self, netlist: Netlist, mode: SimulationMode = SimulationMode.CYCLE):
+    def __init__(
+        self,
+        netlist: Netlist,
+        mode: SimulationMode = SimulationMode.CYCLE,
+        engine: Optional[str] = None,
+    ):
         self.netlist = netlist
         self.mode = mode
         self._order = self._compile_order()
+        requested = resolve_engine_request(engine)
+        self._packed: Optional[PackedEngine] = None
+        if requested != "interpreted":
+            try:
+                self._packed = PackedEngine(
+                    netlist, self._order, mode is SimulationMode.TRANSPARENT
+                )
+            except PackedCompileError:
+                if requested == "packed":
+                    raise
+        #: The engine actually in use ("packed" or "interpreted").
+        self.engine = "packed" if self._packed is not None else "interpreted"
 
     # -- compilation -------------------------------------------------------
 
@@ -155,6 +212,12 @@ class LogicSimulator:
         missing = set(self.netlist.input_buses) - set(inputs)
         if missing:
             raise ValueError(f"missing stimulus for input buses: {sorted(missing)}")
+        if self._packed is not None:
+            packed = self._packed
+            plane = packed.new_values(batch)
+            packed.apply_inputs(plane, inputs, batch)
+            packed.evaluate(plane)
+            return packed.collect_outputs(plane, batch, signed)
         values: Dict[int, np.ndarray] = {}
         self._apply_inputs(values, inputs, batch)
         self._evaluate_combinational(values, batch)
@@ -181,11 +244,11 @@ class LogicSimulator:
             raise ValueError("run_cycles requires CYCLE mode")
         if not per_cycle_inputs:
             raise ValueError("need at least one cycle of stimulus")
-        batch = 1  # autonomous netlists (no input buses) run batch-of-one
-        for cycle_inputs in per_cycle_inputs:
-            if cycle_inputs:
-                batch = len(next(iter(cycle_inputs.values())))
-                break
+        batch = self._infer_batch(per_cycle_inputs)
+        if self._packed is not None:
+            return self._run_cycles_packed(
+                per_cycle_inputs, batch, signed, collect_net_values
+            )
         zeros = np.zeros(batch, dtype=bool)
 
         state: Dict[int, np.ndarray] = {
@@ -213,6 +276,124 @@ class LogicSimulator:
                 for ff in self.netlist.sequential_cells
             }
         return CycleTrace(self.netlist, outputs_per_cycle, net_values_per_cycle)
+
+    @staticmethod
+    def _infer_batch(
+        per_cycle_inputs: Sequence[Mapping[str, np.ndarray]],
+    ) -> int:
+        """Batch size from the first non-empty cycle input (else 1:
+        autonomous netlists without input buses run batch-of-one)."""
+        for cycle_inputs in per_cycle_inputs:
+            if cycle_inputs:
+                return len(next(iter(cycle_inputs.values())))
+        return 1
+
+    def _run_cycles_packed(
+        self,
+        per_cycle_inputs: Sequence[Mapping[str, np.ndarray]],
+        batch: int,
+        signed: Optional[bool],
+        collect_net_values: bool,
+    ) -> "CycleTrace":
+        """Cycle loop on uint64 bitplanes; same trace as the dict loop."""
+        packed = self._packed
+        values = packed.new_values(batch)
+        state = np.zeros((len(packed.ff_q), values.shape[1]), dtype=np.uint64)
+        has_state = len(packed.ff_q) > 0
+        outputs_per_cycle: List[Dict[str, np.ndarray]] = []
+        net_values_per_cycle: List[np.ndarray] = []
+        for cycle_inputs in per_cycle_inputs:
+            if has_state:
+                values[packed.ff_q] = state
+            packed.apply_inputs(values, cycle_inputs, batch)
+            if packed.clock_index is not None:
+                values[packed.clock_index] = 0
+            packed.evaluate(values)
+            outputs_per_cycle.append(
+                packed.collect_outputs(values, batch, signed)
+            )
+            if collect_net_values:
+                net_values_per_cycle.append(unpack_lanes(values, batch))
+            if has_state:
+                state = values[packed.ff_d]
+        return CycleTrace(self.netlist, outputs_per_cycle, net_values_per_cycle)
+
+    def toggle_rates(
+        self,
+        per_cycle_inputs: Sequence[Mapping[str, np.ndarray]],
+        warmup_cycles: int = 0,
+    ) -> np.ndarray:
+        """Per-net average toggles per cycle, after *warmup_cycles* of
+        reset transient.  The clock net is fixed at 2 transitions/cycle.
+
+        On the packed engine this streams: consecutive post-warmup
+        bitplane frames are XORed and popcounted into per-net counters,
+        so no per-cycle net-value matrix is ever materialized.  The
+        interpreted engine runs the legacy ``collect_net_values`` path.
+        Both produce bit-identical rates: integer toggle counts over the
+        same ``(kept_cycles - 1) * batch`` transitions.
+        """
+        if self.mode is not SimulationMode.CYCLE:
+            raise ValueError("toggle_rates requires CYCLE mode")
+        if not per_cycle_inputs:
+            raise ValueError("need at least one cycle of stimulus")
+        if len(per_cycle_inputs) - warmup_cycles < 2:
+            raise ValueError("need at least two cycles to count toggles")
+        if self._packed is None:
+            trace = self.run_cycles(per_cycle_inputs, collect_net_values=True)
+            trace.net_values_per_cycle = trace.net_values_per_cycle[
+                warmup_cycles:
+            ]
+            return trace.toggle_counts()
+        return self._toggle_rates_packed(per_cycle_inputs, warmup_cycles)
+
+    def _toggle_rates_packed(
+        self,
+        per_cycle_inputs: Sequence[Mapping[str, np.ndarray]],
+        warmup_cycles: int,
+    ) -> np.ndarray:
+        packed = self._packed
+        batch = self._infer_batch(per_cycle_inputs)
+        values = packed.new_values(batch)
+        state = np.zeros((len(packed.ff_q), values.shape[1]), dtype=np.uint64)
+        has_state = len(packed.ff_q) > 0
+        # Padding lanes of the last word can flip (TIEHI sets them,
+        # autonomous feedback evolves them) -- mask them out of counts.
+        tail_mask = lane_mask(batch)[-1]
+        partial_tail = batch % 64 != 0
+        counts = np.zeros(packed.num_nets, dtype=np.int64)
+        previous: Optional[np.ndarray] = None
+        flips = np.empty_like(values)
+        prepacked = packed.prepack_cycles(per_cycle_inputs, batch)
+        for cycle, cycle_inputs in enumerate(per_cycle_inputs):
+            if has_state:
+                values[packed.ff_q] = state
+            if prepacked is not None:
+                for bus_rows, planes in prepacked:
+                    values[bus_rows] = planes[cycle]
+            else:
+                packed.apply_inputs(values, cycle_inputs, batch)
+            if packed.clock_index is not None:
+                values[packed.clock_index] = 0
+            packed.evaluate(values)
+            if has_state:
+                state = values[packed.ff_d]
+            if cycle < warmup_cycles:
+                continue
+            if previous is None:
+                previous = np.empty_like(values)
+            else:
+                np.bitwise_xor(values, previous, out=flips)
+                if partial_tail:
+                    flips[:, -1] &= tail_mask
+                counts += popcount_rows(flips)
+            previous[:, :] = values
+        kept = len(per_cycle_inputs) - warmup_cycles
+        transitions = (kept - 1) * batch
+        rates = counts.astype(np.float64) / transitions
+        if packed.clock_index is not None:
+            rates[packed.clock_index] = 2.0
+        return rates
 
 
 class CycleTrace:

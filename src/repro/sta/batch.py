@@ -12,7 +12,7 @@ passes and is benchmarked against the naive loop in the ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.sta.caseanalysis import CaseAnalysis, UNKNOWN
 from repro.sta.constraints import ClockConstraint
 from repro.sta.engine import NEG_INF
 from repro.sta.graph import TimingGraph
+from repro.sta.sweep import LevelizedSchedule, schedule_for, sweep_forward
 from repro.techlib.library import Library
 
 
@@ -102,16 +103,73 @@ class BatchStaEngine:
         self.domains = domains
         self.num_domains = num_domains
 
-    def _schedule(self, case: Optional[CaseAnalysis]) -> List[np.ndarray]:
+    def _worst_slack_sweep(
+        self,
+        period: float,
+        factors: np.ndarray,
+        schedule: LevelizedSchedule,
+        case: Optional[CaseAnalysis],
+        nan_guard: bool,
+    ) -> np.ndarray:
+        """Worst slack per configuration for one (num_cells, k) factor block.
+
+        The single levelized launch/arrival/endpoint sweep every batched
+        analysis shares: a (nets x k) float32 arrival matrix swept forward
+        with the reduceat kernel, then reduced over endpoints.  With
+        *nan_guard*, NaN slacks (inf - inf through an infeasible corner
+        factor, possible in the multi-Vth path) are forced to -inf so the
+        configuration reads as never meeting timing.
+        """
         graph = self.graph
-        order = graph.arc_order
+        num_k = factors.shape[1]
+
+        arrival = np.full((graph.num_nets, num_k), NEG_INF, dtype=np.float32)
+        launch_factor = np.where(
+            graph.launch_cell[:, None] >= 0,
+            factors[np.maximum(graph.launch_cell, 0)],
+            np.float32(1.0),
+        )
+        launch_arrival = (
+            graph.launch_delay_ps[:, None].astype(np.float32) * launch_factor
+        )
         if case is None:
-            return [order[s] for s in graph.level_slices]
-        active = case.active_arc_mask(graph)
-        return [
-            ordered[active[ordered]]
-            for ordered in (order[s] for s in graph.level_slices)
-        ]
+            arrival[graph.launch_nets] = launch_arrival
+        else:
+            live = case.values[graph.launch_nets] == UNKNOWN
+            arrival[graph.launch_nets[live]] = launch_arrival[live]
+
+        base_delay = graph.arc_delay_ps.astype(np.float32)
+        arc_cell = graph.arc_cell
+
+        def delay_of(arcs: np.ndarray) -> np.ndarray:
+            return base_delay[arcs, None] * factors[arc_cell[arcs]]
+
+        sweep_forward(schedule, graph.arc_from, delay_of, arrival)
+
+        endpoint_factor = np.where(
+            graph.endpoint_cell[:, None] >= 0,
+            factors[np.maximum(graph.endpoint_cell, 0)],
+            np.float32(1.0),
+        )
+        endpoint_required = (
+            np.float32(period)
+            - graph.endpoint_setup_ps[:, None].astype(np.float32)
+            * endpoint_factor
+        )
+        endpoint_arrival = arrival[graph.endpoint_nets]
+        slack = endpoint_required - endpoint_arrival
+
+        if case is None:
+            endpoint_active = endpoint_arrival > NEG_INF / 2
+        else:
+            endpoint_active = (
+                case.active_endpoint_mask(graph.endpoint_nets)[:, None]
+                & (endpoint_arrival > NEG_INF / 2)
+            )
+        slack = np.where(endpoint_active, slack, np.float32(np.inf))
+        if nan_guard:
+            slack = np.nan_to_num(slack, nan=-np.float32(np.inf))
+        return slack.min(axis=0) if slack.shape[0] else np.full(num_k, np.inf)
 
     def analyze(
         self,
@@ -133,61 +191,19 @@ class BatchStaEngine:
                 f"configs shape {configs.shape} incompatible with "
                 f"{self.num_domains} domains"
             )
-        num_configs = configs.shape[0]
-
         f_nobb = self.library.delay_factor(self.library.nobb_corner(vdd))
         f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
         # (num_cells, K) delay factor of each cell under each config.
         cell_fbb = configs[:, self.domains].T
         factors = np.where(cell_fbb, np.float32(f_fbb), np.float32(f_nobb))
 
-        period = constraint.effective_period_ps
-        schedule = self._schedule(case)
-
-        arrival = np.full((graph.num_nets, num_configs), NEG_INF, dtype=np.float32)
-        launch_factor = np.where(
-            graph.launch_cell[:, None] >= 0,
-            factors[np.maximum(graph.launch_cell, 0)],
-            np.float32(1.0),
+        worst = self._worst_slack_sweep(
+            constraint.effective_period_ps,
+            factors,
+            schedule_for(graph, case),
+            case,
+            nan_guard=False,
         )
-        launch_arrival = (
-            graph.launch_delay_ps[:, None].astype(np.float32) * launch_factor
-        )
-        if case is None:
-            arrival[graph.launch_nets] = launch_arrival
-        else:
-            live = case.values[graph.launch_nets] == UNKNOWN
-            arrival[graph.launch_nets[live]] = launch_arrival[live]
-
-        base_delay = graph.arc_delay_ps.astype(np.float32)
-        for arcs in schedule:
-            if len(arcs) == 0:
-                continue
-            delays = base_delay[arcs, None] * factors[graph.arc_cell[arcs]]
-            candidate = arrival[graph.arc_from[arcs]] + delays
-            np.maximum.at(arrival, graph.arc_to[arcs], candidate)
-
-        endpoint_factor = np.where(
-            graph.endpoint_cell[:, None] >= 0,
-            factors[np.maximum(graph.endpoint_cell, 0)],
-            np.float32(1.0),
-        )
-        endpoint_required = (
-            np.float32(period)
-            - graph.endpoint_setup_ps[:, None].astype(np.float32) * endpoint_factor
-        )
-        endpoint_arrival = arrival[graph.endpoint_nets]
-        slack = endpoint_required - endpoint_arrival
-
-        if case is None:
-            endpoint_active = endpoint_arrival > NEG_INF / 2
-        else:
-            endpoint_active = (
-                case.active_endpoint_mask(graph.endpoint_nets)[:, None]
-                & (endpoint_arrival > NEG_INF / 2)
-            )
-        slack = np.where(endpoint_active, slack, np.float32(np.inf))
-        worst = slack.min(axis=0) if slack.shape[0] else np.full(num_configs, np.inf)
 
         return BatchTimingResult(
             constraint=constraint,
@@ -235,68 +251,18 @@ class BatchStaEngine:
         )
         graph = self.graph
         period = constraint.effective_period_ps
-        schedule = self._schedule(case)
-        base_delay = graph.arc_delay_ps.astype(np.float32)
+        schedule = schedule_for(graph, case)
 
         worst_all = np.empty(state_configs.shape[0], dtype=np.float64)
         for start in range(0, state_configs.shape[0], chunk):
             block = state_configs[start:start + chunk]
             # (num_cells, k) delay factors; infeasible states (inf factor)
-            # stay inf and poison the arrival, marking configs infeasible.
+            # stay inf and poison the arrival, producing the NaN slack the
+            # sweep's nan_guard maps to "can never meet timing".
             factors = state_factors[block[:, self.domains]].T.astype(np.float32)
-            num_k = block.shape[0]
-
-            arrival = np.full((graph.num_nets, num_k), NEG_INF, dtype=np.float32)
-            launch_factor = np.where(
-                graph.launch_cell[:, None] >= 0,
-                factors[np.maximum(graph.launch_cell, 0)],
-                np.float32(1.0),
+            worst_all[start:start + block.shape[0]] = self._worst_slack_sweep(
+                period, factors, schedule, case, nan_guard=True
             )
-            launch_arrival = (
-                graph.launch_delay_ps[:, None].astype(np.float32) * launch_factor
-            )
-            if case is None:
-                arrival[graph.launch_nets] = launch_arrival
-            else:
-                live = case.values[graph.launch_nets] == UNKNOWN
-                arrival[graph.launch_nets[live]] = launch_arrival[live]
-
-            for arcs in schedule:
-                if len(arcs) == 0:
-                    continue
-                delays = base_delay[arcs, None] * factors[graph.arc_cell[arcs]]
-                candidate = arrival[graph.arc_from[arcs]] + delays
-                np.maximum.at(arrival, graph.arc_to[arcs], candidate)
-
-            endpoint_factor = np.where(
-                graph.endpoint_cell[:, None] >= 0,
-                factors[np.maximum(graph.endpoint_cell, 0)],
-                np.float32(1.0),
-            )
-            endpoint_required = (
-                np.float32(period)
-                - graph.endpoint_setup_ps[:, None].astype(np.float32)
-                * endpoint_factor
-            )
-            endpoint_arrival = arrival[graph.endpoint_nets]
-            slack = endpoint_required - endpoint_arrival
-            if case is None:
-                endpoint_active = endpoint_arrival > NEG_INF / 2
-            else:
-                endpoint_active = (
-                    case.active_endpoint_mask(graph.endpoint_nets)[:, None]
-                    & (endpoint_arrival > NEG_INF / 2)
-                )
-            slack = np.where(endpoint_active, slack, np.float32(np.inf))
-            # NaN slack (inf - inf through a subthreshold state) means the
-            # configuration can never meet timing.
-            slack = np.nan_to_num(slack, nan=-np.float32(np.inf))
-            worst = (
-                slack.min(axis=0)
-                if slack.shape[0]
-                else np.full(num_k, np.inf)
-            )
-            worst_all[start:start + num_k] = worst
 
         return BatchTimingResult(
             constraint=constraint,

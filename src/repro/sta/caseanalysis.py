@@ -44,6 +44,10 @@ class CaseAnalysis:
 
     def __post_init__(self):
         self._arc_mask_cache: Dict[int, np.ndarray] = {}
+        # Case-filtered sweep schedules per timing graph, memoized here
+        # (not on the graph) so a short-lived case doesn't pin schedule
+        # memory on a long-lived graph.  See repro.sta.sweep.schedule_for.
+        self._schedule_cache: Dict[int, object] = {}
 
     @property
     def constant_mask(self) -> np.ndarray:

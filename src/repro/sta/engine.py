@@ -17,6 +17,7 @@ import numpy as np
 from repro.sta.caseanalysis import CaseAnalysis
 from repro.sta.constraints import ClockConstraint
 from repro.sta.graph import TimingGraph
+from repro.sta.sweep import schedule_for, sweep_backward, sweep_forward
 from repro.techlib.library import Library
 
 #: Sentinel arrival for unreachable nets.
@@ -104,18 +105,6 @@ class StaEngine:
         f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
         return np.where(fbb_cells, f_fbb, f_nobb)
 
-    def _active_arc_schedule(self, case: Optional[CaseAnalysis]):
-        """Arc ordinals per level after case-analysis filtering."""
-        graph = self.graph
-        order = graph.arc_order
-        if case is None:
-            return [order[s] for s in graph.level_slices]
-        active = case.active_arc_mask(graph)
-        return [
-            ordered[active[ordered]]
-            for ordered in (order[s] for s in graph.level_slices)
-        ]
-
     # -- analysis ----------------------------------------------------------------
 
     def analyze(
@@ -143,8 +132,11 @@ class StaEngine:
                     f"factors shape {factors.shape} != ({graph.num_cells},)"
                 )
         arc_delay = graph.arc_delay_ps * factors[graph.arc_cell]
-        schedule = self._active_arc_schedule(case)
+        schedule = schedule_for(graph, case)
         period = constraint.effective_period_ps
+
+        def delay_of(arcs: np.ndarray) -> np.ndarray:
+            return arc_delay[arcs]
 
         launch_factor = np.where(
             graph.launch_cell >= 0, factors[np.maximum(graph.launch_cell, 0)], 1.0
@@ -158,11 +150,7 @@ class StaEngine:
             live = case.values[graph.launch_nets] == 2  # UNKNOWN
             arrival[graph.launch_nets[live]] = launch_arrival[live]
 
-        for arcs in schedule:
-            if len(arcs) == 0:
-                continue
-            candidate = arrival[graph.arc_from[arcs]] + arc_delay[arcs]
-            np.maximum.at(arrival, graph.arc_to[arcs], candidate)
+        sweep_forward(schedule, graph.arc_from, delay_of, arrival)
 
         endpoint_factor = np.where(
             graph.endpoint_cell >= 0,
@@ -183,16 +171,14 @@ class StaEngine:
 
         required = np.full(graph.num_nets, POS_INF)
         if compute_required:
+            # Endpoint seeding stays a scatter: endpoints are few, may
+            # repeat a net, and are not level-segmented.
             np.minimum.at(
                 required,
                 graph.endpoint_nets[endpoint_active],
                 endpoint_required[endpoint_active],
             )
-            for arcs in reversed(schedule):
-                if len(arcs) == 0:
-                    continue
-                candidate = required[graph.arc_to[arcs]] - arc_delay[arcs]
-                np.minimum.at(required, graph.arc_from[arcs], candidate)
+            sweep_backward(schedule, graph.arc_to, delay_of, required)
 
         return TimingReport(
             graph=graph,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.netlist.netlist import Netlist
 from repro.pnr.parasitics import Parasitics
+from repro.sta.sweep import LevelizedSchedule, compile_schedule
 
 
 @dataclass
@@ -30,8 +31,12 @@ class TimingGraph:
 
     All arrays are indexed by net index, arc ordinal, or cell index as
     noted.  ``levels`` orders nets topologically; ``arc_order`` sorts arcs
-    by the level of their sink net so a single pass over ``arc_order`` is a
-    levelized sweep.
+    by (sink-net level, sink net) so a single pass over ``arc_order`` is a
+    levelized sweep *and* arcs sharing a sink form contiguous runs within
+    each level -- the segment layout the ``reduceat`` sweep kernels in
+    :mod:`repro.sta.sweep` consume.  ``schedule`` is the precompiled
+    unfiltered sweep schedule (case-filtered variants are cached on the
+    :class:`~repro.sta.caseanalysis.CaseAnalysis`).
     """
 
     netlist: Netlist
@@ -56,6 +61,8 @@ class TimingGraph:
     endpoint_cell: np.ndarray
     # Per-net electrical load (for reporting; already folded into delays).
     net_load_ff: np.ndarray
+    # Precompiled levelized sweep schedule (segment runs per level).
+    schedule: Optional[LevelizedSchedule] = None
 
     def arcs_of_cell(self, cell_index: int) -> np.ndarray:
         """Ordinals of all arcs through *cell_index*."""
@@ -136,7 +143,11 @@ def compile_timing_graph(
             net_level[out_net.index] = max(net_level[out_net.index], level + 1)
 
     arc_sink_level = net_level[arc_to_arr]
-    arc_order = np.argsort(arc_sink_level, kind="stable")
+    # Sort by (level, sink net): level-major for the levelized sweep,
+    # sink-minor so arcs sharing a sink are contiguous segments within a
+    # level.  Subsets of a sorted run stay sorted, so case-analysis
+    # filtering preserves the segment property for free.
+    arc_order = np.lexsort((arc_to_arr, arc_sink_level))
     sorted_levels = arc_sink_level[arc_order]
     level_slices: List[slice] = []
     if len(sorted_levels):
@@ -180,7 +191,7 @@ def compile_timing_graph(
             endpoint_setup.append(0.0)
             endpoint_cell.append(-1)
 
-    return TimingGraph(
+    graph = TimingGraph(
         netlist=netlist,
         num_nets=num_nets,
         num_cells=num_cells,
@@ -199,3 +210,5 @@ def compile_timing_graph(
         endpoint_cell=np.asarray(endpoint_cell, dtype=np.int64),
         net_load_ff=net_load,
     )
+    graph.schedule = compile_schedule(graph)
+    return graph

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.sta.caseanalysis import CaseAnalysis, UNKNOWN
 from repro.sta.graph import TimingGraph
+from repro.sta.sweep import schedule_for, sweep_forward
 from repro.techlib.library import Library
 
 POS_INF = 1e30
@@ -83,16 +84,7 @@ class HoldAnalyzer:
         f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
         factors = np.where(fbb_cells, f_fbb, f_nobb)
         arc_delay = graph.arc_delay_ps * factors[graph.arc_cell]
-
-        order = graph.arc_order
-        if case is None:
-            schedule = [order[s] for s in graph.level_slices]
-        else:
-            active = case.active_arc_mask(graph)
-            schedule = [
-                ordered[active[ordered]]
-                for ordered in (order[s] for s in graph.level_slices)
-            ]
+        schedule = schedule_for(graph, case)
 
         arrival = np.full(graph.num_nets, POS_INF)
         launch_factor = np.where(
@@ -107,11 +99,14 @@ class HoldAnalyzer:
             live = case.values[graph.launch_nets] == UNKNOWN
             arrival[graph.launch_nets[live]] = launch_arrival[live]
 
-        for arcs in schedule:
-            if len(arcs) == 0:
-                continue
-            candidate = arrival[graph.arc_from[arcs]] + arc_delay[arcs]
-            np.minimum.at(arrival, graph.arc_to[arcs], candidate)
+        # Hold is the min-delay sweep: same forward kernel, min reduction.
+        sweep_forward(
+            schedule,
+            graph.arc_from,
+            lambda arcs: arc_delay[arcs],
+            arrival,
+            reduce_op=np.minimum,
+        )
 
         hold_template = self.library.template("DFF")
         endpoint_hold = np.where(

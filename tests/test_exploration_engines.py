@@ -1,0 +1,120 @@
+"""Cross-engine lock-in of the exploration flow.
+
+The simulation engine is an execution knob, not a semantic one: switching
+``sim_engine`` between interpreted and packed must not move a single bit
+of the exploration results -- serially, through the parallel sharded
+engine, and through warm and cold persistent caches.  (The persistent
+cache *fingerprint* does include the engine choice, so warmed entries are
+never shared across engines; the results still must agree.)
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import implement_with_domains
+from repro.operators import booth_multiplier, fir_filter
+from repro.operators.fir import FirParameters
+from repro.pnr.grid import GridPartition
+from repro.sim.activity import clear_activity_cache
+from tests.test_parallel_differential import assert_identical
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 3, 4, 6),
+    activity_cycles=10,
+    activity_batch=8,
+    sim_engine="interpreted",
+)
+
+OPERATORS = ["booth", "fir"]
+
+
+@pytest.fixture(scope="module")
+def designs(library):
+    built = {}
+    factories = {
+        "booth": lambda: booth_multiplier(library, width=6, name="eng_boo"),
+        "fir": lambda: fir_filter(
+            library, FirParameters(taps=4, width=6), name="eng_fir"
+        ),
+    }
+    for op, grid in (("booth", (2, 2)), ("fir", (2, 1))):
+        built[op] = implement_with_domains(
+            factories[op], library, GridPartition(*grid)
+        )
+    return built
+
+
+@pytest.fixture(scope="module")
+def interpreted_reference(designs):
+    clear_activity_cache()
+    return {
+        op: ExhaustiveExplorer(design).run(SETTINGS)
+        for op, design in designs.items()
+    }
+
+
+def test_sim_engine_validated():
+    with pytest.raises(ValueError, match="sim_engine"):
+        ExplorationSettings(sim_engine="simd")
+
+
+def test_sim_engine_is_semantic():
+    """The engine choice must show up in cache fingerprints."""
+    assert "sim_engine" in SETTINGS.semantic_fields()
+
+
+@pytest.mark.parametrize("operator", OPERATORS)
+@pytest.mark.parametrize("engine", ["packed", "auto"])
+def test_serial_exploration_engine_invariant(
+    operator, engine, designs, interpreted_reference
+):
+    clear_activity_cache()
+    settings = dataclasses.replace(SETTINGS, sim_engine=engine)
+    result = ExhaustiveExplorer(designs[operator]).run(settings)
+    assert_identical(interpreted_reference[operator], result)
+
+
+@pytest.mark.parametrize("operator", OPERATORS)
+@pytest.mark.parametrize("cache_mode", ["cold", "warm"])
+def test_parallel_sharded_engine_invariant(
+    operator, cache_mode, designs, interpreted_reference, tmp_path
+):
+    """The packed engine through the sharded parallel path, with a cold
+    and a warmed persistent cache, agrees with the serial interpreted
+    reference bit for bit."""
+    clear_activity_cache()
+    settings = dataclasses.replace(
+        SETTINGS,
+        sim_engine="packed",
+        workers=2,
+        cache=True,
+        cache_dir=str(tmp_path),
+    )
+    explorer = ExhaustiveExplorer(designs[operator])
+    result = explorer.run(settings)
+    if cache_mode == "warm":
+        first = result
+        assert first.cache_stats.misses > 0 and first.cache_stats.hits == 0
+        result = explorer.run(settings)
+        assert result.cache_stats.hits == first.cache_stats.misses
+        assert result.cache_stats.misses == 0
+    assert_identical(interpreted_reference[operator], result)
+
+
+def test_cache_entries_not_shared_across_engines(designs, tmp_path):
+    """Switching engines against the same cache dir re-misses: the
+    fingerprint keys on the engine choice (schema 2)."""
+    clear_activity_cache()
+    base = dataclasses.replace(
+        SETTINGS, workers=1, cache=True, cache_dir=str(tmp_path)
+    )
+    explorer = ExhaustiveExplorer(designs["booth"])
+    warmed = explorer.run(base)
+    assert warmed.cache_stats.misses > 0
+    switched = explorer.run(dataclasses.replace(base, sim_engine="packed"))
+    assert switched.cache_stats.hits == 0
+    assert switched.cache_stats.misses == warmed.cache_stats.misses
+    assert_identical(warmed, switched)
