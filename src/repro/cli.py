@@ -19,11 +19,22 @@ Commands:
                       socket and exits (the CI smoke path).
 * ``replay``       -- replay a workload trace through the serve
                       scheduler under a chosen policy.
+* ``chaos``        -- replay a seeded fault schedule against a
+                      margin-guarded serve session and a crash-resilient
+                      sharded sweep; exits non-zero if any invariant
+                      broke (the CI chaos-smoke path).
+
+Sweep commands (``explore``, ``compare``, ``compile-table``, ``chaos``)
+shut down gracefully on SIGINT/SIGTERM: the current shard finishes, every
+completed shard is already flushed to the persistent cache, and the exit
+message says how to resume.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import Callable, Optional
 
@@ -84,6 +95,38 @@ def _parse_grid(text: str) -> GridPartition:
         return GridPartition(int(rows), int(cols))
     except (ValueError, TypeError):
         raise SystemExit(f"bad grid {text!r}; expected e.g. 2x2")
+
+
+@contextlib.contextmanager
+def _graceful_sweeps():
+    """Arm SIGINT/SIGTERM to stop the sharded engine cooperatively."""
+    from repro.parallel.engine import interrupt_event
+
+    event = interrupt_event()
+    event.clear()
+    previous = {}
+
+    def handler(signum, frame):
+        if event.is_set():  # second signal: give up politely
+            raise KeyboardInterrupt
+        event.set()
+        print(
+            "\ninterrupt received: finishing the running shard(s) and "
+            "flushing completed work...",
+            file=sys.stderr,
+        )
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+    try:
+        yield event
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        event.clear()
 
 
 def _settings(args) -> ExplorationSettings:
@@ -222,7 +265,13 @@ def cmd_compile_table(args) -> int:
             )
     else:
         result = ExhaustiveExplorer(design).run(_settings(args))
-    table = compile_mode_table(design, result, BiasGeneratorModel())
+    table = compile_mode_table(
+        design,
+        result,
+        BiasGeneratorModel(),
+        with_margins=args.margins,
+        margin_samples=args.margin_samples,
+    )
     print(table.describe())
     with open(args.output, "w") as stream:
         save_mode_table(table, stream)
@@ -365,6 +414,59 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import dataclasses
+    import json as json_module
+    import tempfile
+
+    from repro.core.runtime import BiasGeneratorModel
+    from repro.faults import FaultSchedule, run_chaos
+    from repro.serve.table import compile_mode_table
+
+    design = _implement_for(args)
+    print(design.describe())
+    settings = dataclasses.replace(
+        _settings(args),
+        activity_cycles=args.activity_cycles,
+        workers=0,
+        cache=False,
+        cache_dir=None,
+    )
+    result = ExhaustiveExplorer(design).run(settings)
+    table = compile_mode_table(
+        design,
+        result,
+        BiasGeneratorModel(),
+        with_margins=True,
+        margin_samples=args.margin_samples,
+    )
+    print(table.describe())
+    schedule = FaultSchedule.generate(
+        args.seed,
+        horizon_ns=args.horizon_ns,
+        num_generators=args.generators,
+        num_shards=len(settings.bitwidths),
+        intensity=args.intensity,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        report = run_chaos(
+            table,
+            schedule,
+            design=None if args.serve_only else design,
+            settings=None if args.serve_only else settings,
+            workdir=None if args.serve_only else workdir,
+            num_operators=args.operators,
+            requests=args.requests,
+            seed=args.seed,
+        )
+    print(report.describe())
+    if args.summary:
+        with open(args.summary, "w") as stream:
+            json_module.dump(report.to_dict(), stream, indent=2)
+        print(f"chaos summary written to {args.summary}")
+    return 0 if report.ok else 1
+
+
 def cmd_characterize(args) -> int:
     library = Library()
     if args.lib:
@@ -441,13 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_args(p)
     p.add_argument("--grid", default="2x2")
     p.add_argument("--output", help="write the mode table as JSON")
-    p.set_defaults(func=cmd_explore)
+    p.set_defaults(func=cmd_explore, sweep_command=True)
 
     p = sub.add_parser("compare", help="proposed vs DVAS (Fig. 5)")
     add_design_args(p)
     add_engine_args(p)
     p.add_argument("--grid", default="2x2")
-    p.set_defaults(func=cmd_compare)
+    p.set_defaults(func=cmd_compare, sweep_command=True)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent exploration cache"
@@ -470,7 +572,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", required=True, help="write the compiled table here"
     )
-    p.set_defaults(func=cmd_compile_table)
+    p.add_argument(
+        "--margins",
+        action="store_true",
+        help="bake per-mode n-sigma slack margins (Monte-Carlo timing) "
+        "into the table, enabling the runtime margin guard",
+    )
+    p.add_argument(
+        "--margin-samples",
+        type=int,
+        default=48,
+        help="Monte-Carlo sample count per mode for --margins",
+    )
+    p.set_defaults(func=cmd_compile_table, sweep_command=True)
 
     p = sub.add_parser(
         "serve", help="run the asyncio accuracy server from a compiled table"
@@ -517,6 +631,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=4, help="lookahead window")
     p.set_defaults(func=cmd_replay)
 
+    p = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault schedule against serving + exploration",
+    )
+    add_design_args(p)
+    p.add_argument("--grid", default="2x2")
+    p.add_argument("--seed", type=int, default=7, help="chaos seed")
+    p.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="fault-count multiplier of the generated schedule",
+    )
+    p.add_argument(
+        "--horizon-ns",
+        type=float,
+        default=1e5,
+        help="virtual-time horizon of the fault schedule (keep it close "
+        "to the soak's served virtual time so events overlap it)",
+    )
+    p.add_argument("--operators", type=int, default=3)
+    p.add_argument("--requests", type=int, default=96)
+    p.add_argument("--generators", type=int, default=2)
+    p.add_argument(
+        "--margin-samples",
+        type=int,
+        default=32,
+        help="Monte-Carlo samples per mode for the compiled margins",
+    )
+    p.add_argument(
+        "--activity-cycles",
+        type=int,
+        default=10,
+        help="simulation cycles per activity estimate (small = fast soak)",
+    )
+    p.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="skip the exploration half (worker crash / cache corruption)",
+    )
+    p.add_argument("--summary", help="write the chaos report JSON here")
+    p.set_defaults(func=cmd_chaos, sweep_command=True)
+
     p = sub.add_parser("report-timing", help="worst paths at a corner")
     add_design_args(p)
     p.add_argument("--vdd", type=float, default=1.0)
@@ -535,8 +692,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    from repro.serve.errors import ServeError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        if not getattr(args, "sweep_command", False):
+            return args.func(args)
+    except ServeError as error:
+        # Defective serving artifacts are user errors, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from repro.parallel.engine import SweepInterrupted
+
+    with _graceful_sweeps():
+        try:
+            return args.func(args)
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except SweepInterrupted as stop:
+            print(
+                f"\nsweep interrupted: {stop.completed}/{stop.total} shards "
+                "done and flushed.  Completed shards are durable in the "
+                "persistent cache; re-run the same command with --resume "
+                "to continue from here.",
+                file=sys.stderr,
+            )
+            return 130
 
 
 if __name__ == "__main__":

@@ -84,6 +84,9 @@ class ExplorationResult:
     )
     # Persistent-cache statistics of the run (None on the legacy path).
     cache_stats: Optional[object] = None
+    # Resilience statistics (crashes/retries survived; None on the
+    # legacy path, a repro.parallel.engine.ResilienceStats otherwise).
+    fault_stats: Optional[object] = None
 
     @property
     def filtered_fraction(self) -> float:

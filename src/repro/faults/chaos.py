@@ -1,0 +1,364 @@
+"""The chaos harness: replay a seeded fault schedule against the stack.
+
+Two soaks, one report:
+
+* :func:`run_serve_chaos` drives a deterministic request mix from
+  several concurrent operator instances through a margin-guarded
+  :class:`~repro.serve.scheduler.ModeScheduler` while the schedule's
+  silicon events erode margins, drop bias generators and block
+  transitions.  Afterwards it *audits* every served phase against the
+  same (pure, replayable) environment: served bits must cover the
+  request, and any mode the guard passed through un-overridden must
+  actually have been safe at its decision instant.
+* :func:`run_exploration_chaos` runs a sharded sweep with worker
+  crashes armed (and the shard cache corrupted between runs) and holds
+  the recovered results bit-identical to a clean serial reference.
+
+Both halves consume the same :class:`~repro.faults.events.FaultSchedule`,
+so one seed reproduces one full chaos run -- the CLI (``repro chaos``)
+archives the schedule next to the report for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.environment import SiliconEnvironment
+from repro.faults.events import (
+    KIND_CACHE_CORRUPT,
+    KIND_WORKER_CRASH,
+    FaultSchedule,
+)
+from repro.faults.injector import (
+    InjectionLog,
+    WorkerFaultPlan,
+    corrupt_cache_entries,
+)
+
+
+# -- serve-side soak ---------------------------------------------------------
+
+
+@dataclass
+class ServeChaosReport:
+    """What the serving stack did under silicon chaos."""
+
+    requests: int = 0
+    accuracy_violations: int = 0
+    #: Phases the audit found running an unsafe mode without the guard
+    #: having flagged a fallback (must stay 0 for the soak to pass).
+    margin_violations: int = 0
+    margin_fallbacks: int = 0
+    degraded: int = 0
+    transition_retries: int = 0
+    transition_failures: int = 0
+    generator_dropouts: int = 0
+    rebalanced_grants: int = 0
+    stayed_up: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.stayed_up
+            and self.accuracy_violations == 0
+            and self.margin_violations == 0
+        )
+
+    def to_dict(self) -> Dict:
+        return {**dataclasses.asdict(self), "ok": self.ok}
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"serve chaos [{verdict}]: {self.requests} requests, "
+            f"{self.margin_fallbacks} margin fallbacks, "
+            f"{self.degraded} degraded, "
+            f"{self.transition_retries} transition retries "
+            f"({self.transition_failures} exhausted), "
+            f"{self.generator_dropouts} generator dropouts "
+            f"({self.rebalanced_grants} slews rebalanced), "
+            f"{self.accuracy_violations} accuracy violations, "
+            f"{self.margin_violations} margin violations"
+        )
+
+
+def chaos_requests(table, num_operators: int, count: int, seed: int):
+    """Deterministic request mix over *num_operators* instances."""
+    rng = np.random.default_rng(seed)
+    bitwidths = table.bitwidths
+    for index in range(count):
+        yield (
+            f"op{index % num_operators}",
+            int(rng.choice(bitwidths)),
+            int(rng.integers(1_000, 20_000)),
+        )
+
+
+def run_serve_chaos(
+    table,
+    schedule: FaultSchedule,
+    num_operators: int = 3,
+    requests: int = 96,
+    seed: int = 7,
+    policy: str = "greedy",
+    num_generators: int = 2,
+    headroom_ps: float = 0.0,
+) -> ServeChaosReport:
+    """Soak a margin-guarded scheduler against *schedule*, then audit it."""
+    from repro.serve.guard import MarginGuard
+    from repro.serve.scheduler import ModeScheduler, ServeRequest
+
+    if num_operators < 1:
+        raise ValueError("need at least one operator")
+    environment = SiliconEnvironment(schedule)
+    guard = MarginGuard(table, environment, headroom_ps=headroom_ps)
+    scheduler = ModeScheduler(
+        table,
+        num_generators=num_generators,
+        policy=policy,
+        guard=guard,
+    )
+    report = ServeChaosReport()
+    served_log = []
+    try:
+        for operator, bits, cycles in chaos_requests(
+            table, num_operators, requests, seed
+        ):
+            served = scheduler.submit(ServeRequest(operator, bits, cycles))
+            served_log.append(served)
+            report.requests += 1
+    except Exception as error:  # the soak's "stays up" criterion
+        report.error = f"{type(error).__name__}: {error}"
+        report.stayed_up = False
+    else:
+        report.stayed_up = True
+
+    # Audit against the same (pure, replayable) environment.
+    for served in served_log:
+        if served.served_bits < served.required_bits:
+            report.accuracy_violations += 1
+        if served.degraded or served.margin_fallback:
+            # Fallback modes are best-effort by definition (the static
+            # rail is sign-off margined; a guard substitution is safe
+            # whenever any covering mode was); the invariant audited
+            # here is about un-overridden policy picks.
+            continue
+        if not guard.mode_is_safe(served.served_bits, served.decided_at_ns):
+            report.margin_violations += 1
+
+    counters = scheduler.telemetry.counters
+    report.margin_fallbacks = counters["margin_fallbacks"]
+    report.degraded = counters["degraded"]
+    report.transition_retries = counters["transition_retries"]
+    report.transition_failures = counters["transition_failures"]
+    report.accuracy_violations += counters["accuracy_violations"]
+    report.generator_dropouts = scheduler.pool.dropouts
+    report.rebalanced_grants = scheduler.pool.rebalanced_grants
+    return report
+
+
+# -- exploration-side soak ---------------------------------------------------
+
+
+@dataclass
+class ExplorationChaosReport:
+    """What the sharded engine survived, and whether results held."""
+
+    shards: int = 0
+    worker_crashes: int = 0
+    pool_respawns: int = 0
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    cache_entries_corrupted: int = 0
+    cache_invalidations: int = 0
+    faults_fired: List[str] = field(default_factory=list)
+    bit_identical: bool = False
+    recovered_after_corruption: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.bit_identical
+            and (
+                self.cache_entries_corrupted == 0
+                or self.recovered_after_corruption
+            )
+        )
+
+    def to_dict(self) -> Dict:
+        return {**dataclasses.asdict(self), "ok": self.ok}
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"exploration chaos [{verdict}]: {self.shards} shards, "
+            f"{self.worker_crashes} crashes / {self.pool_respawns} pool "
+            f"respawns / {self.shard_retries} retries, "
+            f"{self.cache_entries_corrupted} cache entries corrupted "
+            f"({self.cache_invalidations} invalidated on reload), "
+            f"bit-identical: {self.bit_identical}"
+        )
+
+
+def _results_identical(reference, result) -> bool:
+    """Bit-identical on everything downstream consumers read."""
+    return (
+        result.best_per_bitwidth == reference.best_per_bitwidth
+        and result.best_per_knob_point == reference.best_per_knob_point
+        and result.feasible_counts == reference.feasible_counts
+        and result.points_evaluated == reference.points_evaluated
+        and result.points_feasible == reference.points_feasible
+    )
+
+
+def run_exploration_chaos(
+    design,
+    settings,
+    schedule: FaultSchedule,
+    workdir: os.PathLike,
+    workers: int = 2,
+) -> ExplorationChaosReport:
+    """Crash workers mid-sweep, corrupt the cache, demand identical bits."""
+    from repro.parallel.engine import ParallelExplorer
+    from repro.parallel.shards import plan_shards
+
+    report = ExplorationChaosReport()
+    workdir = os.fspath(workdir)
+    cache_dir = os.path.join(workdir, "chaos-cache")
+    marker_dir = os.path.join(workdir, "chaos-faults")
+    log = InjectionLog()
+
+    shards = plan_shards(settings, None)
+    report.shards = len(shards)
+    crash_shards = tuple(
+        sorted(
+            {
+                max(0, event.target) % len(shards)
+                for event in schedule.of_kind(KIND_WORKER_CRASH)
+            }
+        )
+    )
+    log.worker_crashes_armed = len(crash_shards)
+    plan = WorkerFaultPlan(marker_dir=marker_dir, crash_shards=crash_shards)
+
+    serial_settings = dataclasses.replace(
+        settings, workers=1, cache=False, cache_dir=None
+    )
+    chaos_settings = dataclasses.replace(
+        settings, workers=max(2, workers), cache=True, cache_dir=cache_dir
+    )
+
+    try:
+        reference = ParallelExplorer(design).run(serial_settings)
+        chaotic = ParallelExplorer(
+            design,
+            fault_plan=plan,
+            max_shard_retries=max(2, len(crash_shards)),
+        ).run(chaos_settings)
+    except Exception as error:
+        report.error = f"{type(error).__name__}: {error}"
+        return report
+
+    report.bit_identical = _results_identical(reference, chaotic)
+    report.faults_fired = plan.fired()
+    stats = chaotic.fault_stats
+    if stats is not None:
+        report.worker_crashes = stats.worker_crashes
+        report.pool_respawns = stats.pool_respawns
+        report.shard_retries = stats.shard_retries
+        report.shard_timeouts = stats.shard_timeouts
+
+    # Corrupt the now-warm cache and demand detect-discard-recompute.
+    wanted = len(schedule.of_kind(KIND_CACHE_CORRUPT))
+    if wanted:
+        damaged = corrupt_cache_entries(cache_dir, count=wanted)
+        log.cache_entries_corrupted = damaged
+        report.cache_entries_corrupted = damaged
+        try:
+            rerun = ParallelExplorer(design).run(chaos_settings)
+        except Exception as error:
+            report.error = f"{type(error).__name__}: {error}"
+            return report
+        report.recovered_after_corruption = _results_identical(
+            reference, rerun
+        )
+        if rerun.cache_stats is not None:
+            report.cache_invalidations = rerun.cache_stats.invalidations
+    return report
+
+
+# -- the full run ------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """One seeded chaos run, end to end."""
+
+    schedule: FaultSchedule
+    serve: ServeChaosReport
+    exploration: Optional[ExplorationChaosReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.serve.ok and (
+            self.exploration is None or self.exploration.ok
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "schedule": self.schedule.to_dict(),
+            "serve": self.serve.to_dict(),
+            "exploration": (
+                self.exploration.to_dict()
+                if self.exploration is not None
+                else None
+            ),
+        }
+
+    def describe(self) -> str:
+        lines = [self.schedule.describe(), self.serve.describe()]
+        if self.exploration is not None:
+            lines.append(self.exploration.describe())
+        lines.append(f"chaos run: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_chaos(
+    table,
+    schedule: FaultSchedule,
+    design=None,
+    settings=None,
+    workdir: Optional[os.PathLike] = None,
+    num_operators: int = 3,
+    requests: int = 96,
+    seed: int = 7,
+) -> ChaosReport:
+    """Replay *schedule* against serving and (optionally) exploration."""
+    serve = run_serve_chaos(
+        table,
+        schedule,
+        num_operators=num_operators,
+        requests=requests,
+        seed=seed,
+    )
+    exploration = None
+    if design is not None:
+        if settings is None or workdir is None:
+            raise ValueError(
+                "exploration chaos needs settings and a workdir"
+            )
+        exploration = run_exploration_chaos(
+            design, settings, schedule, workdir
+        )
+    return ChaosReport(
+        schedule=schedule, serve=serve, exploration=exploration
+    )

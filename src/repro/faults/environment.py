@@ -1,0 +1,143 @@
+"""The injected silicon environment: schedule -> electrical state over time.
+
+:class:`SiliconEnvironment` evaluates a :class:`~repro.faults.events.FaultSchedule`
+at any virtual-time instant and answers the questions the serve-side
+margin guard asks:
+
+* how much *slack erosion* (ps) does the current temperature / droop /
+  aging state cost a mode running at a given VDD and clock period,
+* which bias generators are currently dropped out,
+* is the bias output stuck at NoBB (FBB modes unreachable),
+* would a bias transition started now time out.
+
+The erosion model is deliberately first-order -- the same altitude as the
+rest of the electrical stack: fractional delay slowdowns per effect,
+scaled by the clock period so they compare directly against the compiled
+per-mode slack margins.
+
+* temperature: delay rises ~0.12 %/degC (mobility degradation dominates
+  FDSOI at the explored supplies); drift windows ramp triangularly --
+  zero at the window edges, full magnitude at the midpoint -- modelling
+  a package heating and cooling excursion;
+* VDD droop: alpha-power sensitivity, slowdown ~ ``alpha * dV / VDD``
+  as a square transient for the window's duration;
+* aging: a Vth shift accumulating linearly over the event window and
+  *persisting* afterwards (BTI-style), slowdown ~ ``k * dVth / VDD``.
+
+Everything is pure arithmetic on the frozen schedule: evaluating the
+environment twice at the same instant gives the same answer, which is
+what makes chaos runs replayable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.faults.events import (
+    KIND_GEN_DROPOUT,
+    KIND_STUCK_NOBB,
+    KIND_TEMP_DRIFT,
+    KIND_TRANSITION_TIMEOUT,
+    KIND_VDD_DROOP,
+    KIND_AGING_VTH,
+    FaultSchedule,
+)
+
+#: Fractional delay increase per degree C of temperature rise.
+TEMP_SLOWDOWN_PER_C = 1.2e-3
+#: Alpha-power droop sensitivity: slowdown ~ DROOP_ALPHA * dV / VDD.
+DROOP_ALPHA = 2.0
+#: Aging sensitivity: slowdown ~ AGING_ALPHA * dVth / VDD.
+AGING_ALPHA = 1.5
+
+
+class SiliconEnvironment:
+    """Deterministic electrical state induced by a fault schedule."""
+
+    def __init__(self, schedule: Optional[FaultSchedule] = None):
+        self.schedule = schedule if schedule is not None else FaultSchedule([])
+
+    # -- scalar state --------------------------------------------------------
+
+    def temperature_delta_c(self, now_ns: float) -> float:
+        """Sum of active drift excursions (triangular ramp per window)."""
+        delta = 0.0
+        for event in self.schedule.active(now_ns, KIND_TEMP_DRIFT):
+            progress = (now_ns - event.start_ns) / event.duration_ns
+            delta += event.magnitude * (1.0 - abs(2.0 * progress - 1.0))
+        return delta
+
+    def vdd_droop_v(self, now_ns: float) -> float:
+        """Sum of active droop transients (square pulse per window)."""
+        return sum(
+            e.magnitude for e in self.schedule.active(now_ns, KIND_VDD_DROOP)
+        )
+
+    def aging_vth_shift_v(self, now_ns: float) -> float:
+        """Accumulated (and permanent) Vth shift up to *now_ns*."""
+        shift = 0.0
+        for event in self.schedule.of_kind(KIND_AGING_VTH):
+            if now_ns < event.start_ns:
+                continue
+            progress = min(
+                1.0, (now_ns - event.start_ns) / event.duration_ns
+            )
+            shift += event.magnitude * progress
+        return shift
+
+    # -- margin erosion ------------------------------------------------------
+
+    def slowdown_fraction(self, now_ns: float, vdd: float) -> float:
+        """Fractional path-delay increase the environment imposes now."""
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        return (
+            TEMP_SLOWDOWN_PER_C * self.temperature_delta_c(now_ns)
+            + DROOP_ALPHA * self.vdd_droop_v(now_ns) / vdd
+            + AGING_ALPHA * self.aging_vth_shift_v(now_ns) / vdd
+        )
+
+    def slack_erosion_ps(
+        self, now_ns: float, vdd: float, period_ps: float
+    ) -> float:
+        """Slack (ps of the given clock) the environment is eating now.
+
+        A critical path sized to roughly one clock period slows by the
+        environment's fractional slowdown, so the erosion is that
+        fraction of the period.
+        """
+        if period_ps <= 0.0:
+            raise ValueError("period must be positive")
+        return period_ps * self.slowdown_fraction(now_ns, vdd)
+
+    # -- bias hardware availability ------------------------------------------
+
+    def dropped_generators(self, now_ns: float) -> FrozenSet[int]:
+        """Indices of bias generators currently dropped out."""
+        return frozenset(
+            max(0, e.target)
+            for e in self.schedule.active(now_ns, KIND_GEN_DROPOUT)
+        )
+
+    def stuck_at_nobb(self, now_ns: float) -> bool:
+        """Whether the bias output is stuck at 0 V (FBB unreachable)."""
+        return bool(self.schedule.active(now_ns, KIND_STUCK_NOBB))
+
+    def transition_blocked(self, now_ns: float) -> bool:
+        """Whether a bias transition started now would time out."""
+        return bool(self.schedule.active(now_ns, KIND_TRANSITION_TIMEOUT))
+
+    def describe(self, now_ns: float) -> str:
+        dropped = sorted(self.dropped_generators(now_ns))
+        return (
+            f"t={now_ns:.0f} ns: dT {self.temperature_delta_c(now_ns):.1f} C, "
+            f"droop {self.vdd_droop_v(now_ns) * 1e3:.0f} mV, "
+            f"aging dVth {self.aging_vth_shift_v(now_ns) * 1e3:.1f} mV, "
+            f"dropped generators {dropped or 'none'}"
+            + (", stuck-at-NoBB" if self.stuck_at_nobb(now_ns) else "")
+            + (
+                ", transitions blocked"
+                if self.transition_blocked(now_ns)
+                else ""
+            )
+        )

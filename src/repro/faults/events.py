@@ -1,0 +1,316 @@
+"""Seeded, replayable fault events: what chaos throws at the system.
+
+Two families, mirroring where real deployments of near-zero-slack
+operating points actually break:
+
+* **silicon events** erode the electrical margin the Pareto frontier
+  assumed -- temperature drift profiles, VDD droop transients, aging Vth
+  shift, and bias-generator failures (dropout, output stuck at NoBB);
+* **infrastructure events** break the machinery around the flow -- a
+  worker process crashing mid-shard, a corrupted shard-cache entry, a
+  bias transition that times out at the generator.
+
+A :class:`FaultSchedule` is a frozen, time-sorted list of
+:class:`FaultEvent` windows over a virtual-time horizon.  It is either
+hand-built (tests pin exact windows) or *generated* from a seed
+(:meth:`FaultSchedule.generate`), and it serializes to JSON so a chaos
+run's schedule can be archived next to its telemetry and replayed
+bit-identically.  Nothing in this module consumes wall-clock time or
+unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Silicon event kinds (erode timing margin / disable bias hardware).
+KIND_TEMP_DRIFT = "temp_drift"
+KIND_VDD_DROOP = "vdd_droop"
+KIND_AGING_VTH = "aging_vth"
+KIND_GEN_DROPOUT = "gen_dropout"
+KIND_STUCK_NOBB = "stuck_nobb"
+
+#: Infrastructure event kinds (break the machinery around the flow).
+KIND_WORKER_CRASH = "worker_crash"
+KIND_CACHE_CORRUPT = "cache_corrupt"
+KIND_TRANSITION_TIMEOUT = "transition_timeout"
+
+SILICON_KINDS = frozenset(
+    {
+        KIND_TEMP_DRIFT,
+        KIND_VDD_DROOP,
+        KIND_AGING_VTH,
+        KIND_GEN_DROPOUT,
+        KIND_STUCK_NOBB,
+    }
+)
+INFRA_KINDS = frozenset(
+    {KIND_WORKER_CRASH, KIND_CACHE_CORRUPT, KIND_TRANSITION_TIMEOUT}
+)
+ALL_KINDS = SILICON_KINDS | INFRA_KINDS
+
+#: Schema of the serialized schedule; loaders reject a mismatch.
+FAULT_SCHEDULE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window.
+
+    ``magnitude`` is kind-specific: degrees C for temperature drift,
+    volts for droop and aging Vth shift, unused otherwise.  ``target``
+    addresses a resource when the kind needs one: the bias-generator
+    index for dropouts, the shard index for worker crashes / cache
+    corruption; ``-1`` means "first / unspecified".
+    """
+
+    kind: str
+    start_ns: float
+    duration_ns: float
+    magnitude: float = 0.0
+    target: int = -1
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(ALL_KINDS)}"
+            )
+        if not math.isfinite(self.start_ns) or self.start_ns < 0.0:
+            raise ValueError("start_ns must be finite and >= 0")
+        if not math.isfinite(self.duration_ns) or self.duration_ns <= 0.0:
+            raise ValueError("duration_ns must be finite and > 0")
+        if not math.isfinite(self.magnitude):
+            raise ValueError("magnitude must be finite")
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+    @property
+    def is_silicon(self) -> bool:
+        return self.kind in SILICON_KINDS
+
+    def active_at(self, now_ns: float) -> bool:
+        """Whether the window covers *now_ns* (half-open [start, end))."""
+        return self.start_ns <= now_ns < self.end_ns
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "magnitude": self.magnitude,
+            "target": self.target,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FaultEvent":
+        return FaultEvent(
+            kind=str(data["kind"]),
+            start_ns=float(data["start_ns"]),
+            duration_ns=float(data["duration_ns"]),
+            magnitude=float(data.get("magnitude", 0.0)),
+            target=int(data.get("target", -1)),
+        )
+
+    def describe(self) -> str:
+        scope = f" @{self.target}" if self.target >= 0 else ""
+        return (
+            f"{self.kind}{scope}: [{self.start_ns:.0f}, {self.end_ns:.0f}) ns"
+            + (f", magnitude {self.magnitude:g}" if self.magnitude else "")
+        )
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault windows."""
+
+    def __init__(
+        self,
+        events: Sequence[FaultEvent],
+        seed: Optional[int] = None,
+        horizon_ns: Optional[float] = None,
+    ):
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start_ns, e.kind, e.target))
+        )
+        self.seed = seed
+        self.horizon_ns = (
+            float(horizon_ns)
+            if horizon_ns is not None
+            else max((e.end_ns for e in self.events), default=0.0)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def active(
+        self, now_ns: float, kind: Optional[str] = None
+    ) -> List[FaultEvent]:
+        """Events whose window covers *now_ns* (optionally one kind)."""
+        return [
+            e
+            for e in self.events
+            if e.active_at(now_ns) and (kind is None or e.kind == kind)
+        ]
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def silicon_events(self) -> List[FaultEvent]:
+        return [e for e in self.events if e.is_silicon]
+
+    def infra_events(self) -> List[FaultEvent]:
+        return [e for e in self.events if not e.is_silicon]
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_ns: float = 2e6,
+        num_generators: int = 2,
+        num_shards: int = 16,
+        intensity: float = 1.0,
+    ) -> "FaultSchedule":
+        """A seeded chaos schedule over *horizon_ns* of virtual time.
+
+        Event counts scale with ``intensity`` (1.0 is the default soak
+        mix: a few drifts and droops, one aging ramp, at least one
+        generator dropout and one bias-transition fault, plus an infra
+        worker crash and cache corruption).  The same seed always yields
+        the same schedule.
+        """
+        if horizon_ns <= 0.0:
+            raise ValueError("horizon must be positive")
+        if intensity < 0.0:
+            raise ValueError("intensity must be non-negative")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+
+        def count(base: float) -> int:
+            return int(rng.poisson(base * intensity))
+
+        def window(min_frac: float, max_frac: float) -> Tuple[float, float]:
+            duration = horizon_ns * float(
+                rng.uniform(min_frac, max_frac)
+            )
+            start = float(rng.uniform(0.0, max(horizon_ns - duration, 1.0)))
+            return start, duration
+
+        for _ in range(max(1, count(2.0))):
+            start, duration = window(0.1, 0.4)
+            events.append(
+                FaultEvent(
+                    KIND_TEMP_DRIFT,
+                    start,
+                    duration,
+                    magnitude=float(rng.uniform(15.0, 60.0)),
+                )
+            )
+        for _ in range(max(1, count(2.0))):
+            start, duration = window(0.02, 0.1)
+            events.append(
+                FaultEvent(
+                    KIND_VDD_DROOP,
+                    start,
+                    duration,
+                    magnitude=float(rng.uniform(0.02, 0.08)),
+                )
+            )
+        # One aging ramp covering the whole run: Vth shift accumulates
+        # monotonically and persists after the window closes.
+        events.append(
+            FaultEvent(
+                KIND_AGING_VTH,
+                0.0,
+                horizon_ns,
+                magnitude=float(rng.uniform(0.005, 0.02) * intensity)
+                if intensity > 0.0
+                else 1e-6,
+            )
+        )
+        for _ in range(max(1, count(1.5))):
+            start, duration = window(0.05, 0.25)
+            events.append(
+                FaultEvent(
+                    KIND_GEN_DROPOUT,
+                    start,
+                    duration,
+                    target=int(rng.integers(0, max(1, num_generators))),
+                )
+            )
+        for _ in range(count(1.0)):
+            start, duration = window(0.02, 0.1)
+            events.append(FaultEvent(KIND_STUCK_NOBB, start, duration))
+        for _ in range(max(1, count(1.0))):
+            start, duration = window(0.02, 0.08)
+            events.append(
+                FaultEvent(KIND_TRANSITION_TIMEOUT, start, duration)
+            )
+        # Infra events: targets are shard indices; their windows are
+        # nominal (the injector triggers on shard identity, not time).
+        for _ in range(max(1, count(1.0))):
+            start, duration = window(0.01, 0.05)
+            events.append(
+                FaultEvent(
+                    KIND_WORKER_CRASH,
+                    start,
+                    duration,
+                    target=int(rng.integers(0, max(1, num_shards))),
+                )
+            )
+        for _ in range(max(1, count(1.0))):
+            start, duration = window(0.01, 0.05)
+            events.append(
+                FaultEvent(
+                    KIND_CACHE_CORRUPT,
+                    start,
+                    duration,
+                    target=int(rng.integers(0, max(1, num_shards))),
+                )
+            )
+        return cls(events, seed=seed, horizon_ns=horizon_ns)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": FAULT_SCHEDULE_SCHEMA,
+            "kind": "repro-fault-schedule",
+            "seed": self.seed,
+            "horizon_ns": self.horizon_ns,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "FaultSchedule":
+        schema = payload.get("schema")
+        if schema != FAULT_SCHEDULE_SCHEMA:
+            raise ValueError(
+                f"unsupported fault-schedule schema {schema!r} (this build "
+                f"reads schema {FAULT_SCHEDULE_SCHEMA})"
+            )
+        return FaultSchedule(
+            [FaultEvent.from_dict(e) for e in payload["events"]],
+            seed=payload.get("seed"),
+            horizon_ns=payload.get("horizon_ns"),
+        )
+
+    def describe(self) -> str:
+        silicon = len(self.silicon_events())
+        infra = len(self.infra_events())
+        return (
+            f"fault schedule: {len(self.events)} events "
+            f"({silicon} silicon, {infra} infra) over "
+            f"{self.horizon_ns / 1e3:.0f} us"
+            + (f", seed {self.seed}" if self.seed is not None else "")
+        )

@@ -110,8 +110,18 @@ def load_mode_table(stream: TextIO):
     """Load a mode table saved by :func:`save_mode_table`.
 
     Rejects artifacts with a mismatched schema version (the check lives
-    in :meth:`repro.serve.table.ModeTable.from_dict`).
+    in :meth:`repro.serve.table.ModeTable.from_dict`) and surfaces
+    unparseable JSON as the same :class:`~repro.serve.errors.ServeError`
+    every other table defect raises.
     """
+    from repro.serve.errors import ServeError
     from repro.serve.table import ModeTable
 
-    return ModeTable.from_dict(json.load(stream))
+    try:
+        payload = json.load(stream)
+    except json.JSONDecodeError as exc:
+        raise ServeError(
+            f"mode-table file is not valid JSON ({exc}); re-run "
+            "`repro compile-table` to regenerate the artifact"
+        ) from exc
+    return ModeTable.from_dict(payload)

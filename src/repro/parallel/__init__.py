@@ -20,7 +20,14 @@ run the same ``evaluate_cells`` code) and by test
 """
 
 from repro.parallel.cache import CacheStats, ResultCache
-from repro.parallel.engine import ParallelExplorer, resolve_worker_count
+from repro.parallel.engine import (
+    ParallelExplorer,
+    ResilienceStats,
+    ShardRetryExhausted,
+    SweepInterrupted,
+    interrupt_event,
+    resolve_worker_count,
+)
 from repro.parallel.fingerprint import (
     canonical_json,
     design_fingerprint,
@@ -31,10 +38,14 @@ from repro.parallel.shards import Shard, plan_shards
 __all__ = [
     "CacheStats",
     "ParallelExplorer",
+    "ResilienceStats",
     "ResultCache",
     "Shard",
+    "ShardRetryExhausted",
+    "SweepInterrupted",
     "canonical_json",
     "design_fingerprint",
+    "interrupt_event",
     "plan_shards",
     "resolve_worker_count",
     "shard_key",

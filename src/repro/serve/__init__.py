@@ -10,11 +10,16 @@ Turns exploration results into a live, concurrent accuracy-mode service:
   scheduler with batching, backpressure and graceful degradation,
 * :mod:`repro.serve.server` -- the asyncio front end (in-proc API +
   JSON-lines socket),
-* :mod:`repro.serve.telemetry` -- counters and latency/energy histograms.
+* :mod:`repro.serve.telemetry` -- counters and latency/energy histograms,
+* :mod:`repro.serve.guard` -- the runtime margin guard (erosion
+  detection + safe-mode fallback against :mod:`repro.faults`).
 
-See ``docs/serve.md`` for the subsystem overview and invariants.
+See ``docs/serve.md`` for the subsystem overview and invariants, and
+``docs/robustness.md`` for the fault model and margin-guard semantics.
 """
 
+from repro.serve.errors import ServeError
+from repro.serve.guard import MarginGuard
 from repro.serve.policy import (
     GreedyPolicy,
     HysteresisPolicy,
@@ -34,8 +39,10 @@ from repro.serve.scheduler import (
 from repro.serve.server import AccuracyServer
 from repro.serve.table import (
     MODE_TABLE_SCHEMA,
+    ModeMargin,
     ModeTable,
     TransitionCost,
+    compile_margins,
     compile_mode_table,
 )
 from repro.serve.telemetry import Histogram, Telemetry
@@ -49,14 +56,18 @@ __all__ = [
     "HysteresisPolicy",
     "LookaheadPolicy",
     "MODE_TABLE_SCHEMA",
+    "MarginGuard",
+    "ModeMargin",
     "ModeScheduler",
     "ModeTable",
     "POLICIES",
     "SelectionPolicy",
+    "ServeError",
     "ServeRequest",
     "ServedPhase",
     "Telemetry",
     "TransitionCost",
+    "compile_margins",
     "compile_mode_table",
     "make_policy",
     "replay_trace",

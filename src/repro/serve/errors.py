@@ -1,0 +1,13 @@
+"""Errors of the serving subsystem.
+
+:class:`ServeError` subclasses :class:`ValueError` so existing callers
+that guard artifact loading with ``except ValueError`` keep working; new
+code should catch :class:`ServeError` to distinguish "this artifact /
+request is bad" from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(ValueError):
+    """A serving artifact or request is invalid, corrupt or truncated."""

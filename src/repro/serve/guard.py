@@ -1,0 +1,117 @@
+"""Runtime margin guard: detect margin erosion, fall back before failure.
+
+The exploration deliberately picks operating points with near-zero slack
+at aggressive corners (low VDD + FBB); the compiled table's per-mode
+margins (:class:`~repro.serve.table.ModeMargin`) say how much slack the
+n-sigma-worst instance has *at sign-off conditions*.  At serve time the
+environment drifts: temperature excursions, supply droop and aging eat
+that slack.  :class:`MarginGuard` closes the loop --
+
+* it evaluates the injected/observed :class:`~repro.faults.environment.
+  SiliconEnvironment` at each decision instant and converts it into
+  slack erosion (ps of the operator's clock),
+* a mode is **safe** while its guarded slack minus current erosion stays
+  above a configurable headroom, and while the bias hardware can
+  actually reach it (no stuck-at-NoBB window for FBB modes),
+* when the policy's pick is unsafe the guard substitutes the cheapest
+  *safe* mode still covering the requested bits -- in practice a higher
+  VDD and/or NoBB point, which is exactly the "retreat from the
+  aggressive corner" reaction dynamic-precision-scaling silicon
+  implements in hardware;
+* when *no* covering mode is safe it returns the static maximum-accuracy
+  mode: the power-on default rail, margined at the sign-off corner by
+  construction, and flags the decision as a fallback so telemetry and
+  the chaos harness can see the guard working.
+
+The guard also answers the scheduler's hardware-availability questions
+(dropped generators, blocked transitions), making it the single seam
+between the serving stack and the fault layer.  A guard attached to a
+table compiled *without* margins warns once and skips the margin check
+(availability handling still applies) -- old artifacts keep serving.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import FrozenSet, Optional, Tuple
+
+from repro.faults.environment import SiliconEnvironment
+from repro.serve.table import ModeTable
+
+
+class MarginGuard:
+    """Margin-erosion monitor for one serving environment."""
+
+    def __init__(
+        self,
+        table: ModeTable,
+        environment: Optional[SiliconEnvironment] = None,
+        headroom_ps: float = 0.0,
+    ):
+        if headroom_ps < 0.0:
+            raise ValueError("headroom must be non-negative")
+        self.table = table
+        self.environment = (
+            environment if environment is not None else SiliconEnvironment()
+        )
+        self.headroom_ps = headroom_ps
+        self.margins_enabled = table.has_margins
+        if not self.margins_enabled:
+            warnings.warn(
+                "mode table was compiled without margins; the margin "
+                "guard will only track bias-hardware availability "
+                "(re-run `repro compile-table --margins` to enable "
+                "erosion checks)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        #: ps of clock period at this table's frequency.
+        self.period_ps = 1e3 / table.fclk_ghz
+
+    # -- erosion -------------------------------------------------------------
+
+    def erosion_ps(self, now_ns: float, vdd: float) -> float:
+        """Slack erosion the environment imposes on a mode at *vdd* now."""
+        return self.environment.slack_erosion_ps(now_ns, vdd, self.period_ps)
+
+    def mode_is_safe(self, bits_key: int, now_ns: float) -> bool:
+        """Margin + reachability check for one compiled mode, now."""
+        mode = self.table.modes[bits_key]
+        if any(mode.bb_config) and self.environment.stuck_at_nobb(now_ns):
+            return False
+        if not self.margins_enabled:
+            return True
+        margin = self.table.margins[bits_key]
+        erosion = self.erosion_ps(now_ns, mode.vdd)
+        return margin.guarded_slack_ps - erosion >= self.headroom_ps
+
+    def guarded_key(
+        self, required_bits: int, preferred_key: int, now_ns: float
+    ) -> Tuple[int, bool]:
+        """(mode key to serve, whether the guard overrode the policy).
+
+        The preferred (policy-chosen) key wins while safe.  Otherwise
+        the cheapest safe mode covering *required_bits* is substituted
+        (same power tie-break as :meth:`ModeTable.mode_key_for`), and if
+        nothing covering is safe, the static maximum-accuracy mode.
+        """
+        if self.mode_is_safe(preferred_key, now_ns):
+            return preferred_key, False
+        candidates = [
+            (bits, point)
+            for bits, point in self.table.modes.items()
+            if point.active_bits >= required_bits
+            and self.mode_is_safe(bits, now_ns)
+        ]
+        if candidates:
+            key = min(candidates, key=lambda bp: bp[1].total_power_w)[0]
+            return key, True
+        return self.table.max_bits, True
+
+    # -- bias hardware availability ------------------------------------------
+
+    def dropped_generators(self, now_ns: float) -> FrozenSet[int]:
+        return self.environment.dropped_generators(now_ns)
+
+    def transition_blocked(self, now_ns: float) -> bool:
+        return self.environment.transition_blocked(now_ns)

@@ -28,12 +28,38 @@ concurrent operators contend for the finite pool.
 (one operator, unconstrained pool); with the greedy policy it reproduces
 ``AccuracyController.replay_reference`` bit-for-bit, which
 ``tests/test_serve_scheduler.py`` locks in differentially.
+
+Resilience (all opt-in, the default path is bit-identical to before):
+
+* an attached :class:`~repro.serve.guard.MarginGuard` vets every policy
+  pick against runtime margin erosion and substitutes a safe mode
+  (``margin_fallback`` on the served phase, ``margin_fallbacks`` in
+  telemetry);
+* bias transitions that the environment blocks (generator timeout
+  windows) are retried with bounded exponential backoff in virtual
+  time; an exhausted retry budget degrades to the static mode instead
+  of failing the request;
+* generator dropouts reported by the guard mark pool members
+  unavailable and **rebalance** their not-yet-started slews onto the
+  survivors; with every generator down, requests degrade to the static
+  mode (power-on rail, no pool needed) until one returns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.guard import MarginGuard
 
 from repro.core.config import OperatingPoint
 from repro.core.runtime import RuntimeReport, WorkloadPhase
@@ -75,6 +101,13 @@ class ServedPhase:
     switched: bool
     batched: bool
     degraded: bool
+    #: The margin guard overrode the policy's pick (erosion / stuck-at).
+    margin_fallback: bool = False
+    #: Blocked bias-transition attempts retried before this phase served.
+    transition_retries: int = 0
+    #: Operator virtual time at which the mode decision was made --
+    #: lets an external auditor re-check the guard's verdict.
+    decided_at_ns: float = 0.0
 
     @property
     def served_bits(self) -> int:
@@ -88,6 +121,7 @@ class _Grant:
     signature: Tuple
     start_ns: float
     end_ns: float
+    generator: int = -1
 
 
 class GeneratorPool:
@@ -95,7 +129,10 @@ class GeneratorPool:
 
     Virtual-time bookkeeping only: ``free_at_ns[i]`` is when generator
     *i* finishes its last scheduled slew.  Completed grants are pruned
-    lazily against the requesting operator's clock.
+    lazily against the requesting operator's clock.  Generators may be
+    marked unavailable (dropout faults): they take no new slews, and
+    :meth:`apply_dropouts` rebalances their not-yet-started grants onto
+    the surviving generators.
     """
 
     def __init__(self, size: int):
@@ -103,35 +140,87 @@ class GeneratorPool:
             raise ValueError("need at least one bias generator")
         self.size = size
         self.free_at_ns = [0.0] * size
+        self.available = [True] * size
         self.pending: List[_Grant] = []
         self.max_depth_seen = 0
+        self.dropouts = 0
+        self.rebalanced_grants = 0
 
     def queue_depth(self, now_ns: float) -> int:
         """Number of scheduled slews that have not yet started."""
         self._prune(now_ns)
         return sum(1 for grant in self.pending if grant.start_ns > now_ns)
 
+    @property
+    def num_available(self) -> int:
+        return sum(self.available)
+
     def _prune(self, now_ns: float) -> None:
         self.pending = [g for g in self.pending if g.end_ns > now_ns]
 
+    def _earliest_available(self) -> Optional[int]:
+        candidates = [i for i in range(self.size) if self.available[i]]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: self.free_at_ns[i])
+
+    def apply_dropouts(
+        self, dropped: FrozenSet[int], now_ns: float
+    ) -> None:
+        """Reconcile availability with the fault layer's dropout set.
+
+        Newly dropped generators are counted and their queued (not yet
+        started) slews move to the earliest-free survivor, preserving
+        each slew's duration.  In-flight slews complete on their
+        original generator (the pump output is held through the window).
+        Restored generators simply become eligible again; their
+        bookkeeping stays monotone.
+        """
+        dropped = frozenset(i for i in dropped if 0 <= i < self.size)
+        newly_dropped = [
+            i for i in dropped if self.available[i]
+        ]
+        for index in newly_dropped:
+            self.available[index] = False
+            self.dropouts += 1
+        for index in range(self.size):
+            if index not in dropped and not self.available[index]:
+                self.available[index] = True
+        if not newly_dropped or self.num_available == 0:
+            return
+        self._prune(now_ns)
+        for grant in self.pending:
+            if grant.generator in newly_dropped and grant.start_ns > now_ns:
+                duration = grant.end_ns - grant.start_ns
+                target = self._earliest_available()
+                start = max(now_ns, self.free_at_ns[target])
+                grant.generator = target
+                grant.start_ns = start
+                grant.end_ns = start + duration
+                self.free_at_ns[target] = grant.end_ns
+                self.rebalanced_grants += 1
+
     def acquire(
         self, now_ns: float, settle_ns: float, signature: Tuple
-    ) -> Tuple[float, float, bool]:
+    ) -> Optional[Tuple[float, float, bool]]:
         """Schedule a slew at *now_ns*; returns (start, end, batched).
 
         A pending, not-yet-started grant with the same signature absorbs
         the request (power switches gang the extra wells onto the same
-        slew) without consuming more generator time.
+        slew) without consuming more generator time.  Returns ``None``
+        when every generator is dropped out -- the caller must degrade.
         """
         self._prune(now_ns)
         for grant in self.pending:
             if grant.signature == signature and grant.start_ns >= now_ns:
                 return (grant.start_ns, grant.end_ns, True)
-        generator = min(range(self.size), key=lambda i: self.free_at_ns[i])
+        generator = self._earliest_available()
+        if generator is None:
+            return None
         start = max(now_ns, self.free_at_ns[generator])
         end = start + settle_ns
         self.free_at_ns[generator] = end
-        self.pending.append(_Grant(signature, start, end))
+        self.pending.append(_Grant(signature, start, end, generator))
         self.max_depth_seen = max(self.max_depth_seen, self.queue_depth(now_ns))
         return (start, end, False)
 
@@ -162,15 +251,25 @@ class ModeScheduler:
         max_queue_depth: int = 8,
         policy_kwargs: Optional[Dict] = None,
         telemetry: Optional[Telemetry] = None,
+        guard: Optional["MarginGuard"] = None,
+        max_transition_retries: int = 3,
+        retry_backoff_ns: float = 50.0,
     ):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if max_transition_retries < 0:
+            raise ValueError("max_transition_retries must be >= 0")
+        if retry_backoff_ns <= 0.0:
+            raise ValueError("retry_backoff_ns must be positive")
         self.default_table = table
         self.policy_name = policy
         self.policy_kwargs = dict(policy_kwargs or {})
         self.pool = GeneratorPool(num_generators)
         self.max_queue_depth = max_queue_depth
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.guard = guard
+        self.max_transition_retries = max_transition_retries
+        self.retry_backoff_ns = retry_backoff_ns
         self._operators: Dict[str, _OperatorState] = {}
 
     # -- operator registry ---------------------------------------------------
@@ -209,9 +308,17 @@ class ModeScheduler:
         """Serve one request; deterministic in submission order."""
         state = self._state(request.operator)
         table = state.table
+        decided_at_ns = state.clock_ns
         bits_key = state.policy.select(
             request.required_bits, state.current_bits, upcoming
         )
+        margin_fallback = False
+        if self.guard is not None:
+            bits_key, margin_fallback = self.guard.guarded_key(
+                request.required_bits, bits_key, decided_at_ns
+            )
+            if margin_fallback:
+                self.telemetry.bump("margin_fallbacks")
         mode = table.modes[bits_key]
         if mode.active_bits < request.required_bits:
             self.telemetry.bump("accuracy_violations")
@@ -226,10 +333,31 @@ class ModeScheduler:
         batched = False
         queue_wait_ns = 0.0
         settle_ns = 0.0
+        retries = 0
 
         if switched and not cost.is_free:
             now = state.clock_ns
-            if self.pool.queue_depth(now) >= self.max_queue_depth:
+            exhausted = False
+            if self.guard is not None:
+                self.pool.apply_dropouts(
+                    self.guard.dropped_generators(now), now
+                )
+                now, retries, exhausted = self._await_transition_window(now)
+                if retries:
+                    self.telemetry.bump("transition_retries", retries)
+            if exhausted or self.pool.num_available == 0:
+                # Transition retry budget exhausted or every generator
+                # dropped out: serve the static maximum-accuracy mode.
+                # Its rail is the hardware's always-on power-on default,
+                # so the switch bypasses the generator pool entirely.
+                self.telemetry.bump("transition_failures")
+                degraded = True
+                bits_key = table.max_bits
+                switched = bits_key != state.current_bits
+                mode = table.modes[bits_key]
+                cost = table.transition_between(state.current_bits, bits_key)
+                settle_ns = cost.settle_ns
+            elif self.pool.queue_depth(now) >= self.max_queue_depth:
                 # Saturated: fall back to the static maximum-accuracy
                 # mode.  Its rail is the hardware's always-on power-on
                 # default, so the switch bypasses the generator pool.
@@ -241,10 +369,11 @@ class ModeScheduler:
                 settle_ns = cost.settle_ns
             else:
                 signature = (mode.vdd, mode.bb_config)
-                start, end, batched = self.pool.acquire(
-                    now, cost.settle_ns, signature
-                )
-                queue_wait_ns = start - now
+                grant = self.pool.acquire(now, cost.settle_ns, signature)
+                if grant is None:  # pragma: no cover - num_available raced
+                    grant = (now + cost.settle_ns, now + cost.settle_ns, False)
+                start, end, batched = grant
+                queue_wait_ns = start - state.clock_ns
                 settle_ns = end - start
                 state.clock_ns = end
 
@@ -259,6 +388,9 @@ class ModeScheduler:
             switched=switched,
             batched=batched,
             degraded=degraded,
+            margin_fallback=margin_fallback,
+            transition_retries=retries,
+            decided_at_ns=decided_at_ns,
         )
 
         # Account the phase against the operator's running report.
@@ -300,6 +432,7 @@ class ModeScheduler:
             switched=switched,
             batched=False,
             degraded=True,
+            decided_at_ns=state.clock_ns,
         )
         state.current_bits = bits_key
         state.phases += 1
@@ -315,6 +448,27 @@ class ModeScheduler:
         state.clock_ns += request.cycles / table.fclk_ghz
         self.telemetry.record_phase(served)
         return served
+
+    def _await_transition_window(
+        self, now_ns: float
+    ) -> Tuple[float, int, bool]:
+        """Back off (in virtual time) while bias transitions are blocked.
+
+        Returns ``(new_now, retries, exhausted)``: the operator's clock
+        after waiting, how many retry waits were spent, and whether the
+        bounded budget ran out with transitions still blocked.
+        """
+        if self.guard is None or not self.guard.transition_blocked(now_ns):
+            return now_ns, 0, False
+        backoff = self.retry_backoff_ns
+        retries = 0
+        while retries < self.max_transition_retries:
+            now_ns += backoff
+            backoff *= 2.0
+            retries += 1
+            if not self.guard.transition_blocked(now_ns):
+                return now_ns, retries, False
+        return now_ns, retries, True
 
     @staticmethod
     def _compute_energy_j(

@@ -48,6 +48,8 @@ def phase_to_dict(served: ServedPhase) -> dict:
         "switched": served.switched,
         "batched": served.batched,
         "degraded": served.degraded,
+        "margin_fallback": served.margin_fallback,
+        "transition_retries": served.transition_retries,
     }
 
 

@@ -13,9 +13,21 @@ The transition matrix is computed with the *same* routine the offline
 :class:`~repro.core.runtime.AccuracyController` costs transitions with
 (:func:`repro.core.runtime.pairwise_transition_cost`), which is what makes
 the serve scheduler's greedy replay bit-identical to the legacy accounting.
+
+Since schema 2 a table may also carry per-mode **slack margins**
+(:class:`ModeMargin`) computed offline by Monte-Carlo timing
+(:func:`compile_margins` over
+:class:`repro.sta.variation.MonteCarloTiming`): the n-sigma worst-case
+slack of each mode at its exploration corner.  The serve-side margin
+guard (:mod:`repro.serve.guard`) compares them against runtime margin
+erosion and falls back to a safer mode before timing is violated.
+Schema-1 tables (no margins) still load and serve; the guard simply has
+nothing to check and disables itself with a warning.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -28,10 +40,63 @@ from repro.core.runtime import (
     measure_domain_areas,
     pairwise_transition_cost,
 )
+from repro.serve.errors import ServeError
 
 #: Schema of the serialized artifact.  Bump on any layout change; loaders
-#: reject a mismatch rather than guess.
-MODE_TABLE_SCHEMA = 1
+#: reject a mismatch rather than guess.  Schema 2 added the optional
+#: per-mode margin block; schema-1 artifacts are still readable (they
+#: simply carry no margins).
+MODE_TABLE_SCHEMA = 2
+
+#: Schemas :meth:`ModeTable.from_dict` accepts.
+COMPATIBLE_SCHEMAS = (1, MODE_TABLE_SCHEMA)
+
+
+@dataclass(frozen=True)
+class ModeMargin:
+    """Sign-off slack margin of one compiled mode under Vth variation.
+
+    ``guarded_slack_ps`` is the (1 - target_yield) quantile of the
+    Monte-Carlo worst-slack distribution: the slack the n-sigma-worst
+    fabricated instance still has.  The margin guard serves a mode only
+    while runtime erosion has not consumed that slack.
+    """
+
+    guarded_slack_ps: float
+    mean_slack_ps: float
+    sigma_slack_ps: float
+    timing_yield: float
+    target_yield: float
+    samples: int
+
+    def __post_init__(self):
+        if not 0.0 < self.target_yield < 1.0:
+            raise ValueError("target_yield must be in (0, 1)")
+        if not 0.0 <= self.timing_yield <= 1.0:
+            raise ValueError("timing_yield must be in [0, 1]")
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "guarded_slack_ps": self.guarded_slack_ps,
+            "mean_slack_ps": self.mean_slack_ps,
+            "sigma_slack_ps": self.sigma_slack_ps,
+            "timing_yield": self.timing_yield,
+            "target_yield": self.target_yield,
+            "samples": self.samples,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "ModeMargin":
+        return ModeMargin(
+            guarded_slack_ps=float(data["guarded_slack_ps"]),
+            mean_slack_ps=float(data["mean_slack_ps"]),
+            sigma_slack_ps=float(data["sigma_slack_ps"]),
+            timing_yield=float(data["timing_yield"]),
+            target_yield=float(data["target_yield"]),
+            samples=int(data["samples"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -64,6 +129,9 @@ class ModeTable:
     generator: BiasGeneratorModel
     modes: Mapping[int, OperatingPoint]
     transitions: Mapping[Tuple[int, int], TransitionCost] = field(repr=False)
+    #: Optional per-mode n-sigma slack margins (schema 2).  ``None`` means
+    #: "compiled without margins": the table serves, the guard disables.
+    margins: Optional[Mapping[int, ModeMargin]] = None
 
     def __post_init__(self):
         if not self.modes:
@@ -79,6 +147,12 @@ class ModeTable:
                     raise ValueError(
                         f"transition matrix is missing the ({a}, {b}) pair"
                     )
+        if self.margins is not None and set(self.margins) != set(self.modes):
+            raise ValueError(
+                "margin block must cover exactly the compiled modes "
+                f"(modes {sorted(self.modes)}, margins "
+                f"{sorted(self.margins)})"
+            )
 
     # -- queries -------------------------------------------------------------
 
@@ -98,6 +172,18 @@ class ModeTable:
     @property
     def total_area_um2(self) -> float:
         return float(sum(self.domain_areas_um2))
+
+    @property
+    def has_margins(self) -> bool:
+        return self.margins is not None
+
+    def margin_for(self, bits: int) -> ModeMargin:
+        if self.margins is None:
+            raise ServeError(
+                "table was compiled without margins; re-run "
+                "`repro compile-table --margins`"
+            )
+        return self.margins[bits]
 
     def mode_key_for(self, required_bits: int) -> int:
         """Key of the cheapest mode with at least *required_bits* bits.
@@ -132,12 +218,15 @@ class ModeTable:
         costly = sum(
             1 for (a, b), c in self.transitions.items() if a != b and not c.is_free
         )
+        margins = (
+            "margin-guarded" if self.has_margins else "no margins"
+        )
         return (
             f"{self.design_name}: {len(self.modes)} modes "
             f"({min(self.modes)}..{self.max_bits} bits), "
             f"{self.num_domains} domains over {self.total_area_um2:.0f} um^2, "
             f"fclk {self.fclk_ghz:.2f} GHz, "
-            f"{costly} costed transitions"
+            f"{costly} costed transitions, {margins}"
         )
 
     # -- serialization -------------------------------------------------------
@@ -172,40 +261,79 @@ class ModeTable:
                 }
                 for (a, b), cost in self.transitions.items()
             ],
+            "margins": (
+                {
+                    str(bits): margin.to_dict()
+                    for bits, margin in self.margins.items()
+                }
+                if self.margins is not None
+                else None
+            ),
         }
 
     @staticmethod
     def from_dict(payload: Dict) -> "ModeTable":
+        """Parse a serialized table; every defect raises :class:`ServeError`.
+
+        Accepts the current schema and schema 1 (compiled before margins
+        existed; loads with ``margins=None``).  A truncated or corrupt
+        payload -- missing keys, wrong types, inconsistent matrix --
+        surfaces as one clear :class:`ServeError`, never a raw
+        ``KeyError``/``TypeError`` from the middle of the parse.
+        """
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"mode-table payload must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
         schema = payload.get("schema")
-        if schema != MODE_TABLE_SCHEMA:
-            raise ValueError(
+        if schema not in COMPATIBLE_SCHEMAS:
+            raise ServeError(
                 f"unsupported mode-table schema {schema!r} (this build reads "
-                f"schema {MODE_TABLE_SCHEMA}); re-run `repro compile-table`"
+                f"schemas {COMPATIBLE_SCHEMAS}); re-run `repro compile-table`"
             )
-        generator = BiasGeneratorModel(**payload["generator"])
-        modes = {
-            int(bits): OperatingPoint.from_dict(point)
-            for bits, point in payload["modes"].items()
-        }
-        transitions = {
-            (int(e["from"]), int(e["to"])): TransitionCost(
-                energy_j=float(e["energy_j"]),
-                settle_ns=float(e["settle_ns"]),
+        try:
+            generator = BiasGeneratorModel(**payload["generator"])
+            modes = {
+                int(bits): OperatingPoint.from_dict(point)
+                for bits, point in payload["modes"].items()
+            }
+            transitions = {
+                (int(e["from"]), int(e["to"])): TransitionCost(
+                    energy_j=float(e["energy_j"]),
+                    settle_ns=float(e["settle_ns"]),
+                )
+                for e in payload["transitions"]
+            }
+            raw_margins = payload.get("margins")
+            margins = (
+                {
+                    int(bits): ModeMargin.from_dict(margin)
+                    for bits, margin in raw_margins.items()
+                }
+                if raw_margins is not None
+                else None
             )
-            for e in payload["transitions"]
-        }
-        return ModeTable(
-            design_name=payload["design_name"],
-            fclk_ghz=float(payload["fclk_ghz"]),
-            num_domains=int(payload["num_domains"]),
-            domain_areas_um2=tuple(
-                float(a) for a in payload["domain_areas_um2"]
-            ),
-            fbb_voltage=float(payload["fbb_voltage"]),
-            generator=generator,
-            modes=modes,
-            transitions=transitions,
-        )
+            return ModeTable(
+                design_name=payload["design_name"],
+                fclk_ghz=float(payload["fclk_ghz"]),
+                num_domains=int(payload["num_domains"]),
+                domain_areas_um2=tuple(
+                    float(a) for a in payload["domain_areas_um2"]
+                ),
+                fbb_voltage=float(payload["fbb_voltage"]),
+                generator=generator,
+                modes=modes,
+                transitions=transitions,
+                margins=margins,
+            )
+        except ServeError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServeError(
+                f"corrupt or truncated mode-table payload: {exc!r}; "
+                "re-run `repro compile-table` to regenerate the artifact"
+            ) from exc
 
 
 def compile_transitions(
@@ -228,17 +356,92 @@ def compile_transitions(
     return transitions
 
 
+def compile_margins(
+    design: ImplementedDesign,
+    modes: Mapping[int, OperatingPoint],
+    samples: int = 48,
+    target_yield: float = 0.9987,
+    sigma_vth: float = 0.012,
+    seed: int = 1234,
+) -> Dict[int, ModeMargin]:
+    """Monte-Carlo n-sigma slack margins for every compiled mode.
+
+    Each mode is re-timed *at its own exploration corner* (VDD, per-cell
+    FBB from its domain assignment, LSBs case-disabled) under sampled
+    local Vth variation; the guarded slack is the ``1 - target_yield``
+    quantile of the worst-slack distribution.  Each mode gets an
+    independent, bits-derived RNG stream so the result is invariant to
+    iteration order.
+    """
+    from repro.sta.caseanalysis import dvas_case
+    from repro.sta.variation import MonteCarloTiming
+
+    if samples < 2:
+        raise ValueError("need at least two samples per mode")
+    graph = design.timing_graph()
+    library = design.netlist.library
+    domains = design.domains
+    margins: Dict[int, ModeMargin] = {}
+    for bits, point in modes.items():
+        bb = np.asarray(point.bb_config, dtype=bool)
+        fbb_cells = bb[domains]
+        mc = MonteCarloTiming(
+            graph, library, sigma_vth=sigma_vth, seed=seed + bits
+        )
+        report = mc.analyze_yield(
+            design.constraint,
+            point.vdd,
+            fbb_cells,
+            case=dvas_case(design.netlist, bits),
+            samples=samples,
+        )
+        guarded = float(
+            np.quantile(report.worst_slack_samples_ps, 1.0 - target_yield)
+        )
+        margins[bits] = ModeMargin(
+            guarded_slack_ps=guarded,
+            mean_slack_ps=report.mean_slack_ps,
+            sigma_slack_ps=report.sigma_slack_ps,
+            timing_yield=report.timing_yield,
+            target_yield=target_yield,
+            samples=samples,
+        )
+    return margins
+
+
 def compile_mode_table(
     design: ImplementedDesign,
     exploration: ExplorationResult,
     generator: BiasGeneratorModel = BiasGeneratorModel(),
+    with_margins: bool = False,
+    margin_samples: int = 48,
+    margin_target_yield: float = 0.9987,
+    margin_sigma_vth: float = 0.012,
+    margin_seed: int = 1234,
 ) -> ModeTable:
-    """Freeze an exploration + implementation into a serving artifact."""
+    """Freeze an exploration + implementation into a serving artifact.
+
+    ``with_margins`` additionally runs :func:`compile_margins` and bakes
+    per-mode n-sigma slack margins into the artifact, enabling the
+    runtime margin guard.
+    """
     if not exploration.best_per_bitwidth:
         raise ValueError("exploration found no feasible operating points")
     modes = dict(exploration.best_per_bitwidth)
     domain_areas = tuple(float(a) for a in measure_domain_areas(design))
     fbb = design.netlist.library.process.fbb_voltage
+    margins = (
+        compile_margins(
+            design,
+            modes,
+            samples=margin_samples,
+            target_yield=margin_target_yield,
+            sigma_vth=margin_sigma_vth,
+            seed=margin_seed,
+        )
+        if with_margins
+        else None
+    )
     return ModeTable(
         design_name=exploration.design_name,
         fclk_ghz=design.fclk_ghz,
@@ -248,4 +451,5 @@ def compile_mode_table(
         generator=generator,
         modes=modes,
         transitions=compile_transitions(modes, domain_areas, generator, fbb),
+        margins=margins,
     )

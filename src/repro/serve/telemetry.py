@@ -104,6 +104,10 @@ class Telemetry:
             "batched_slews": 0,
             "accuracy_violations": 0,
             "errors": 0,
+            # Resilience path (margin guard / fault handling).
+            "margin_fallbacks": 0,
+            "transition_retries": 0,
+            "transition_failures": 0,
         }
         self.per_operator: Dict[str, int] = {}
         # Service latency: queue wait + settling, in virtual ns.

@@ -97,6 +97,38 @@ def build_synthetic_table(generator=None):
     )
 
 
+def build_margined_table(guarded_slack_ps=None, generator=None):
+    """The synthetic table plus a hand-built per-mode margin block.
+
+    ``guarded_slack_ps`` maps mode key -> guarded slack; unlisted modes
+    default to a comfortable 50 ps.  Tests shrink individual entries to
+    make margin erosion bite deterministically.
+    """
+    import dataclasses
+
+    from repro.serve.table import ModeMargin
+
+    table = build_synthetic_table(generator)
+    slack = dict(guarded_slack_ps or {})
+    margins = {
+        bits: ModeMargin(
+            guarded_slack_ps=float(slack.get(bits, 50.0)),
+            mean_slack_ps=float(slack.get(bits, 50.0)) + 20.0,
+            sigma_slack_ps=5.0,
+            timing_yield=1.0,
+            target_yield=0.9987,
+            samples=16,
+        )
+        for bits in table.modes
+    }
+    return dataclasses.replace(table, margins=margins)
+
+
 @pytest.fixture()
 def synthetic_table():
     return build_synthetic_table()
+
+
+@pytest.fixture()
+def margined_table():
+    return build_margined_table()

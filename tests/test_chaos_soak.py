@@ -1,0 +1,202 @@
+"""Seeded chaos soaks: replay fault schedules, demand the stack holds.
+
+The acceptance bar from the robustness issue: several concurrent
+operators served under silicon chaos must never get fewer bits than
+requested, never run a guarded mode past its margin unnoticed, and the
+scheduler must stay up; the sharded engine must survive crashes and
+cache corruption bit-identically.  Every soak here is seeded and
+replayable -- a failure reproduces from its seed alone.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.flow import implement_with_domains
+from repro.faults import (
+    KIND_AGING_VTH,
+    KIND_CACHE_CORRUPT,
+    KIND_GEN_DROPOUT,
+    KIND_STUCK_NOBB,
+    KIND_TEMP_DRIFT,
+    KIND_TRANSITION_TIMEOUT,
+    KIND_VDD_DROOP,
+    KIND_WORKER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+    run_chaos,
+    run_exploration_chaos,
+    run_serve_chaos,
+)
+from repro.operators import adequate_adder
+from repro.pnr.grid import GridPartition
+from tests.conftest import build_margined_table
+
+# Request mix of 96 phases over 3 operators at fclk 1 GHz reaches a
+# virtual clock of roughly 3e5 ns; the schedules below must span that
+# so silicon events actually coincide with live traffic.
+SOAK_HORIZON_NS = 3e5
+
+SWEEP_SETTINGS = ExplorationSettings(
+    bitwidths=(1, 2, 3, 4),
+    activity_cycles=10,
+    activity_batch=8,
+)
+
+
+@pytest.fixture(scope="module")
+def soak_design(library):
+    return implement_with_domains(
+        lambda: adequate_adder(library, width=4, name="soak_add"),
+        library,
+        GridPartition(2, 1),
+    )
+
+
+def hand_built_storm():
+    """A dense, fully deterministic schedule covering every fault kind.
+
+    Windows are placed inside the soak's virtual-time span so each
+    mechanism is guaranteed to engage -- no reliance on where a seeded
+    generator happens to land its events.
+    """
+    return FaultSchedule(
+        [
+            FaultEvent(KIND_TEMP_DRIFT, 0.0, 1.2e5, magnitude=35.0),
+            FaultEvent(KIND_VDD_DROOP, 4.0e4, 6.0e4, magnitude=0.04),
+            FaultEvent(KIND_AGING_VTH, 1.0e5, 5.0e4, magnitude=0.008),
+            FaultEvent(KIND_STUCK_NOBB, 1.6e5, 4.0e4),
+            FaultEvent(KIND_TRANSITION_TIMEOUT, 2.0e4, 1.5e4),
+            FaultEvent(KIND_GEN_DROPOUT, 5.0e4, 8.0e4, target=0),
+            FaultEvent(KIND_GEN_DROPOUT, 2.2e5, 5.0e4, target=1),
+            FaultEvent(KIND_WORKER_CRASH, 0.0, 1.0, target=1),
+            FaultEvent(KIND_CACHE_CORRUPT, 0.0, 1.0, target=0),
+            FaultEvent(KIND_CACHE_CORRUPT, 1.0, 1.0, target=1),
+        ]
+    )
+
+
+class TestServeSoak:
+    def test_hand_built_storm_engages_every_mechanism(self):
+        report = run_serve_chaos(
+            build_margined_table(), hand_built_storm(), num_operators=3
+        )
+        assert report.ok
+        assert report.stayed_up
+        assert report.requests == 96
+        assert report.accuracy_violations == 0
+        assert report.margin_violations == 0
+        # The storm is built so each defence demonstrably fired.
+        assert report.margin_fallbacks > 0
+        assert report.generator_dropouts >= 1
+        assert report.transition_retries + report.transition_failures > 0
+        assert "[PASS]" in report.describe()
+
+    @pytest.mark.parametrize("seed", [3, 7, 11, 2017])
+    def test_seeded_soaks_never_underserve(self, seed):
+        schedule = FaultSchedule.generate(
+            seed, horizon_ns=SOAK_HORIZON_NS, num_generators=2
+        )
+        report = run_serve_chaos(
+            build_margined_table(), schedule, num_operators=3, seed=seed
+        )
+        assert report.stayed_up, report.error
+        assert report.accuracy_violations == 0
+        assert report.margin_violations == 0
+        assert report.ok
+
+    def test_thin_margins_force_fallbacks_not_violations(self):
+        # Modes 2 and 4 get razor-thin margins: mild heating must evict
+        # them.  The guard substitutes covering modes; the audit then
+        # proves no un-overridden pick ran unsafe.
+        table = build_margined_table({2: 2.0, 4: 2.0})
+        schedule = FaultSchedule(
+            [FaultEvent(KIND_TEMP_DRIFT, 0.0, SOAK_HORIZON_NS, magnitude=25.0)]
+        )
+        report = run_serve_chaos(table, schedule, num_operators=3)
+        assert report.ok
+        assert report.margin_fallbacks > 0
+        assert report.margin_violations == 0
+
+    def test_operator_count_validated(self):
+        with pytest.raises(ValueError, match="operator"):
+            run_serve_chaos(
+                build_margined_table(), FaultSchedule([]), num_operators=0
+            )
+
+    def test_report_serializes(self):
+        report = run_serve_chaos(
+            build_margined_table(), FaultSchedule([]), requests=6
+        )
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["requests"] == 6
+
+
+class TestExplorationSoak:
+    def test_crashes_and_corruption_recover_bit_identically(
+        self, soak_design, tmp_path
+    ):
+        schedule = FaultSchedule.generate(
+            7, horizon_ns=1e5, num_shards=len(SWEEP_SETTINGS.bitwidths)
+        )
+        assert schedule.of_kind(KIND_WORKER_CRASH)
+        assert schedule.of_kind(KIND_CACHE_CORRUPT)
+        report = run_exploration_chaos(
+            soak_design, SWEEP_SETTINGS, schedule, tmp_path
+        )
+        assert report.error is None
+        assert report.ok
+        assert report.bit_identical
+        assert report.shards == len(SWEEP_SETTINGS.bitwidths)
+        assert report.worker_crashes >= 1
+        assert report.pool_respawns >= 1
+        assert report.faults_fired
+        assert report.cache_entries_corrupted >= 1
+        assert report.recovered_after_corruption
+        assert report.cache_invalidations >= 1
+        assert "[PASS]" in report.describe()
+
+
+class TestFullChaosRun:
+    def test_end_to_end_run_passes_and_serializes(
+        self, soak_design, tmp_path
+    ):
+        schedule = FaultSchedule.generate(
+            7,
+            horizon_ns=1e5,
+            num_generators=2,
+            num_shards=len(SWEEP_SETTINGS.bitwidths),
+        )
+        report = run_chaos(
+            build_margined_table(),
+            schedule,
+            design=soak_design,
+            settings=SWEEP_SETTINGS,
+            workdir=tmp_path,
+        )
+        assert report.ok
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["serve"]["ok"] is True
+        assert payload["exploration"]["ok"] is True
+        # The archived schedule replays the exact run.
+        again = FaultSchedule.from_dict(payload["schedule"])
+        assert again.to_dict() == payload["schedule"]
+        assert "chaos run: PASS" in report.describe()
+
+    def test_exploration_half_requires_settings_and_workdir(self):
+        with pytest.raises(ValueError, match="workdir"):
+            run_chaos(
+                build_margined_table(),
+                FaultSchedule([]),
+                design=object(),
+            )
+
+    def test_serve_only_run_skips_exploration(self):
+        report = run_chaos(
+            build_margined_table(), FaultSchedule([]), requests=12
+        )
+        assert report.exploration is None
+        assert report.ok

@@ -1,0 +1,259 @@
+"""Fault events, schedules and the silicon environment they induce.
+
+Everything in :mod:`repro.faults` must be deterministic and replayable:
+same seed, same schedule; same schedule + instant, same electrical
+state.  These tests pin the event algebra (windows, validation,
+serialization) and the first-order erosion model the margin guard
+consumes.
+"""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    ALL_KINDS,
+    FAULT_SCHEDULE_SCHEMA,
+    INFRA_KINDS,
+    KIND_AGING_VTH,
+    KIND_CACHE_CORRUPT,
+    KIND_GEN_DROPOUT,
+    KIND_STUCK_NOBB,
+    KIND_TEMP_DRIFT,
+    KIND_TRANSITION_TIMEOUT,
+    KIND_VDD_DROOP,
+    KIND_WORKER_CRASH,
+    SILICON_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    SiliconEnvironment,
+)
+from repro.faults.environment import (
+    AGING_ALPHA,
+    DROOP_ALPHA,
+    TEMP_SLOWDOWN_PER_C,
+)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor_strike", 0.0, 10.0)
+
+    @pytest.mark.parametrize("start", [-1.0, float("nan"), float("inf")])
+    def test_bad_start_rejected(self, start):
+        with pytest.raises(ValueError, match="start_ns"):
+            FaultEvent(KIND_TEMP_DRIFT, start, 10.0)
+
+    @pytest.mark.parametrize("duration", [0.0, -5.0, float("nan")])
+    def test_bad_duration_rejected(self, duration):
+        with pytest.raises(ValueError, match="duration_ns"):
+            FaultEvent(KIND_TEMP_DRIFT, 0.0, duration)
+
+    def test_window_is_half_open(self):
+        event = FaultEvent(KIND_VDD_DROOP, 100.0, 50.0, magnitude=0.05)
+        assert not event.active_at(99.999)
+        assert event.active_at(100.0)
+        assert event.active_at(149.999)
+        assert not event.active_at(150.0)
+        assert event.end_ns == 150.0
+
+    def test_families_partition_all_kinds(self):
+        assert SILICON_KINDS | INFRA_KINDS == ALL_KINDS
+        assert not SILICON_KINDS & INFRA_KINDS
+        assert FaultEvent(KIND_TEMP_DRIFT, 0.0, 1.0).is_silicon
+        assert not FaultEvent(KIND_WORKER_CRASH, 0.0, 1.0).is_silicon
+
+    def test_round_trip(self):
+        event = FaultEvent(KIND_GEN_DROPOUT, 5.0, 7.0, target=1)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_describe_mentions_kind_and_window(self):
+        text = FaultEvent(KIND_STUCK_NOBB, 10.0, 20.0).describe()
+        assert KIND_STUCK_NOBB in text
+        assert "[10, 30)" in text
+
+
+class TestFaultSchedule:
+    def test_events_are_time_sorted(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(KIND_TEMP_DRIFT, 500.0, 10.0),
+                FaultEvent(KIND_VDD_DROOP, 100.0, 10.0),
+            ]
+        )
+        assert [e.start_ns for e in schedule] == [100.0, 500.0]
+
+    def test_active_filters_by_time_and_kind(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(KIND_TEMP_DRIFT, 0.0, 100.0, magnitude=30.0),
+                FaultEvent(KIND_VDD_DROOP, 50.0, 100.0, magnitude=0.05),
+            ]
+        )
+        assert len(schedule.active(60.0)) == 2
+        assert len(schedule.active(60.0, KIND_VDD_DROOP)) == 1
+        assert schedule.active(200.0) == []
+
+    def test_generate_is_deterministic(self):
+        a = FaultSchedule.generate(42, horizon_ns=1e5)
+        b = FaultSchedule.generate(42, horizon_ns=1e5)
+        c = FaultSchedule.generate(43, horizon_ns=1e5)
+        assert a.to_dict() == b.to_dict()
+        assert a.to_dict() != c.to_dict()
+
+    @pytest.mark.parametrize("seed", [0, 7, 2017])
+    def test_generate_covers_every_required_kind(self, seed):
+        schedule = FaultSchedule.generate(seed, horizon_ns=1e5)
+        for kind in (
+            KIND_TEMP_DRIFT,
+            KIND_VDD_DROOP,
+            KIND_AGING_VTH,
+            KIND_GEN_DROPOUT,
+            KIND_TRANSITION_TIMEOUT,
+            KIND_WORKER_CRASH,
+            KIND_CACHE_CORRUPT,
+        ):
+            assert schedule.of_kind(kind), f"missing {kind}"
+        assert all(e.end_ns <= 1e5 * 1.0001 for e in schedule)
+
+    def test_generate_targets_stay_in_range(self):
+        schedule = FaultSchedule.generate(
+            11, horizon_ns=1e5, num_generators=3, num_shards=4
+        )
+        for event in schedule.of_kind(KIND_GEN_DROPOUT):
+            assert 0 <= event.target < 3
+        for event in schedule.of_kind(KIND_WORKER_CRASH):
+            assert 0 <= event.target < 4
+
+    def test_round_trip(self):
+        schedule = FaultSchedule.generate(7, horizon_ns=5e4)
+        payload = schedule.to_dict()
+        assert payload["schema"] == FAULT_SCHEDULE_SCHEMA
+        again = FaultSchedule.from_dict(payload)
+        assert again.to_dict() == payload
+        assert again.seed == 7
+        assert again.horizon_ns == 5e4
+
+    def test_schema_mismatch_rejected(self):
+        payload = FaultSchedule.generate(7).to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="unsupported fault-schedule"):
+            FaultSchedule.from_dict(payload)
+
+    def test_describe_counts_families(self):
+        schedule = FaultSchedule.generate(7, horizon_ns=1e5)
+        text = schedule.describe()
+        assert "silicon" in text and "infra" in text and "seed 7" in text
+
+
+class TestSiliconEnvironment:
+    def test_empty_environment_is_benign(self):
+        env = SiliconEnvironment()
+        assert env.temperature_delta_c(0.0) == 0.0
+        assert env.vdd_droop_v(0.0) == 0.0
+        assert env.aging_vth_shift_v(1e9) == 0.0
+        assert env.slowdown_fraction(0.0, 0.8) == 0.0
+        assert env.dropped_generators(0.0) == frozenset()
+        assert not env.stuck_at_nobb(0.0)
+        assert not env.transition_blocked(0.0)
+
+    def test_temperature_ramp_is_triangular(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [FaultEvent(KIND_TEMP_DRIFT, 100.0, 200.0, magnitude=40.0)]
+            )
+        )
+        assert env.temperature_delta_c(100.0) == pytest.approx(0.0)
+        assert env.temperature_delta_c(200.0) == pytest.approx(40.0)
+        assert env.temperature_delta_c(150.0) == pytest.approx(20.0)
+        assert env.temperature_delta_c(250.0) == pytest.approx(20.0)
+        assert env.temperature_delta_c(299.999) == pytest.approx(0.0, abs=1e-2)
+        assert env.temperature_delta_c(300.0) == 0.0
+
+    def test_droop_is_square_and_additive(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [
+                    FaultEvent(KIND_VDD_DROOP, 0.0, 100.0, magnitude=0.03),
+                    FaultEvent(KIND_VDD_DROOP, 50.0, 100.0, magnitude=0.02),
+                ]
+            )
+        )
+        assert env.vdd_droop_v(10.0) == pytest.approx(0.03)
+        assert env.vdd_droop_v(60.0) == pytest.approx(0.05)
+        assert env.vdd_droop_v(120.0) == pytest.approx(0.02)
+        assert env.vdd_droop_v(200.0) == 0.0
+
+    def test_aging_ramps_linearly_and_persists(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [FaultEvent(KIND_AGING_VTH, 100.0, 100.0, magnitude=0.01)]
+            )
+        )
+        assert env.aging_vth_shift_v(50.0) == 0.0
+        assert env.aging_vth_shift_v(150.0) == pytest.approx(0.005)
+        assert env.aging_vth_shift_v(200.0) == pytest.approx(0.01)
+        # BTI-style: the shift never relaxes after the stress window.
+        assert env.aging_vth_shift_v(1e6) == pytest.approx(0.01)
+
+    def test_slowdown_composes_all_three_effects(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [
+                    FaultEvent(KIND_TEMP_DRIFT, 0.0, 200.0, magnitude=30.0),
+                    FaultEvent(KIND_VDD_DROOP, 0.0, 200.0, magnitude=0.04),
+                    FaultEvent(KIND_AGING_VTH, 0.0, 100.0, magnitude=0.01),
+                ]
+            )
+        )
+        now, vdd = 100.0, 0.8
+        expected = (
+            TEMP_SLOWDOWN_PER_C * 30.0
+            + DROOP_ALPHA * 0.04 / vdd
+            + AGING_ALPHA * 0.01 / vdd
+        )
+        assert env.slowdown_fraction(now, vdd) == pytest.approx(expected)
+        # Erosion is the slowdown expressed in ps of the clock period.
+        assert env.slack_erosion_ps(now, vdd, 1000.0) == pytest.approx(
+            1000.0 * expected
+        )
+        assert math.isclose(
+            env.slack_erosion_ps(now, vdd, 500.0),
+            0.5 * env.slack_erosion_ps(now, vdd, 1000.0),
+        )
+
+    def test_erosion_validates_inputs(self):
+        env = SiliconEnvironment()
+        with pytest.raises(ValueError, match="vdd"):
+            env.slowdown_fraction(0.0, 0.0)
+        with pytest.raises(ValueError, match="period"):
+            env.slack_erosion_ps(0.0, 0.8, 0.0)
+
+    def test_hardware_windows(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [
+                    FaultEvent(KIND_GEN_DROPOUT, 0.0, 100.0, target=1),
+                    FaultEvent(KIND_GEN_DROPOUT, 50.0, 100.0, target=0),
+                    FaultEvent(KIND_STUCK_NOBB, 200.0, 50.0),
+                    FaultEvent(KIND_TRANSITION_TIMEOUT, 300.0, 50.0),
+                ]
+            )
+        )
+        assert env.dropped_generators(10.0) == frozenset({1})
+        assert env.dropped_generators(60.0) == frozenset({0, 1})
+        assert env.dropped_generators(120.0) == frozenset({0})
+        assert env.stuck_at_nobb(225.0)
+        assert not env.stuck_at_nobb(199.0)
+        assert env.transition_blocked(325.0)
+        assert not env.transition_blocked(260.0)
+
+    def test_describe_reflects_state(self):
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [FaultEvent(KIND_STUCK_NOBB, 0.0, 100.0)]
+            )
+        )
+        assert "stuck-at-NoBB" in env.describe(50.0)
+        assert "stuck-at-NoBB" not in env.describe(150.0)

@@ -1,0 +1,215 @@
+"""Crash resilience of the sharded engine: kill it and demand identical bits.
+
+The contract: worker crashes, hung shards, corrupted cache entries and
+interrupts may cost retries and respawns -- never results.  Every
+recovery path below ends with a bit-identical comparison against the
+legacy serial sweep, and the survived faults must be visible in
+``result.fault_stats``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ExplorationSettings
+from repro.core.exploration import ExhaustiveExplorer
+from repro.core.flow import implement_with_domains
+from repro.faults import WorkerFaultPlan, corrupt_cache_entries
+from repro.operators import adequate_adder
+from repro.parallel.engine import (
+    WORKERS_ENV,
+    ParallelExplorer,
+    ResilienceStats,
+    ShardRetryExhausted,
+    SweepInterrupted,
+    interrupt_event,
+    resolve_worker_count,
+)
+from repro.pnr.grid import GridPartition
+
+SETTINGS = ExplorationSettings(
+    bitwidths=(2, 3, 4, 6),
+    activity_cycles=10,
+    activity_batch=8,
+)
+
+
+def assert_identical(reference, result):
+    assert result.best_per_bitwidth == reference.best_per_bitwidth
+    assert result.best_per_knob_point == reference.best_per_knob_point
+    assert result.feasible_counts == reference.feasible_counts
+    assert result.points_evaluated == reference.points_evaluated
+    assert result.points_feasible == reference.points_feasible
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    return implement_with_domains(
+        lambda: adequate_adder(library, width=6, name="crash_add"),
+        library,
+        GridPartition(2, 1),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference(design):
+    return ExhaustiveExplorer(design).run(SETTINGS)
+
+
+@pytest.fixture(autouse=True)
+def clear_interrupt():
+    interrupt_event().clear()
+    yield
+    interrupt_event().clear()
+
+
+def pool_settings(tmp_path, workers=2, cache=True):
+    return dataclasses.replace(
+        SETTINGS,
+        workers=workers,
+        cache=cache,
+        cache_dir=str(tmp_path / "cache") if cache else None,
+    )
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_respawned_and_results_match(
+        self, design, serial_reference, tmp_path
+    ):
+        plan = WorkerFaultPlan(
+            marker_dir=str(tmp_path / "faults"), crash_shards=(1,)
+        )
+        result = ParallelExplorer(design, fault_plan=plan).run(
+            pool_settings(tmp_path)
+        )
+        assert_identical(serial_reference, result)
+        stats = result.fault_stats
+        assert stats.worker_crashes >= 1
+        assert stats.pool_respawns >= 1
+        assert stats.shard_retries >= 1
+        assert stats.any_faults
+        assert "crash-1" in plan.fired()
+        assert "crashes" in stats.describe()
+
+    def test_crashes_on_several_shards(
+        self, design, serial_reference, tmp_path
+    ):
+        plan = WorkerFaultPlan(
+            marker_dir=str(tmp_path / "faults"), crash_shards=(0, 2)
+        )
+        result = ParallelExplorer(
+            design, fault_plan=plan, max_shard_retries=3
+        ).run(pool_settings(tmp_path))
+        assert_identical(serial_reference, result)
+        assert result.fault_stats.worker_crashes >= 1
+        assert sorted(plan.fired()) == ["crash-0", "crash-2"]
+
+    def test_exhausted_retry_budget_raises(self, design, tmp_path):
+        plan = WorkerFaultPlan(
+            marker_dir=str(tmp_path / "faults"), crash_shards=(0,)
+        )
+        with pytest.raises(ShardRetryExhausted, match="budget"):
+            ParallelExplorer(
+                design, fault_plan=plan, max_shard_retries=0
+            ).run(pool_settings(tmp_path, cache=False))
+
+    def test_clean_run_reports_no_faults(
+        self, design, serial_reference, tmp_path
+    ):
+        result = ParallelExplorer(design).run(pool_settings(tmp_path))
+        assert_identical(serial_reference, result)
+        assert not result.fault_stats.any_faults
+        assert result.fault_stats.to_dict() == {
+            "worker_crashes": 0,
+            "pool_respawns": 0,
+            "shard_retries": 0,
+            "shard_timeouts": 0,
+        }
+
+
+class TestHungShard:
+    def test_hung_worker_times_out_and_work_is_requeued(
+        self, design, serial_reference, tmp_path
+    ):
+        plan = WorkerFaultPlan(
+            marker_dir=str(tmp_path / "faults"),
+            hang_shards=(0,),
+            hang_s=30.0,
+        )
+        result = ParallelExplorer(
+            design, fault_plan=plan, shard_timeout_s=0.5
+        ).run(pool_settings(tmp_path))
+        assert_identical(serial_reference, result)
+        stats = result.fault_stats
+        assert stats.shard_timeouts >= 1
+        assert stats.pool_respawns >= 1
+        assert "hang-0" in plan.fired()
+
+    def test_timeout_validation(self, design):
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            ParallelExplorer(design, shard_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_shard_retries"):
+            ParallelExplorer(design, max_shard_retries=-1)
+
+
+class TestCacheCorruption:
+    def test_corrupt_entries_are_detected_and_recomputed(
+        self, design, serial_reference, tmp_path
+    ):
+        settings = pool_settings(tmp_path, workers=1)
+        warm = ParallelExplorer(design).run(settings)
+        assert_identical(serial_reference, warm)
+        damaged = corrupt_cache_entries(settings.cache_dir, count=2)
+        assert damaged == 2
+        again = ParallelExplorer(design).run(settings)
+        assert_identical(serial_reference, again)
+        assert again.cache_stats.invalidations >= 2
+        # Third run: the repaired entries hit clean again.
+        third = ParallelExplorer(design).run(settings)
+        assert third.cache_stats.invalidations == 0
+        assert third.cache_stats.hits == len(SETTINGS.bitwidths)
+
+    def test_corrupting_a_missing_directory_is_a_noop(self, tmp_path):
+        assert corrupt_cache_entries(tmp_path / "nope") == 0
+
+
+class TestInterrupt:
+    def test_serial_sweep_stops_on_interrupt(self, design, tmp_path):
+        interrupt_event().set()
+        with pytest.raises(SweepInterrupted, match="0/4"):
+            ParallelExplorer(design).run(pool_settings(tmp_path, workers=1))
+
+    def test_pool_sweep_flushes_then_resumes(
+        self, design, serial_reference, tmp_path
+    ):
+        settings = pool_settings(tmp_path)
+
+        def stop_after_first(shard, from_cache):
+            interrupt_event().set()
+
+        with pytest.raises(SweepInterrupted) as stop:
+            ParallelExplorer(
+                design, on_shard_complete=stop_after_first
+            ).run(settings)
+        assert stop.value.completed >= 1
+        interrupt_event().clear()
+        # Completed shards are durable: the resumed run hits the cache
+        # for them and still matches the serial reference exactly.
+        resumed = ParallelExplorer(design).run(settings)
+        assert_identical(serial_reference, resumed)
+        assert resumed.cache_stats.hits >= 1
+
+
+class TestWorkerCountResolution:
+    def test_bad_env_chains_the_original_error(self, monkeypatch):
+        from repro.core.config import AUTO_WORKERS
+
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError, match="must be an integer") as err:
+            resolve_worker_count(AUTO_WORKERS)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_stats_object_is_standalone(self):
+        stats = ResilienceStats(worker_crashes=1)
+        assert stats.any_faults
+        assert stats.to_dict()["worker_crashes"] == 1

@@ -310,3 +310,110 @@ class TestSoak:
             "op0": 3_500, "op1": 3_500, "op2": 3_500
         }
         assert snapshot["latency_ns"]["p99"] >= snapshot["latency_ns"]["p50"]
+
+class TestExpiryBoundaries:
+    """Pruning and depth counting exactly at grant boundaries.
+
+    The pool's windows are half-open like everything else in virtual
+    time: a grant whose ``end_ns`` equals *now* is finished (pruned),
+    and a grant whose ``start_ns`` equals *now* has started (it is no
+    longer "pending" for the depth bound, but it can still batch).
+    """
+
+    def test_grant_ending_exactly_now_is_pruned(self):
+        pool = GeneratorPool(1)
+        pool.acquire(0.0, 100.0, ("a",))
+        assert pool.queue_depth(99.999) == 0  # slewing, not pending
+        pool._prune(100.0)
+        assert pool.pending == []
+
+    def test_grant_starting_exactly_now_is_not_pending(self):
+        pool = GeneratorPool(1)
+        pool.acquire(0.0, 100.0, ("a",))
+        pool.acquire(0.0, 100.0, ("b",))  # queued for [100, 200)
+        assert pool.queue_depth(99.999) == 1
+        assert pool.queue_depth(100.0) == 0  # starts this instant
+        # ...but at its exact start instant it still accepts batch joins
+        # (the slew begins now; the power switches can gang on).
+        _start, _end, batched = pool.acquire(100.0, 100.0, ("b",))
+        assert batched
+
+    def test_prune_keeps_in_flight_grants(self):
+        pool = GeneratorPool(1)
+        pool.acquire(0.0, 100.0, ("a",))
+        pool._prune(50.0)
+        assert len(pool.pending) == 1
+        pool._prune(100.0)
+        assert pool.pending == []
+
+
+class TestDegradedAccounting:
+    """submit_degraded must account telemetry and energy like any phase."""
+
+    def test_telemetry_counters_and_histograms(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table)
+        scheduler.submit_degraded(ServeRequest("op", 3, 2_000))
+        scheduler.submit_degraded(ServeRequest("op", 5, 1_000))
+        counters = scheduler.telemetry.counters
+        assert counters["requests"] == 2
+        assert counters["degraded"] == 2
+        # First call switches (power-on, free); the second holds still.
+        assert counters["mode_switches"] == 1
+        assert scheduler.telemetry.per_operator == {"op": 2}
+        assert scheduler.telemetry.latency_ns.total == 2
+        assert scheduler.telemetry.energy_pj.total == 2
+
+    def test_energy_accounting_matches_the_report(self, synthetic_table):
+        scheduler = ModeScheduler(synthetic_table)
+        a = scheduler.submit_degraded(ServeRequest("op", 2, 3_000))
+        b = scheduler.submit_degraded(ServeRequest("op", 4, 7_000))
+        static = synthetic_table.static_mode
+        # Static max-accuracy mode at fclk 1 GHz: P * cycles * 1 ns.
+        expected = static.total_power_w * 3_000e-9
+        assert a.compute_energy_j == pytest.approx(expected)
+        report = scheduler.report("op")
+        assert report.phases == 2
+        assert report.total_cycles == 10_000
+        assert report.compute_energy_j == pytest.approx(
+            a.compute_energy_j + b.compute_energy_j
+        )
+        # Degraded phases serve the static mode, so the static baseline
+        # accrues identically: the energy saving of these phases is zero.
+        assert report.static_energy_j == pytest.approx(
+            report.compute_energy_j
+        )
+        # Telemetry histogram saw the same joules (in pJ).
+        assert scheduler.telemetry.energy_pj.sum == pytest.approx(
+            report.compute_energy_j * 1e12
+        )
+
+    def test_degrading_from_a_low_mode_pays_the_switch_off_pool(
+        self, synthetic_table
+    ):
+        scheduler = ModeScheduler(synthetic_table, num_generators=1)
+        scheduler.submit(ServeRequest("op", 2, 1_000))
+        before_free_at = list(scheduler.pool.free_at_ns)
+        served = scheduler.submit_degraded(ServeRequest("op", 2, 1_000))
+        assert served.switched
+        assert served.transition_energy_j > 0.0
+        assert served.settle_ns > 0.0
+        assert served.queue_wait_ns == 0.0
+        # The static rail is the power-on default: no pump was taken.
+        assert scheduler.pool.free_at_ns == before_free_at
+        report = scheduler.report("op")
+        assert report.mode_switches == 2
+        assert report.transition_energy_j == pytest.approx(
+            served.transition_energy_j
+        )
+        assert report.transition_time_ns == pytest.approx(served.settle_ns)
+        assert scheduler.telemetry.settle_ns.total == 1
+
+    def test_virtual_clock_advances_through_degraded_phases(
+        self, synthetic_table
+    ):
+        scheduler = ModeScheduler(synthetic_table)
+        scheduler.submit_degraded(ServeRequest("op", 2, 4_000))
+        state = scheduler._operators["op"]
+        assert state.clock_ns == pytest.approx(4_000.0)
+        served = scheduler.submit_degraded(ServeRequest("op", 2, 1_000))
+        assert served.decided_at_ns == pytest.approx(4_000.0)
