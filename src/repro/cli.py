@@ -136,6 +136,7 @@ def _settings(args) -> ExplorationSettings:
         cache=getattr(args, "cache", False) or getattr(args, "resume", False),
         cache_dir=getattr(args, "cache_dir", None),
         sim_engine=getattr(args, "sim_engine", "auto"),
+        sta_engine=getattr(args, "sta_engine", "auto"),
     )
 
 
@@ -536,6 +537,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="switching-activity simulation engine (auto picks the "
             "compiled bit-packed engine when the netlist supports it; "
             "results are bit-identical either way)",
+        )
+        p.add_argument(
+            "--sta-engine",
+            choices=["auto", "lattice", "pointwise"],
+            default="auto",
+            help="timing-feasibility engine over the BB lattice (lattice "
+            "sweeps every back-bias combination in one tensor pass, "
+            "pointwise loops the scalar engine per combination; results "
+            "are bit-identical either way)",
         )
 
     p = sub.add_parser("explore", help="implement + optimize one design")

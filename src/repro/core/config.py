@@ -33,6 +33,16 @@ class ExplorationSettings:
     :mod:`repro.sim.simulator`).  The engines are differential-tested
     bit-identical, but the choice is still a semantic field (it is part
     of shard cache keys) out of caution.
+
+    ``sta_engine`` picks the timing-feasibility engine over the BB
+    lattice (``"auto"``, ``"lattice"`` or ``"pointwise"``; see
+    :mod:`repro.sta.lattice`).  ``lattice`` sweeps every 2^NMAX
+    combination in one tensor pass, ``pointwise`` loops the scalar
+    engine per combination (the differential reference); ``auto``
+    (default, overridable via ``$REPRO_STA_ENGINE``) resolves to
+    ``lattice``.  Shard cache keys embed the *resolved* engine, so
+    lattice and pointwise results coexist in one cache dir without ever
+    being served across engines.
     """
 
     bitwidths: Tuple[int, ...] = tuple(range(1, 17))
@@ -44,6 +54,7 @@ class ExplorationSettings:
     cache: bool = False
     cache_dir: Optional[str] = None
     sim_engine: str = "auto"
+    sta_engine: str = "auto"
 
     def __post_init__(self):
         if not self.bitwidths:
@@ -62,6 +73,11 @@ class ExplorationSettings:
             raise ValueError(
                 f"sim_engine must be auto, packed or interpreted "
                 f"(got {self.sim_engine!r})"
+            )
+        if self.sta_engine not in ("auto", "lattice", "pointwise"):
+            raise ValueError(
+                f"sta_engine must be auto, lattice or pointwise "
+                f"(got {self.sta_engine!r})"
             )
 
     @property
@@ -82,7 +98,11 @@ class ExplorationSettings:
         shards stay valid across worker counts and cache locations.
         ``sim_engine`` *is* included: the engines are differential-tested
         bit-identical, but fingerprinting the choice keeps cached shards
-        attributable to the engine that produced them.
+        attributable to the engine that produced them.  The STA engine is
+        fingerprinted separately by :func:`repro.parallel.fingerprint.shard_key`
+        via :meth:`resolved_sta_engine`, so ``auto`` and an explicit
+        ``lattice`` request share entries (they run the same kernel)
+        while lattice and pointwise runs never do.
         """
         return {
             "activity_cycles": self.activity_cycles,
@@ -90,6 +110,13 @@ class ExplorationSettings:
             "seed": self.seed,
             "sim_engine": self.sim_engine,
         }
+
+    @property
+    def resolved_sta_engine(self) -> str:
+        """The STA engine that will actually run (lattice or pointwise)."""
+        from repro.sta.lattice import resolve_sta_engine
+
+        return resolve_sta_engine(self.sta_engine)
 
 
 @dataclass(frozen=True)

@@ -25,17 +25,22 @@ from repro.core.config import ExplorationSettings, OperatingPoint
 from repro.core.flow import ImplementedDesign
 from repro.power.analysis import PowerAnalyzer
 from repro.sim.activity import ActivityReport, measure_activity
-from repro.sta.batch import BatchStaEngine, all_bb_configs
+from repro.sta.batch import all_bb_configs
 from repro.sta.caseanalysis import dvas_case
+from repro.sta.lattice import LatticeStaEngine, resolve_sta_engine
 
 
 @dataclass(frozen=True)
 class KnobCellResult:
-    """Outcome of one (bitwidth, VDD) cell of the knob grid.
+    """Outcome of one slice of the (bitwidth, VDD, BB-combo) tensor.
 
     The unit of work the sharded engine distributes and caches; the
     serial explorer produces the same records, so merging a list of them
     (:func:`merge_cell_results`) is bit-identical either way.
+    ``combo_lo`` is the cell's offset on the BB-combination axis -- a
+    cell covers combos ``[combo_lo, combo_lo + evaluated)`` of the full
+    configuration matrix, and the merge folds the slices of one
+    (bitwidth, VDD) point back together in ascending combo order.
     """
 
     bits: int
@@ -43,6 +48,12 @@ class KnobCellResult:
     evaluated: int
     feasible_count: int
     best: Optional[OperatingPoint]
+    combo_lo: int = 0
+
+    @property
+    def combo_hi(self) -> int:
+        """One past the last combo index this cell covers."""
+        return self.combo_lo + self.evaluated
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -51,6 +62,7 @@ class KnobCellResult:
             "evaluated": self.evaluated,
             "feasible_count": self.feasible_count,
             "best": self.best.to_dict() if self.best is not None else None,
+            "combo_lo": self.combo_lo,
         }
 
     @staticmethod
@@ -62,6 +74,7 @@ class KnobCellResult:
             evaluated=int(data["evaluated"]),
             feasible_count=int(data["feasible_count"]),
             best=OperatingPoint.from_dict(best) if best is not None else None,
+            combo_lo=int(data.get("combo_lo", 0)),
         )
 
 
@@ -118,7 +131,7 @@ class ExhaustiveExplorer:
         self.design = design
         self.graph = design.timing_graph()
         self.library = design.netlist.library
-        self.batch_engine = BatchStaEngine(
+        self.lattice_engine = LatticeStaEngine(
             self.graph, self.library, design.domains, design.num_domains
         )
         self.power = PowerAnalyzer(design.netlist, design.parasitics)
@@ -135,32 +148,62 @@ class ExhaustiveExplorer:
             engine=settings.sim_engine,
         )
 
+    def _ladder_slacks(
+        self,
+        vdd_values: Sequence[float],
+        configs: np.ndarray,
+        case,
+        sta_engine: str,
+    ) -> List[np.ndarray]:
+        """Per-combo worst setup slack for every VDD rung, engine-selected.
+
+        ``lattice`` sweeps the whole (VDD, combo) ladder in one
+        nets-major tensor pass; ``pointwise`` loops the scalar engine
+        per (VDD, combination).  Both return the same float64 bits --
+        the differential wall holds them to it.
+        """
+        design = self.design
+        if sta_engine == "lattice":
+            ladder = self.lattice_engine.analyze_ladder(
+                design.constraint, vdd_values, configs=configs, case=case
+            )
+        else:
+            ladder = [
+                self.lattice_engine.analyze_pointwise(
+                    design.constraint, vdd, configs=configs, case=case
+                )
+                for vdd in vdd_values
+            ]
+        return [result.worst_slack_ps for result in ladder]
+
     def evaluate_cells(
         self,
         bitwidths: Sequence[int],
         vdd_values: Sequence[float],
         settings: ExplorationSettings,
         configs: np.ndarray,
+        combo_lo: int = 0,
     ) -> List[KnobCellResult]:
-        """Evaluate a rectangular sub-grid of the (bitwidth, VDD) knobs.
+        """Evaluate one rectangular slice of the knob/combo tensor.
 
-        One case analysis + activity simulation per bitwidth, one batched
-        STA sweep over all *configs* per (bitwidth, VDD).  This is the
-        single implementation both the serial sweep and every shard of
-        the parallel engine execute, which is what makes their merged
-        results bit-identical.
+        One case analysis + activity simulation per bitwidth, one
+        whole-lattice STA pass over all *configs* per (bitwidth, VDD).
+        *configs* may be any contiguous slice of the full configuration
+        matrix, with *combo_lo* recording its offset on the combo axis.
+        This is the single implementation both the serial sweep and
+        every shard of the parallel engine execute, which is what makes
+        their merged results bit-identical.
         """
         design = self.design
+        sta_engine = resolve_sta_engine(settings.sta_engine)
         config_tuples = [tuple(bool(x) for x in row) for row in configs]
         cells: List[KnobCellResult] = []
         for bits in bitwidths:
             case = dvas_case(design.netlist, bits)
             activity = self._activity(bits, settings)
-            for vdd in vdd_values:
-                result = self.batch_engine.analyze(
-                    design.constraint, vdd, configs=configs, case=case
-                )
-                feasible = result.feasible
+            slacks = self._ladder_slacks(vdd_values, configs, case, sta_engine)
+            for vdd, worst_slack in zip(vdd_values, slacks):
+                feasible = worst_slack >= 0.0
                 count = int(np.count_nonzero(feasible))
                 point: Optional[OperatingPoint] = None
                 if count:
@@ -183,7 +226,7 @@ class ExhaustiveExplorer:
                         total_power_w=float(powers[winner]),
                         dynamic_power_w=dynamic,
                         leakage_power_w=float(powers[winner]) - dynamic,
-                        worst_slack_ps=float(result.worst_slack_ps[winner]),
+                        worst_slack_ps=float(worst_slack[winner]),
                     )
                 cells.append(
                     KnobCellResult(
@@ -192,6 +235,7 @@ class ExhaustiveExplorer:
                         evaluated=len(config_tuples),
                         feasible_count=count,
                         best=point,
+                        combo_lo=combo_lo,
                     )
                 )
         return cells
@@ -228,6 +272,48 @@ class ExhaustiveExplorer:
         )
 
 
+def _fold_combo_slices(
+    bits: int,
+    vdd: float,
+    slices: Dict[int, KnobCellResult],
+) -> KnobCellResult:
+    """Fold the combo-axis slices of one (bitwidth, VDD) point.
+
+    Slices must tile ``[0, total)`` contiguously (the shard planner
+    guarantees it; a cache serving a stale plan would not, and is caught
+    here).  Feasible counts add; the best point folds with a strict
+    minimum in ascending combo order, matching the unsplit ``argmin``.
+    """
+    ordered = [slices[lo] for lo in sorted(slices)]
+    if len(ordered) == 1 and ordered[0].combo_lo == 0:
+        return ordered[0]
+    cursor = 0
+    evaluated = 0
+    feasible = 0
+    best: Optional[OperatingPoint] = None
+    for cell in ordered:
+        if cell.combo_lo != cursor:
+            raise ValueError(
+                f"combo slices of ({bits} bits, {vdd} V) do not tile: "
+                f"expected offset {cursor}, got {cell.combo_lo}"
+            )
+        cursor = cell.combo_hi
+        evaluated += cell.evaluated
+        feasible += cell.feasible_count
+        if cell.best is not None and (
+            best is None or cell.best.total_power_w < best.total_power_w
+        ):
+            best = cell.best
+    return KnobCellResult(
+        bits=bits,
+        vdd=vdd,
+        evaluated=evaluated,
+        feasible_count=feasible,
+        best=best,
+        combo_lo=0,
+    )
+
+
 def merge_cell_results(
     design: ImplementedDesign,
     settings: ExplorationSettings,
@@ -240,8 +326,14 @@ def merge_cell_results(
     major, ``settings.vdd_values`` minor) regardless of the order they
     were computed in, so ties in the per-bitwidth minimum resolve exactly
     as the serial loop resolves them (first VDD in settings order wins).
+    A knob point split along the BB-combination axis (combo-tensor
+    shards) folds back in ascending ``combo_lo`` order with a strict
+    minimum, reproducing ``np.argmin`` over the unsplit power vector
+    exactly -- ties resolve to the lowest combo index either way.
     """
-    by_knob = {(cell.bits, cell.vdd): cell for cell in cells}
+    by_knob: Dict[Tuple[int, float], Dict[int, KnobCellResult]] = {}
+    for cell in cells:
+        by_knob.setdefault((cell.bits, cell.vdd), {})[cell.combo_lo] = cell
     best: Dict[int, OperatingPoint] = {}
     best_per_knob: Dict[Tuple[int, float], OperatingPoint] = {}
     feasible_counts: Dict[Tuple[int, float], int] = {}
@@ -249,11 +341,12 @@ def merge_cell_results(
     feasible_total = 0
     for bits in settings.bitwidths:
         for vdd in settings.vdd_values:
-            cell = by_knob.get((bits, vdd))
-            if cell is None:
+            slices = by_knob.get((bits, vdd))
+            if not slices:
                 raise ValueError(
                     f"missing knob cell ({bits} bits, {vdd} V) in merge"
                 )
+            cell = _fold_combo_slices(bits, vdd, slices)
             evaluated += cell.evaluated
             feasible_counts[(bits, vdd)] = cell.feasible_count
             feasible_total += cell.feasible_count

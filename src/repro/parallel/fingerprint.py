@@ -36,8 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Bump when the fingerprint recipe or shard payload schema changes;
 #: old entries then miss instead of being misinterpreted.  Schema 2 added
-#: the simulation-engine choice to the settings' semantic fields.
-FINGERPRINT_SCHEMA = 2
+#: the simulation-engine choice to the settings' semantic fields; schema
+#: 3 added the resolved STA engine + lattice kernel schema and the
+#: shard's BB-combination span (combo-tensor shards).
+FINGERPRINT_SCHEMA = 3
 
 
 def canonical_json(obj) -> str:
@@ -151,15 +153,29 @@ def shard_key(
     Independent of shard *index* and worker count, so a re-plan of the
     same knob grid (e.g. a resume with a different shard size that happens
     to produce an identical slice) still hits.
+
+    The key embeds the *resolved* STA engine plus the lattice kernel's
+    schema version: a pointwise shard is never served to a lattice run
+    (the same bug class schema 2 fixed for ``sim_engine``), while an
+    explicit ``--sta-engine lattice`` and a defaulted ``auto`` -- which
+    run the same kernel -- interoperate on one cache.  The shard's
+    BB-combination span keys the combo-tensor slice it covers.
     """
+    from repro.sta.lattice import LATTICE_SCHEMA
+
     payload: Dict[str, object] = {
         "schema": FINGERPRINT_SCHEMA,
         "design": design_digest,
         "settings": settings.semantic_fields(),
+        "sta": {
+            "engine": settings.resolved_sta_engine,
+            "lattice_schema": LATTICE_SCHEMA,
+        },
         "configs": configs_digest,
         "shard": {
             "bitwidths": list(shard.bitwidths),
             "vdd_values": list(shard.vdd_values),
+            "combos": [shard.combo_lo, shard.combo_hi],
         },
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

@@ -9,12 +9,21 @@ The netlist is compiled once into a flat arc-level timing graph
   how reduced accuracy buys timing slack;
 * :mod:`batch` -- one levelized sweep evaluates *all* 2^NMAX back-bias
   assignments of a partitioned design simultaneously, which is what makes
-  the paper's exhaustive exploration cheap.
+  the paper's exhaustive exploration cheap;
+* :mod:`lattice` -- the float64 whole-lattice kernel behind the
+  exploration's ``--sta-engine`` selector: (combos, nets) arrival and
+  required tensors, per-combo WNS / critical-endpoint / feasibility in
+  one pass, bit-identical to looping the scalar engine.
 """
 
 from repro.sta.graph import TimingGraph, compile_timing_graph
 from repro.sta.engine import StaEngine, TimingReport
 from repro.sta.batch import BatchStaEngine
+from repro.sta.lattice import (
+    LatticeStaEngine,
+    LatticeTimingResult,
+    resolve_sta_engine,
+)
 from repro.sta.caseanalysis import (
     CaseAnalysis,
     propagate_constants,
@@ -32,6 +41,9 @@ __all__ = [
     "StaEngine",
     "TimingReport",
     "BatchStaEngine",
+    "LatticeStaEngine",
+    "LatticeTimingResult",
+    "resolve_sta_engine",
     "CaseAnalysis",
     "propagate_constants",
     "dvas_case",

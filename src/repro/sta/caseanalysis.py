@@ -67,8 +67,8 @@ class CaseAnalysis:
         carry-select adder once the low blocks' carries become constant.
         """
         cached = self._arc_mask_cache.get(id(graph))
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is graph:
+            return cached[1]
         values = self.values
         base = (values[graph.arc_from] == UNKNOWN) & (
             values[graph.arc_to] == UNKNOWN
@@ -92,7 +92,9 @@ class CaseAnalysis:
                         if mask[ordinal] and not sens[in_pos][out_pos]:
                             mask[ordinal] = False
             arc_cursor += num_arcs
-        self._arc_mask_cache[id(graph)] = mask
+        # Pin the graph in the entry: a dead graph's id can be recycled by
+        # a new graph, which must not be served the stale mask.
+        self._arc_mask_cache[id(graph)] = (graph, mask)
         return mask
 
     def active_endpoint_mask(self, endpoint_nets: np.ndarray) -> np.ndarray:

@@ -57,6 +57,20 @@ class TimingReport:
         arrivals = self.arrival_ps[self.graph.endpoint_nets[active]]
         return float(arrivals.max())
 
+    @property
+    def critical_endpoint_net(self) -> int:
+        """Net id of the worst-slack active endpoint (-1 when none).
+
+        Ties resolve to the first endpoint in endpoint order (the
+        ``np.argmin`` convention), which is the per-point reference the
+        lattice engine's ``critical_endpoint_net`` array is
+        differential-tested against.
+        """
+        if not np.any(self.endpoint_active):
+            return -1
+        masked = np.where(self.endpoint_active, self.endpoint_slack_ps, POS_INF)
+        return int(self.graph.endpoint_nets[int(np.argmin(masked))])
+
     def net_slack_ps(self) -> np.ndarray:
         """Per-net slack (required - arrival); +inf off any constrained path."""
         return self.required_ps - self.arrival_ps

@@ -1,0 +1,593 @@
+"""Whole-lattice batched STA: every BB combination in one tensor pass.
+
+The exploration phase evaluates all 2^NMAX back-bias assignments of a
+domain-partitioned design per (bitwidth, VDD) knob point and discards the
+timing-infeasible ones (the paper reports ~75 % rejected).  The timing
+graph is the *same* for every assignment -- only per-cell delay factors
+``f(VDD, Vth[domain])`` change -- so the whole lattice can share one
+levelized sweep: arrival and required times become ``(combos, nets)``
+matrices with the BB combination stacked on a leading axis, the per-arc
+delay broadcasts as a ``(combos, arcs-in-level)`` block, and the
+infeasibility filter collapses to one masked reduction per knob point.
+
+Unlike the float32 throughput engine in :mod:`repro.sta.batch`, this
+kernel computes in float64 with exactly the scalar engine's operations
+(same multiplies, same exact max/min reductions, same POS_INF masking),
+so its per-combo WNS, feasibility mask and critical-endpoint ids are
+**bit-identical** to looping :meth:`repro.sta.engine.StaEngine.analyze`
+over the combinations -- the differential and hypothesis suites hold it
+to that.  It also runs the backward (required-time) sweep on the same
+lattice axis, which no previous batched path offered.
+
+Engine selection mirrors the simulation engines of PR 3: exploration
+callers pass ``"auto"`` / ``"lattice"`` / ``"pointwise"`` (settings
+field, ``--sta-engine`` flag, or ``$REPRO_STA_ENGINE``), where
+``pointwise`` is the per-combination scalar reference loop and ``auto``
+resolves to the lattice kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sta.caseanalysis import CaseAnalysis, UNKNOWN
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import NEG_INF, POS_INF, StaEngine
+from repro.sta.graph import TimingGraph
+from repro.sta.sweep import LevelizedSchedule, schedule_for
+from repro.techlib.library import Library
+
+#: Environment variable selecting the default STA engine.
+STA_ENGINE_ENV_VAR = "REPRO_STA_ENGINE"
+
+#: Valid engine requests.  ``pointwise`` loops the scalar engine over the
+#: BB combinations (the reference semantics); ``lattice`` sweeps them all
+#: in one tensor pass; ``auto`` resolves to ``lattice``.
+STA_ENGINES = ("auto", "lattice", "pointwise")
+
+#: Bump when the lattice kernel's numerics or result schema change; the
+#: shard-cache fingerprint embeds it so stale entries miss instead of
+#: being served to a differently-shaped run.
+LATTICE_SCHEMA = 1
+
+
+def resolve_sta_engine(engine: Optional[str]) -> str:
+    """Normalize an engine request (None -> ``$REPRO_STA_ENGINE`` -> auto).
+
+    Returns the engine that will actually run (``"lattice"`` or
+    ``"pointwise"``) -- cache fingerprints key on this resolved value, so
+    an explicit ``--sta-engine lattice`` and a defaulted ``auto`` share
+    shard entries while lattice and pointwise runs never do.
+    """
+    requested = engine if engine is not None else "auto"
+    if requested not in STA_ENGINES:
+        raise ValueError(
+            f"unknown STA engine {requested!r}; expected one of {STA_ENGINES}"
+        )
+    if requested == "auto":
+        requested = os.environ.get(STA_ENGINE_ENV_VAR) or "auto"
+        if requested not in STA_ENGINES:
+            raise ValueError(
+                f"${STA_ENGINE_ENV_VAR} must be one of {STA_ENGINES}, "
+                f"got {requested!r}"
+            )
+    return "pointwise" if requested == "pointwise" else "lattice"
+
+
+# -- lattice-layout sweep kernels -------------------------------------------
+
+
+@dataclass
+class _PaddedLevel:
+    """One level of a sweep, compiled for rectangular segment reduction.
+
+    ``ufunc.reduceat`` over ragged segments is the right tool for the
+    scalar sweep's 1-D arrays but is slow on 2-D lattice blocks, so the
+    lattice precompiles each level into a *padded* index matrix:
+    segment *s*'s j-th arc sits at ``arc_pad[s * fanin + j]``, with
+    short segments padded by repeating their last arc.  ``max``/``min``
+    are exact and idempotent, so the duplicates and the changed
+    reduction order cannot move a single bit relative to the ragged
+    left-fold.
+
+    ``endpoint_pad`` is ``arc_from`` (forward) / ``arc_to`` (backward)
+    of ``arc_pad`` -- the gather side precomputed once.  Both are flat
+    ``(segments * fanin,)`` arrays so the sweep can add into one
+    preallocated 2-D scratch block.
+    """
+
+    arc_pad: np.ndarray
+    endpoint_pad: np.ndarray
+    segments: int
+    fanin: int
+    nets: np.ndarray
+
+
+def _pad_levels(levels, endpoint_of: np.ndarray):
+    compiled = []
+    for level in levels:
+        arcs = level.arcs
+        starts = level.starts
+        ends = np.append(starts[1:], len(arcs))
+        fanin = int((ends - starts).max()) if len(starts) else 0
+        offsets = np.minimum(
+            np.arange(fanin)[None, :], (ends - starts - 1)[:, None]
+        )
+        arc_pad = arcs[starts[:, None] + offsets].reshape(-1)
+        compiled.append(
+            _PaddedLevel(
+                arc_pad=arc_pad,
+                endpoint_pad=endpoint_of[arc_pad],
+                segments=len(starts),
+                fanin=fanin,
+                nets=level.nets,
+            )
+        )
+    return compiled
+
+
+def lattice_sweep_forward(
+    levels,
+    arc_delay: np.ndarray,
+    arrival: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> None:
+    """Levelized arrival propagation over a ``(nets, combos)`` matrix.
+
+    The batched twin of :func:`repro.sta.sweep.sweep_forward`: *levels*
+    is the padded compilation of ``schedule.forward`` (see
+    :class:`_PaddedLevel`), *arc_delay* the precomputed ``(arcs,
+    combos)`` delay matrix.  Each level gathers whole C-contiguous combo
+    rows into a ``(segments, fanin, combos)`` block and max-reduces the
+    middle axis.  ``max`` is exact, so each combo's column computes the
+    very bits the scalar sweep would.  *scratch* optionally provides the
+    flat candidate buffer (at least ``max(segments * fanin) * combos``
+    elements), sparing one large allocation per level.
+    """
+    combos = arrival.shape[1]
+    for level in levels:
+        slots = level.segments * level.fanin
+        if scratch is not None:
+            candidate = scratch[: slots * combos].reshape(slots, combos)
+            np.add(
+                arrival[level.endpoint_pad],
+                arc_delay[level.arc_pad],
+                out=candidate,
+            )
+        else:
+            candidate = arrival[level.endpoint_pad] + arc_delay[level.arc_pad]
+        best = candidate.reshape(
+            level.segments, level.fanin, combos
+        ).max(axis=1)
+        np.maximum(arrival[level.nets], best, out=best)
+        arrival[level.nets] = best
+
+
+def lattice_sweep_backward(
+    levels,
+    arc_delay: np.ndarray,
+    required: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> None:
+    """Levelized required-time propagation (min) over ``(nets, combos)``.
+
+    *levels* is the padded compilation of ``schedule.backward``, walked
+    sink-to-source.
+    """
+    combos = required.shape[1]
+    for level in reversed(levels):
+        slots = level.segments * level.fanin
+        if scratch is not None:
+            candidate = scratch[: slots * combos].reshape(slots, combos)
+            np.subtract(
+                required[level.endpoint_pad],
+                arc_delay[level.arc_pad],
+                out=candidate,
+            )
+        else:
+            candidate = required[level.endpoint_pad] - arc_delay[level.arc_pad]
+        best = candidate.reshape(
+            level.segments, level.fanin, combos
+        ).min(axis=1)
+        np.minimum(required[level.nets], best, out=best)
+        required[level.nets] = best
+
+
+# -- results ----------------------------------------------------------------
+
+
+@dataclass
+class LatticeTimingResult:
+    """One knob point's full BB lattice, from a single tensor pass.
+
+    ``configs`` is the evaluated (combos, num_domains) assignment matrix;
+    every other array is indexed by the same leading combo axis.
+    ``critical_endpoint_net[k]`` is the net id of combo *k*'s worst-slack
+    active endpoint (first one in endpoint order on ties, matching
+    ``np.argmin``), or -1 when the case analysis deactivated every
+    endpoint.  ``arrival_ps`` / ``required_ps`` are the ``(combos,
+    nets)`` matrices, retained only when the engine was asked to keep
+    them (they are the memory-heavy part of the pass).
+    """
+
+    constraint: ClockConstraint
+    vdd: float
+    configs: np.ndarray
+    worst_slack_ps: np.ndarray
+    critical_endpoint_net: np.ndarray
+    arrival_ps: Optional[np.ndarray] = None
+    required_ps: Optional[np.ndarray] = None
+
+    @property
+    def feasible(self) -> np.ndarray:
+        """Boolean feasibility mask over the combo axis (WNS >= 0)."""
+        return self.worst_slack_ps >= 0.0
+
+    @property
+    def num_feasible(self) -> int:
+        return int(np.count_nonzero(self.feasible))
+
+    @property
+    def filtered_fraction(self) -> float:
+        """Fraction of combinations the STA filter rejected."""
+        if len(self.configs) == 0:
+            return 0.0
+        return 1.0 - self.num_feasible / len(self.configs)
+
+
+class LatticeStaEngine:
+    """Sweeps the whole BB lattice of a partitioned design in one pass."""
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        library: Library,
+        domains: np.ndarray,
+        num_domains: int,
+    ):
+        domains = np.asarray(domains, dtype=np.int64)
+        if domains.shape != (graph.num_cells,):
+            raise ValueError(
+                f"domains shape {domains.shape} != ({graph.num_cells},)"
+            )
+        if num_domains < 0:
+            raise ValueError("num_domains must be >= 0")
+        if num_domains == 0:
+            if len(domains) and domains.max() >= 0 and np.any(domains != 0):
+                raise ValueError("domain ids out of range for 0 domains")
+        elif len(domains) and domains.max() >= num_domains:
+            raise ValueError("domain ids out of range")
+        self.graph = graph
+        self.library = library
+        self.domains = domains
+        self.num_domains = num_domains
+        # Padded level compilations, keyed by levelized-schedule identity.
+        # Case-filtered schedules are transient (they live on the
+        # CaseAnalysis), so each entry pins its schedule: a freed
+        # schedule's id could otherwise be recycled by a new one and be
+        # served a stale compilation.
+        self._padded_cache = {}
+        # Reusable per-combo-width work buffers; repeated analyze calls
+        # (one per knob point during exploration) would otherwise
+        # mmap/munmap multi-MB temporaries every pass.
+        self._scratch = {}
+        # Graph-fixed launch/endpoint index plumbing.
+        self._launch_clip = np.maximum(graph.launch_cell, 0)
+        self._launch_external = (graph.launch_cell < 0)[:, None]
+        self._endpoint_clip = np.maximum(graph.endpoint_cell, 0)
+        self._endpoint_external = (graph.endpoint_cell < 0)[:, None]
+
+    def _padded_schedule(self, schedule: LevelizedSchedule):
+        cached = self._padded_cache.get(id(schedule))
+        if cached is None or cached[0] is not schedule:
+            forward = _pad_levels(schedule.forward, self.graph.arc_from)
+            backward = _pad_levels(schedule.backward, self.graph.arc_to)
+            slots = max(
+                (lvl.segments * lvl.fanin for lvl in forward + backward),
+                default=0,
+            )
+            cached = (schedule, forward, backward, slots)
+            self._padded_cache[id(schedule)] = cached
+        return cached[1:]
+
+    def _scratch_for(self, num_combos: int, slots: int):
+        buffers = self._scratch.get(num_combos)
+        if buffers is None:
+            graph = self.graph
+            buffers = {
+                "cell_factors": np.empty((graph.num_cells, num_combos)),
+                "arc_delay": np.empty((len(graph.arc_cell), num_combos)),
+                "candidate": np.empty(0),
+            }
+            self._scratch[num_combos] = buffers
+        if buffers["candidate"].size < slots * num_combos:
+            buffers["candidate"] = np.empty(slots * num_combos)
+        return buffers
+
+    # -- corner factors -----------------------------------------------------
+
+    def factors_for(self, vdd: float, configs: np.ndarray) -> np.ndarray:
+        """Per-(combo, cell) float64 delay factors of a config matrix.
+
+        Row *k* equals ``StaEngine.cell_delay_factors(vdd, fbb_cells)``
+        for combination *k* exactly (same ``np.where`` on the same
+        scalars), which is the root of the engine's bit-identity.
+        """
+        configs = np.asarray(configs, dtype=bool)
+        f_nobb = self.library.delay_factor(self.library.nobb_corner(vdd))
+        f_fbb = self.library.delay_factor(self.library.fbb_corner(vdd))
+        if self.num_domains == 0:
+            # NMAX = 0: no bias domains, every cell at NoBB in every combo.
+            return np.full(
+                (configs.shape[0], self.graph.num_cells), f_nobb, dtype=float
+            )
+        cell_fbb = configs[:, self.domains]
+        return np.where(cell_fbb, float(f_fbb), float(f_nobb))
+
+    # -- analysis -----------------------------------------------------------
+
+    def analyze(
+        self,
+        constraint: ClockConstraint,
+        vdd: float,
+        configs: Optional[np.ndarray] = None,
+        case: Optional[CaseAnalysis] = None,
+        compute_required: bool = False,
+        keep_arrays: bool = False,
+    ) -> LatticeTimingResult:
+        """Evaluate every BB combination in *configs* in one tensor pass.
+
+        *configs* is a (combos, num_domains) boolean matrix, True = FBB
+        (default: the full 2^NMAX lattice).  ``compute_required`` also
+        runs the backward sweep, yielding the ``(combos, nets)`` required
+        matrix; ``keep_arrays`` retains arrival/required on the result.
+        """
+        from repro.sta.batch import all_bb_configs
+
+        if configs is None:
+            configs = all_bb_configs(self.num_domains)
+        configs = np.asarray(configs, dtype=bool)
+        if configs.ndim != 2 or configs.shape[1] != self.num_domains:
+            raise ValueError(
+                f"configs shape {configs.shape} incompatible with "
+                f"{self.num_domains} domains"
+            )
+        return self.analyze_factors(
+            constraint,
+            self.factors_for(vdd, configs),
+            vdd=vdd,
+            configs=configs,
+            case=case,
+            compute_required=compute_required,
+            keep_arrays=keep_arrays,
+        )
+
+    def analyze_factors(
+        self,
+        constraint: ClockConstraint,
+        factors: np.ndarray,
+        vdd: float = float("nan"),
+        configs: Optional[np.ndarray] = None,
+        case: Optional[CaseAnalysis] = None,
+        compute_required: bool = False,
+        keep_arrays: bool = False,
+    ) -> LatticeTimingResult:
+        """Lattice sweep under explicit per-(combo, cell) delay factors.
+
+        The generalized entry point: *factors* may encode any per-domain
+        Vth deltas (multi-state bias, Monte-Carlo variation, the property
+        suite's random lattices), not just the binary {NoBB, FBB} corner
+        pair.  Shape (combos, num_cells), float64.
+        """
+        graph = self.graph
+        factors = np.asarray(factors, dtype=float)
+        if factors.ndim != 2 or factors.shape[1] != graph.num_cells:
+            raise ValueError(
+                f"factors shape {factors.shape} != (combos, {graph.num_cells})"
+            )
+        num_combos = factors.shape[0]
+        if configs is None:
+            configs = np.zeros((num_combos, self.num_domains), dtype=bool)
+        schedule = schedule_for(graph, case)
+        forward_levels, backward_levels, slots = self._padded_schedule(
+            schedule
+        )
+        period = constraint.effective_period_ps
+        buffers = self._scratch_for(num_combos, slots)
+
+        # All internal matrices are nets-major (nets, combos): one net's
+        # combo row is then C-contiguous, so the per-level arc gathers
+        # are whole-row copies rather than strided column picks.  The
+        # public result arrays stay combo-major.
+        cell_factors = buffers["cell_factors"]
+        np.copyto(cell_factors, factors.transpose())
+        # (arcs, combos): the same float64 product the scalar engine
+        # forms as arc_delay_ps * factors[arc_cell], per combo --
+        # computed once here instead of once per level.
+        arc_delay = buffers["arc_delay"]
+        np.multiply(
+            graph.arc_delay_ps[:, None],
+            cell_factors[graph.arc_cell],
+            out=arc_delay,
+        )
+
+        # Launch seeding, broadcast over the combo axis.  External
+        # launches (primary inputs) are unscaled by the local corner.
+        launch_factor = cell_factors[self._launch_clip]
+        np.copyto(launch_factor, 1.0, where=self._launch_external)
+        launch_arrival = graph.launch_delay_ps[:, None] * launch_factor
+
+        arrival = np.full((graph.num_nets, num_combos), NEG_INF)
+        if case is None:
+            arrival[graph.launch_nets] = launch_arrival
+        else:
+            live = case.values[graph.launch_nets] == UNKNOWN
+            arrival[graph.launch_nets[live]] = launch_arrival[live]
+
+        lattice_sweep_forward(
+            forward_levels, arc_delay, arrival, buffers["candidate"]
+        )
+
+        # Endpoint bookkeeping: (endpoints, combos) blocks throughout.
+        endpoint_factor = cell_factors[self._endpoint_clip]
+        np.copyto(endpoint_factor, 1.0, where=self._endpoint_external)
+        endpoint_required = (
+            period - graph.endpoint_setup_ps[:, None] * endpoint_factor
+        )
+        endpoint_arrival = arrival[graph.endpoint_nets]
+        endpoint_slack = endpoint_required - endpoint_arrival
+
+        if case is None:
+            endpoint_active = endpoint_arrival > NEG_INF / 2
+        else:
+            endpoint_active = (
+                case.active_endpoint_mask(graph.endpoint_nets)[:, None]
+                & (endpoint_arrival > NEG_INF / 2)
+            )
+
+        masked_slack = np.where(endpoint_active, endpoint_slack, POS_INF)
+        if masked_slack.shape[0]:
+            worst = masked_slack.min(axis=0)
+            critical = np.argmin(masked_slack, axis=0)
+            critical_net = np.where(
+                endpoint_active.any(axis=0),
+                graph.endpoint_nets[critical],
+                -1,
+            ).astype(np.int64)
+            # A combo whose every endpoint is inactive has no finite
+            # slack; report the scalar engine's "unconstrained" sentinel.
+            worst = np.where(endpoint_active.any(axis=0), worst, POS_INF)
+        else:
+            worst = np.full(num_combos, POS_INF)
+            critical_net = np.full(num_combos, -1, dtype=np.int64)
+
+        required = None
+        if compute_required:
+            required = np.full((graph.num_nets, num_combos), POS_INF)
+            # Endpoint seeding stays a scatter (endpoints are few and may
+            # repeat a net), with whole combo rows as the scatter payload
+            # -- exactly the scalar engine's per-combo minimum.at.
+            seed = np.where(endpoint_active, endpoint_required, POS_INF)
+            np.minimum.at(required, graph.endpoint_nets, seed)
+            lattice_sweep_backward(
+                backward_levels, arc_delay, required, buffers["candidate"]
+            )
+
+        return LatticeTimingResult(
+            constraint=constraint,
+            vdd=vdd,
+            configs=configs,
+            worst_slack_ps=worst,
+            critical_endpoint_net=critical_net,
+            arrival_ps=arrival.transpose() if keep_arrays else None,
+            required_ps=(
+                required.transpose()
+                if keep_arrays and required is not None
+                else None
+            ),
+        )
+
+    def analyze_ladder(
+        self,
+        constraint: ClockConstraint,
+        vdds,
+        configs: Optional[np.ndarray] = None,
+        case: Optional[CaseAnalysis] = None,
+    ) -> list:
+        """Sweep the whole (VDD, BB combination) ladder in one pass.
+
+        VDD only enters the analysis through the per-cell delay factors,
+        so the VDD rungs stack on the same leading axis as the BB
+        combinations: one ``(len(vdds) * combos, nets)`` sweep replaces
+        ``len(vdds)`` per-rung passes, amortizing the per-level kernel
+        overhead across the ladder.  Max/min reductions are exact, so
+        each rung's slice is bit-identical to its standalone
+        :meth:`analyze` -- the differential wall holds it to that.
+
+        Returns one :class:`LatticeTimingResult` per VDD, in order.
+        """
+        from repro.sta.batch import all_bb_configs
+
+        if configs is None:
+            configs = all_bb_configs(self.num_domains)
+        configs = np.asarray(configs, dtype=bool)
+        vdds = list(vdds)
+        num_combos = configs.shape[0]
+        if not vdds or num_combos == 0:
+            return [
+                LatticeTimingResult(
+                    constraint=constraint,
+                    vdd=vdd,
+                    configs=configs,
+                    worst_slack_ps=np.empty(0),
+                    critical_endpoint_net=np.empty(0, dtype=np.int64),
+                )
+                for vdd in vdds
+            ]
+        factors = np.concatenate(
+            [self.factors_for(vdd, configs) for vdd in vdds], axis=0
+        )
+        stacked = self.analyze_factors(
+            constraint,
+            factors,
+            configs=np.tile(configs, (len(vdds), 1)),
+            case=case,
+        )
+        results = []
+        for i, vdd in enumerate(vdds):
+            rung = slice(i * num_combos, (i + 1) * num_combos)
+            results.append(
+                LatticeTimingResult(
+                    constraint=constraint,
+                    vdd=vdd,
+                    configs=configs,
+                    worst_slack_ps=stacked.worst_slack_ps[rung],
+                    critical_endpoint_net=stacked.critical_endpoint_net[rung],
+                )
+            )
+        return results
+
+    # -- reference loop -----------------------------------------------------
+
+    def analyze_pointwise(
+        self,
+        constraint: ClockConstraint,
+        vdd: float,
+        configs: Optional[np.ndarray] = None,
+        case: Optional[CaseAnalysis] = None,
+    ) -> LatticeTimingResult:
+        """The per-combination scalar reference loop (``pointwise``).
+
+        One :meth:`StaEngine.analyze` call per BB combination -- the
+        semantics the lattice pass is differential-tested against, and
+        the ``--sta-engine pointwise`` execution path.
+        """
+        from repro.sta.batch import all_bb_configs
+
+        if configs is None:
+            configs = all_bb_configs(self.num_domains)
+        configs = np.asarray(configs, dtype=bool)
+        scalar = StaEngine(self.graph, self.library)
+        worst = np.empty(len(configs))
+        critical = np.empty(len(configs), dtype=np.int64)
+        for k, config in enumerate(configs):
+            if self.num_domains == 0:
+                fbb_cells = np.zeros(self.graph.num_cells, dtype=bool)
+            else:
+                fbb_cells = config[self.domains]
+            report = scalar.analyze(
+                constraint, vdd, fbb_cells, case=case, compute_required=False
+            )
+            worst[k] = report.worst_slack_ps
+            critical[k] = report.critical_endpoint_net
+        return LatticeTimingResult(
+            constraint=constraint,
+            vdd=vdd,
+            configs=configs,
+            worst_slack_ps=worst,
+            critical_endpoint_net=critical,
+        )

@@ -102,10 +102,12 @@ def schedule_for(graph, case=None) -> LevelizedSchedule:
             graph.schedule = compile_schedule(graph)
         return graph.schedule
     cached = case._schedule_cache.get(id(graph))
-    if cached is None:
-        cached = compile_schedule(graph, case)
+    if cached is None or cached[0] is not graph:
+        # Pin the graph in the entry: ids of dead graphs can be recycled,
+        # and a recycled id must not serve another graph's schedule.
+        cached = (graph, compile_schedule(graph, case))
         case._schedule_cache[id(graph)] = cached
-    return cached
+    return cached[1]
 
 
 def sweep_forward(

@@ -118,3 +118,54 @@ def test_cache_entries_not_shared_across_engines(designs, tmp_path):
     assert switched.cache_stats.hits == 0
     assert switched.cache_stats.misses == warmed.cache_stats.misses
     assert_identical(warmed, switched)
+
+
+def test_sta_engine_validated():
+    with pytest.raises(ValueError, match="sta_engine"):
+        ExplorationSettings(sta_engine="quantum")
+
+
+@pytest.mark.parametrize("operator", OPERATORS)
+def test_sta_engine_invariant_through_parallel_path(
+    operator, designs, interpreted_reference, tmp_path
+):
+    """Both STA engines, through the sharded parallel path with a
+    persistent cache, agree with the serial reference bit for bit."""
+    for sta_engine in ("lattice", "pointwise"):
+        clear_activity_cache()
+        settings = dataclasses.replace(
+            SETTINGS,
+            sta_engine=sta_engine,
+            workers=2,
+            cache=True,
+            cache_dir=str(tmp_path),
+        )
+        result = ExhaustiveExplorer(designs[operator]).run(settings)
+        assert_identical(interpreted_reference[operator], result)
+
+
+def test_cache_entries_not_shared_across_sta_engines(designs, tmp_path):
+    """Lattice and pointwise shards coexist in one cache dir but never
+    cross-serve: the fingerprint keys on the resolved STA engine."""
+    clear_activity_cache()
+    base = dataclasses.replace(
+        SETTINGS,
+        workers=1,
+        cache=True,
+        cache_dir=str(tmp_path),
+        sta_engine="lattice",
+    )
+    explorer = ExhaustiveExplorer(designs["booth"])
+    warmed = explorer.run(base)
+    assert warmed.cache_stats.misses > 0
+    switched = explorer.run(
+        dataclasses.replace(base, sta_engine="pointwise")
+    )
+    assert switched.cache_stats.hits == 0
+    assert switched.cache_stats.misses == warmed.cache_stats.misses
+    assert_identical(warmed, switched)
+    # "auto" resolves to lattice and must re-hit the lattice entries.
+    rerun = explorer.run(dataclasses.replace(base, sta_engine="auto"))
+    assert rerun.cache_stats.misses == 0
+    assert rerun.cache_stats.hits == warmed.cache_stats.misses
+    assert_identical(warmed, rerun)

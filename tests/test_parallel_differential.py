@@ -107,6 +107,34 @@ def test_shard_boundaries_are_invisible(
     assert_identical(serial_reference["adder"], result)
 
 
+@pytest.mark.parametrize("max_combos", [1, 3, 7])
+def test_combo_shard_boundaries_are_invisible(
+    max_combos, designs, serial_reference
+):
+    """Splitting the BB-combination axis across shards must not move any
+    number: combo slices of the lattice tensor re-fold canonically."""
+    engine = ParallelExplorer(designs["booth"])  # 16 combos (2x2 grid)
+    for workers in (1, 2):
+        result = engine.run(
+            dataclasses.replace(SETTINGS, workers=workers),
+            max_combos_per_shard=max_combos,
+        )
+        assert_identical(serial_reference["booth"], result)
+
+
+@pytest.mark.parametrize("sta_engine", ["lattice", "pointwise"])
+def test_combo_shards_identical_across_sta_engines(
+    sta_engine, designs, serial_reference
+):
+    """Combo-sliced shards agree with the serial sweep under both STA
+    engines (each shard runs a partial-lattice pass)."""
+    result = ParallelExplorer(designs["booth"]).run(
+        dataclasses.replace(SETTINGS, workers=2, sta_engine=sta_engine),
+        max_combos_per_shard=5,
+    )
+    assert_identical(serial_reference["booth"], result)
+
+
 @pytest.mark.parametrize("operator", OPERATORS)
 def test_design_survives_process_boundary(
     operator, designs, serial_reference
