@@ -322,6 +322,9 @@ def cmd_serve(args) -> int:
     async def soak() -> dict:
         async with server:
             print(f"serving on {args.host}:{server.port}")
+            # Machine-readable bound port: soak scripts pass --port 0
+            # and scrape this line instead of racing for a free port.
+            print(f"REPRO_SERVE_PORT={server.port}", flush=True)
 
             async def client(requests):
                 reader, writer = await asyncio.open_connection(
@@ -361,6 +364,7 @@ def cmd_serve(args) -> int:
     async def forever() -> None:
         async with server:
             print(f"serving on {args.host}:{server.port} (ctrl-c to stop)")
+            print(f"REPRO_SERVE_PORT={server.port}", flush=True)
             while True:
                 await asyncio.sleep(3600)
 
@@ -384,6 +388,74 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
+
+
+def _fleet_soak_requests(table, num_operators, count, seed):
+    """Deterministic request mix over *num_operators* instances."""
+    rng = np.random.default_rng(seed)
+    bitwidths = table.bitwidths
+    for index in range(count):
+        yield (
+            f"op{index % num_operators}",
+            int(rng.choice(bitwidths)),
+            int(rng.integers(1_000, 20_000)),
+        )
+
+
+def cmd_fleet_serve(args) -> int:
+    import json as json_module
+
+    from repro.fleet import FleetRouter
+
+    table = _load_table(args.table)
+    print(table.describe())
+    router = FleetRouter(
+        table,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        max_inflight=args.max_inflight,
+        num_generators=args.generators,
+        policy=args.policy,
+        max_queue_depth=args.queue_depth,
+        guard=args.guard,
+        retreat_budget=args.retreat_budget,
+    )
+    trace = list(
+        _fleet_soak_requests(table, args.operators, args.soak, args.seed)
+    )
+    violations = 0
+    with router:
+        print(
+            f"fleet of {router.num_workers} workers, shared segment "
+            f"{router.segment_name}"
+        )
+        phases = []
+        for offset in range(0, len(trace), args.chunk):
+            phases.extend(
+                router.submit_many(trace[offset : offset + args.chunk])
+            )
+        stats = router.stats()
+    for phase in phases:
+        if phase.served_bits < phase.required_bits:
+            violations += 1
+    json_reparses = sum(
+        worker["parse"]["json"] for worker in stats["workers"]
+    )
+    counters = stats["counters"]
+    print(
+        f"fleet soak complete: {counters['requests']} requests over "
+        f"{stats['num_workers']} workers, "
+        f"{counters['mode_switches']} switches, "
+        f"{counters['degraded']} degraded, "
+        f"{counters.get('fleet_retreats', 0)} fleet retreats, "
+        f"{violations} violations, "
+        f"{json_reparses} worker JSON re-parses"
+    )
+    if args.stats_output:
+        with open(args.stats_output, "w") as stream:
+            json_module.dump(stats, stream, indent=2)
+        print(f"fleet telemetry written to {args.stats_output}")
+    return 1 if violations or json_reparses else 0
 
 
 def cmd_replay(args) -> int:
@@ -459,6 +531,8 @@ def cmd_chaos(args) -> int:
             num_operators=args.operators,
             requests=args.requests,
             seed=args.seed,
+            fleet_workers=args.fleet,
+            fleet_requests=args.fleet_requests,
         )
     print(report.describe())
     if args.summary:
@@ -623,6 +697,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "fleet-serve",
+        help="soak the multi-process fleet tier from a compiled table",
+    )
+    p.add_argument("--table", required=True, help="compiled ModeTable JSON")
+    from repro.core.config import AUTO_WORKERS as _AUTO
+
+    p.add_argument(
+        "--workers",
+        type=int,
+        nargs="?",
+        const=_AUTO,
+        default=2,
+        help="fleet worker processes (bare --workers auto-detects; "
+        "$REPRO_FLEET_WORKERS overrides auto; default 2)",
+    )
+    p.add_argument(
+        "--policy",
+        default="greedy",
+        choices=["greedy", "hysteresis", "lookahead"],
+    )
+    p.add_argument("--generators", type=int, default=2)
+    p.add_argument("--queue-depth", type=int, default=8)
+    p.add_argument(
+        "--batch-window",
+        type=int,
+        default=16,
+        help="max same-worker requests coalesced into one pipe frame",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="pipelined frames per worker",
+    )
+    p.add_argument(
+        "--guard",
+        action="store_true",
+        help="attach a margin guard per worker (margined tables)",
+    )
+    p.add_argument(
+        "--retreat-budget",
+        type=int,
+        default=32,
+        help="degraded requests a worker serves after a fleet alert",
+    )
+    p.add_argument(
+        "--soak",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="drive N requests through the fleet, print telemetry, exit",
+    )
+    p.add_argument(
+        "--operators", type=int, default=8, help="soak operator instances"
+    )
+    p.add_argument(
+        "--chunk", type=int, default=256, help="requests per submit batch"
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--stats-output", help="write fleet telemetry JSON here")
+    p.set_defaults(func=cmd_fleet_serve)
+
+    p = sub.add_parser(
         "replay", help="replay a workload trace through the serve scheduler"
     )
     p.add_argument("--table", required=True, help="compiled ModeTable JSON")
@@ -680,6 +817,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve-only",
         action="store_true",
         help="skip the exploration half (worker crash / cache corruption)",
+    )
+    p.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally soak an N-worker fleet (>= 2) against the "
+        "same schedule: silicon injection on worker 0, degradation "
+        "propagation + failover audited",
+    )
+    p.add_argument(
+        "--fleet-requests",
+        type=int,
+        default=1024,
+        help="request count of the fleet soak",
     )
     p.add_argument("--summary", help="write the chaos report JSON here")
     p.set_defaults(func=cmd_chaos, sweep_command=True)

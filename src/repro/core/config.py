@@ -2,12 +2,44 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 #: ``workers`` value requesting auto-detection (``REPRO_WORKERS`` env var,
 #: falling back to the machine's CPU count).
 AUTO_WORKERS = -1
+
+
+def resolve_env_count(
+    requested: int,
+    env_var: str,
+    auto: int = AUTO_WORKERS,
+    default: Optional[int] = None,
+) -> int:
+    """Resolve a process-count knob against an environment override.
+
+    The one worker-count policy shared by the sharded exploration engine
+    (``$REPRO_WORKERS``) and the fleet serving tier
+    (``$REPRO_FLEET_WORKERS``): a *requested* value equal to *auto*
+    consults ``$env_var`` first and falls back to *default* (the CPU
+    count when ``None``); explicit values are clamped to >= 1.  A
+    non-integer override raises a chained :class:`ValueError` naming the
+    variable.
+    """
+    if requested == auto:
+        env = os.environ.get(env_var)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError as exc:
+                raise ValueError(
+                    f"${env_var} must be an integer, got {env!r}"
+                ) from exc
+        if default is not None:
+            return max(1, default)
+        return max(1, os.cpu_count() or 1)
+    return max(1, requested)
 
 
 @dataclass(frozen=True)

@@ -23,9 +23,11 @@ each chaos soak enforces.
 from repro.faults.chaos import (
     ChaosReport,
     ExplorationChaosReport,
+    FleetChaosReport,
     ServeChaosReport,
     run_chaos,
     run_exploration_chaos,
+    run_fleet_chaos,
     run_serve_chaos,
 )
 from repro.faults.environment import (
@@ -65,6 +67,7 @@ __all__ = [
     "FAULT_SCHEDULE_SCHEMA",
     "FaultEvent",
     "FaultSchedule",
+    "FleetChaosReport",
     "INFRA_KINDS",
     "InjectionLog",
     "KIND_AGING_VTH",
@@ -83,5 +86,6 @@ __all__ = [
     "corrupt_cache_entries",
     "run_chaos",
     "run_exploration_chaos",
+    "run_fleet_chaos",
     "run_serve_chaos",
 ]

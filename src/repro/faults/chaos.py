@@ -163,6 +163,214 @@ def run_serve_chaos(
     return report
 
 
+# -- fleet-side soak ---------------------------------------------------------
+
+
+@dataclass
+class FleetChaosReport:
+    """What the fleet tier did under silicon chaos + a worker kill.
+
+    The schedule is injected on worker 0 only; the soak then checks the
+    *fleet-wide* reactions: every peer that kept serving entered retreat
+    within the router's propagation bound, a killed worker's operators
+    failed over without a dropped request, and the shared-memory segment
+    was gone after shutdown.
+    """
+
+    workers: int = 0
+    requests: int = 0
+    accuracy_violations: int = 0
+    margin_fallbacks: int = 0
+    fleet_alerts: int = 0
+    fleet_retreats: int = 0
+    degraded: int = 0
+    failovers: int = 0
+    workers_killed: int = 0
+    #: Per-peer request budget: a worker has at most max_inflight x
+    #: batch_window requests already in its pipe when an alert posts,
+    #: and it polls the bus before every decision after that.
+    propagation_bound: int = 0
+    #: Worst measured count of requests any peer decided between the
+    #: first alerting phase and its own first retreat; -1 = no alert.
+    worst_propagation: int = -1
+    peers_retreated: bool = False
+    unanswered_requests: int = 0
+    segment_leaked: bool = False
+    stayed_up: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.stayed_up
+            and self.accuracy_violations == 0
+            and self.unanswered_requests == 0
+            and self.peers_retreated
+            and 0 <= self.worst_propagation <= self.propagation_bound
+            and not self.segment_leaked
+        )
+
+    def to_dict(self) -> Dict:
+        return {**dataclasses.asdict(self), "ok": self.ok}
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"fleet chaos [{verdict}]: {self.requests} requests over "
+            f"{self.workers} workers ({self.workers_killed} killed, "
+            f"{self.failovers} failovers), "
+            f"{self.margin_fallbacks} margin fallbacks -> "
+            f"{self.fleet_alerts} alerts / {self.fleet_retreats} retreats, "
+            f"propagation {self.worst_propagation} <= "
+            f"{self.propagation_bound} requests, "
+            f"{self.accuracy_violations} accuracy violations, "
+            f"segment leaked: {self.segment_leaked}"
+        )
+
+
+def run_fleet_chaos(
+    table,
+    schedule: FaultSchedule,
+    workers: int = 2,
+    num_operators: int = 8,
+    requests: int = 1024,
+    seed: int = 7,
+    policy: str = "greedy",
+    batch_window: int = 16,
+    retreat_budget: int = 32,
+    chunk: int = 256,
+) -> FleetChaosReport:
+    """Soak a fleet against *schedule* injected on worker 0, then audit.
+
+    Worker-crash events in the schedule kill one fleet worker process
+    mid-soak (never worker 0, which carries the silicon injection), so
+    one run exercises degradation propagation *and* failover.
+    """
+    from repro.fleet import FleetRouter
+    from repro.serve.table import ModeTable
+
+    if workers < 2:
+        raise ValueError("a fleet soak needs at least two workers")
+    if not table.has_margins:
+        raise ValueError(
+            "fleet chaos needs a margined table (the degradation signal "
+            "is the margin guard's fallback); compile with --margins"
+        )
+    report = FleetChaosReport(workers=workers)
+    router = FleetRouter(
+        table,
+        workers=workers,
+        policy=policy,
+        batch_window=batch_window,
+        retreat_budget=retreat_budget,
+        guard=True,
+        schedules={0: schedule.to_dict()},
+        max_queue_depth=requests + 1,
+    )
+    report.propagation_bound = router.max_inflight * router.batch_window
+
+    kill_at = -1
+    crash_events = schedule.of_kind(KIND_WORKER_CRASH)
+    if crash_events and workers > 2:
+        # Scale the first crash window's start into the request stream.
+        fraction = crash_events[0].start_ns / max(schedule.horizon_ns, 1.0)
+        kill_at = max(1, int(fraction * requests))
+
+    trace = list(chaos_requests(table, num_operators, requests, seed))
+    phases = []
+    try:
+        router.start()
+        segment = router.segment_name
+        victim = None
+        if kill_at >= 0:
+            candidates = [w for w in router.alive_workers if w != 0]
+            victim = candidates[
+                max(0, crash_events[0].target) % len(candidates)
+            ]
+        for offset in range(0, len(trace), chunk):
+            if victim is not None and offset + chunk > kill_at:
+                handle = router._workers.get(victim)
+                if handle is not None:
+                    handle.process.kill()
+                    handle.process.join()
+                    report.workers_killed += 1
+                victim = None
+            phases.extend(router.submit_many(trace[offset : offset + chunk]))
+        stats = router.stats()
+    except Exception as error:  # the soak's "stays up" criterion
+        report.error = f"{type(error).__name__}: {error}"
+        try:
+            router.stop()
+        except Exception:  # pragma: no cover - double fault
+            pass
+        return report
+    report.stayed_up = True
+    router.stop()
+
+    # Segment must be unlinked once the fleet is down.
+    try:
+        ModeTable.from_shared(segment).close()
+        report.segment_leaked = True  # pragma: no cover - leak
+    except ValueError:
+        report.segment_leaked = False
+
+    report.requests = len([p for p in phases if p is not None])
+    report.unanswered_requests = len(phases) - report.requests
+    counters = stats["counters"]
+    report.margin_fallbacks = counters.get("margin_fallbacks", 0)
+    report.fleet_alerts = counters.get("fleet_alerts", 0)
+    report.fleet_retreats = counters.get("fleet_retreats", 0)
+    report.degraded = counters.get("degraded", 0)
+    report.accuracy_violations = counters.get("accuracy_violations", 0)
+    report.failovers = stats["failovers"]
+
+    for phase in phases:
+        if phase is not None and phase.served_bits < phase.required_bits:
+            report.accuracy_violations += 1
+
+    # Propagation audit: after the first alerting phase, every *other*
+    # worker that serves again must retreat within its in-flight budget
+    # -- counted in requests *that peer* decided, because an idle peer
+    # cannot observe the bus (it polls per decision, and that is the
+    # point: retreat costs nothing on a worker serving nothing).
+    alert_index = next(
+        (
+            index
+            for index, phase in enumerate(phases)
+            if phase is not None and phase.margin_fallback
+        ),
+        None,
+    )
+    if alert_index is not None:
+        origin = phases[alert_index].worker_id
+        gaps = []
+        peers_ok = True
+        peers = {
+            phase.worker_id
+            for phase in phases[alert_index + 1 :]
+            if phase is not None and phase.worker_id != origin
+        }
+        for peer in peers:
+            unaware = 0
+            retreated = False
+            for index, phase in enumerate(phases):
+                if phase is None or phase.worker_id != peer:
+                    continue
+                if phase.fleet_retreat:
+                    retreated = True
+                    break
+                if index > alert_index:
+                    unaware += 1
+            if not retreated:
+                peers_ok = False
+                continue
+            gaps.append(unaware)
+        report.peers_retreated = peers_ok and bool(peers)
+        if gaps:
+            report.worst_propagation = max(gaps)
+    return report
+
+
 # -- exploration-side soak ---------------------------------------------------
 
 
@@ -305,11 +513,14 @@ class ChaosReport:
     schedule: FaultSchedule
     serve: ServeChaosReport
     exploration: Optional[ExplorationChaosReport] = None
+    fleet: Optional[FleetChaosReport] = None
 
     @property
     def ok(self) -> bool:
-        return self.serve.ok and (
-            self.exploration is None or self.exploration.ok
+        return (
+            self.serve.ok
+            and (self.exploration is None or self.exploration.ok)
+            and (self.fleet is None or self.fleet.ok)
         )
 
     def to_dict(self) -> Dict:
@@ -322,12 +533,17 @@ class ChaosReport:
                 if self.exploration is not None
                 else None
             ),
+            "fleet": (
+                self.fleet.to_dict() if self.fleet is not None else None
+            ),
         }
 
     def describe(self) -> str:
         lines = [self.schedule.describe(), self.serve.describe()]
         if self.exploration is not None:
             lines.append(self.exploration.describe())
+        if self.fleet is not None:
+            lines.append(self.fleet.describe())
         lines.append(f"chaos run: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
@@ -341,8 +557,14 @@ def run_chaos(
     num_operators: int = 3,
     requests: int = 96,
     seed: int = 7,
+    fleet_workers: int = 0,
+    fleet_requests: int = 1024,
 ) -> ChaosReport:
-    """Replay *schedule* against serving and (optionally) exploration."""
+    """Replay *schedule* against serving and (optionally) exploration.
+
+    ``fleet_workers >= 2`` additionally soaks the fleet tier
+    (:func:`run_fleet_chaos`) with the same schedule and seed.
+    """
     serve = run_serve_chaos(
         table,
         schedule,
@@ -359,6 +581,18 @@ def run_chaos(
         exploration = run_exploration_chaos(
             design, settings, schedule, workdir
         )
+    fleet = None
+    if fleet_workers:
+        fleet = run_fleet_chaos(
+            table,
+            schedule,
+            workers=fleet_workers,
+            requests=fleet_requests,
+            seed=seed,
+        )
     return ChaosReport(
-        schedule=schedule, serve=serve, exploration=exploration
+        schedule=schedule,
+        serve=serve,
+        exploration=exploration,
+        fleet=fleet,
     )

@@ -1,0 +1,39 @@
+"""repro.fleet -- the multi-process fleet serving tier.
+
+Scales :mod:`repro.serve` from one process to N with three pieces:
+
+* :mod:`repro.fleet.hashing` -- the consistent-hash ring that pins every
+  operator instance to one worker (order-preserving, cheap failover),
+* :mod:`repro.fleet.bus` -- the shared degradation-alert epoch that
+  turns one worker's margin event into fleet-wide retreat,
+* :mod:`repro.fleet.worker` / :mod:`repro.fleet.router` -- the worker
+  process (a stock scheduler fed by binary pipe frames, mode table
+  mapped from shared memory) and the front-end router that batches and
+  pipelines requests across the fleet.
+
+See ``docs/serve.md`` (fleet section) for the invariants and
+``repro fleet-serve`` for the CLI entry point.
+"""
+
+from repro.fleet.bus import ALERT_KINDS, FleetBus, KIND_MARGIN_EROSION
+from repro.fleet.hashing import ConsistentHashRing, stable_hash
+from repro.fleet.router import (
+    FLEET_WORKERS_ENV,
+    FleetError,
+    FleetRouter,
+    FleetServedPhase,
+    resolve_fleet_workers,
+)
+
+__all__ = [
+    "ALERT_KINDS",
+    "ConsistentHashRing",
+    "FLEET_WORKERS_ENV",
+    "FleetBus",
+    "FleetError",
+    "FleetRouter",
+    "FleetServedPhase",
+    "KIND_MARGIN_EROSION",
+    "resolve_fleet_workers",
+    "stable_hash",
+]

@@ -1,0 +1,90 @@
+"""The fleet bus: one shared epoch that says "a peer saw silicon trouble".
+
+Bahoo-style block-level voltage-overscaling deployments treat a margin
+event on one block as evidence about the *shared* environment (same die,
+same rail, same package temperature), so the right reaction is
+fleet-wide retreat, not per-process.  The bus is the cheapest possible
+carrier of that signal:
+
+* a monotone **epoch** counter plus the alert kind and origin worker,
+  all in :func:`multiprocessing.Value` cells shared by fork/pickle;
+* **posting** (rare: a margin fallback, a degradation) takes a lock and
+  bumps the epoch;
+* **reading** (hot: once per served request) is one lock-free int load
+  -- workers poll the epoch before every decision, so a posted alert is
+  seen by a peer at its very next request.
+
+A worker observing an epoch it has not seen, posted by *another* worker,
+enters **retreat**: it serves the next ``retreat_budget`` requests on
+the scheduler's degraded path (static maximum-accuracy mode -- the
+sign-off-margined power-on rail) while the local guard re-evaluates.
+That bounds fleet-wide propagation at "one request per peer" after the
+post lands, which the differential suite measures end to end.
+
+Alert kinds reuse the fault layer's silicon event vocabulary
+(:data:`repro.faults.events.SILICON_KINDS`) plus ``margin_erosion`` for
+guard fallbacks that are not attributable to a single injected event.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Tuple
+
+from repro.faults.events import SILICON_KINDS
+
+#: Guard fallback with no single attributable injected event.
+KIND_MARGIN_EROSION = "margin_erosion"
+
+#: Alert kind <-> wire code (sorted for cross-process determinism).
+ALERT_KINDS: Tuple[str, ...] = tuple(
+    sorted(SILICON_KINDS | {KIND_MARGIN_EROSION})
+)
+ALERT_CODES: Dict[str, int] = {
+    kind: code for code, kind in enumerate(ALERT_KINDS)
+}
+
+
+def alert_code(kind: str) -> int:
+    try:
+        return ALERT_CODES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown alert kind {kind!r}; choose from {list(ALERT_KINDS)}"
+        ) from None
+
+
+def alert_kind(code: int) -> str:
+    if not 0 <= code < len(ALERT_KINDS):
+        raise ValueError(f"unknown alert code {code}")
+    return ALERT_KINDS[code]
+
+
+class FleetBus:
+    """Shared degradation-alert channel across one fleet's processes."""
+
+    def __init__(self):
+        # lock=False: single-writer-at-a-time is enforced by _lock, and
+        # readers tolerate tearing-free int64 loads.
+        self._epoch = multiprocessing.Value("q", 0, lock=False)
+        self._kind = multiprocessing.Value("q", 0, lock=False)
+        self._origin = multiprocessing.Value("q", -1, lock=False)
+        self._lock = multiprocessing.Lock()
+
+    def post(self, kind: str, origin: int) -> int:
+        """Publish an alert; returns the new epoch."""
+        code = alert_code(kind)
+        with self._lock:
+            self._kind.value = code
+            self._origin.value = origin
+            self._epoch.value += 1
+            return self._epoch.value
+
+    def read(self) -> Tuple[int, str, int]:
+        """(epoch, kind, origin) -- hot path, one int load each."""
+        epoch = self._epoch.value
+        return epoch, alert_kind(self._kind.value), self._origin.value
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch.value

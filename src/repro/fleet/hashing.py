@@ -1,0 +1,106 @@
+"""Consistent hashing of operator instances onto fleet workers.
+
+The fleet's correctness argument rests on one property: **every request
+for an operator lands on the same worker, in submission order**.  Each
+worker then runs the stock :class:`~repro.serve.scheduler.ModeScheduler`,
+whose per-operator decisions depend only on that operator's request
+sequence -- so the fleet's phase decisions are bit-identical to a single
+scheduler fed the same trace (the differential suite locks this in).
+
+A :class:`ConsistentHashRing` provides that property *and* cheap
+failover: workers hash to ``vnodes`` points on a ring, operators hash to
+a point and walk clockwise to the next worker.  Removing a dead worker
+only remaps the operators that lived on it; every other operator keeps
+its worker, its scheduler state, and its decision stream.
+
+Hashes are :mod:`hashlib` (blake2b) over stable strings, so placement is
+deterministic across processes, runs and platforms -- no ``PYTHONHASHSEED``
+dependence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence
+
+#: Virtual nodes per worker.  64 keeps the max/min operator-load ratio
+#: of a random operator population within ~15% at small fleet sizes.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """64-bit deterministic hash of *text* (blake2b, platform-stable)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys (operator names) to integer worker ids."""
+
+    def __init__(
+        self, workers: Sequence[int], vnodes: int = DEFAULT_VNODES
+    ):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []
+        self._owners: Dict[int, int] = {}
+        self._workers: List[int] = []
+        for worker in workers:
+            self.add(worker)
+        if not self._workers:
+            raise ValueError("need at least one worker")
+
+    @property
+    def workers(self) -> List[int]:
+        return sorted(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: int) -> bool:
+        return worker in self._workers
+
+    def add(self, worker: int) -> None:
+        if worker in self._workers:
+            raise ValueError(f"worker {worker} is already on the ring")
+        self._workers.append(worker)
+        for vnode in range(self.vnodes):
+            point = stable_hash(f"worker-{worker}/vnode-{vnode}")
+            # Ties are astronomically unlikely but must stay
+            # deterministic: lowest worker id wins the point.
+            if point in self._owners:  # pragma: no cover
+                self._owners[point] = min(self._owners[point], worker)
+                continue
+            self._owners[point] = worker
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+
+    def remove(self, worker: int) -> None:
+        if worker not in self._workers:
+            raise ValueError(f"worker {worker} is not on the ring")
+        if len(self._workers) == 1:
+            raise ValueError("cannot remove the last worker")
+        self._workers.remove(worker)
+        self._points = [
+            p for p in self._points if self._owners[p] != worker
+        ]
+        self._owners = {
+            p: w for p, w in self._owners.items() if w != worker
+        }
+
+    def worker_for(self, key: str) -> int:
+        """The worker owning *key*: next ring point clockwise."""
+        point = stable_hash(key)
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def load(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Keys-per-worker tally (diagnostics and benchmark balance)."""
+        tally = {worker: 0 for worker in self._workers}
+        for key in keys:
+            tally[self.worker_for(key)] += 1
+        return tally

@@ -18,7 +18,6 @@ bits in any process -- the differential suite holds the engine to that.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -54,19 +53,13 @@ def resolve_worker_count(requested: int) -> int:
 
     ``AUTO_WORKERS`` consults ``$REPRO_WORKERS`` then the CPU count;
     explicit positive values are taken as-is (0 resolves to 1: the engine
-    was engaged by the cache knob alone, so run serially).
+    was engaged by the cache knob alone, so run serially).  The parsing
+    and clamping live in :func:`repro.core.config.resolve_env_count`,
+    shared with the fleet serving tier.
     """
-    if requested == AUTO_WORKERS:
-        env = os.environ.get(WORKERS_ENV)
-        if env:
-            try:
-                return max(1, int(env))
-            except ValueError as exc:
-                raise ValueError(
-                    f"${WORKERS_ENV} must be an integer, got {env!r}"
-                ) from exc
-        return max(1, os.cpu_count() or 1)
-    return max(1, requested)
+    from repro.core.config import resolve_env_count
+
+    return resolve_env_count(requested, WORKERS_ENV, auto=AUTO_WORKERS)
 
 
 class SweepInterrupted(RuntimeError):

@@ -18,7 +18,7 @@ See ``docs/serve.md`` for the subsystem overview and invariants, and
 ``docs/robustness.md`` for the fault model and margin-guard semantics.
 """
 
-from repro.serve.errors import ServeError
+from repro.serve.errors import ServeError, error_payload
 from repro.serve.guard import MarginGuard
 from repro.serve.policy import (
     GreedyPolicy,
@@ -41,9 +41,11 @@ from repro.serve.table import (
     MODE_TABLE_SCHEMA,
     ModeMargin,
     ModeTable,
+    SharedModeTable,
     TransitionCost,
     compile_margins,
     compile_mode_table,
+    parse_counters,
 )
 from repro.serve.telemetry import Histogram, Telemetry
 
@@ -65,10 +67,13 @@ __all__ = [
     "ServeError",
     "ServeRequest",
     "ServedPhase",
+    "SharedModeTable",
     "Telemetry",
     "TransitionCost",
     "compile_margins",
     "compile_mode_table",
+    "error_payload",
     "make_policy",
+    "parse_counters",
     "replay_trace",
 ]

@@ -4,10 +4,56 @@
 that guard artifact loading with ``except ValueError`` keep working; new
 code should catch :class:`ServeError` to distinguish "this artifact /
 request is bad" from programming errors.
+
+The wire side uses :func:`error_payload`: every fault a client can
+trigger over the JSON-lines socket (malformed JSON, oversized line,
+missing fields, accuracy violation) is answered with one structured
+shape -- ``{"error": {"kind", "message", "recoverable"}}`` -- instead of
+a raw traceback or a dropped connection.  ``recoverable`` tells the
+client whether the same connection can keep submitting (``False`` only
+when the server cannot resynchronize the line stream, e.g. after an
+oversized line).
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
 
 class ServeError(ValueError):
     """A serving artifact or request is invalid, corrupt or truncated."""
+
+
+#: Wire error kinds (the ``kind`` field of :func:`error_payload`).
+ERROR_BAD_JSON = "bad_json"
+ERROR_NOT_OBJECT = "not_object"
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_OVERSIZED_LINE = "oversized_line"
+ERROR_ACCURACY_VIOLATION = "accuracy_violation"
+
+ERROR_KINDS = frozenset(
+    {
+        ERROR_BAD_JSON,
+        ERROR_NOT_OBJECT,
+        ERROR_BAD_REQUEST,
+        ERROR_OVERSIZED_LINE,
+        ERROR_ACCURACY_VIOLATION,
+    }
+)
+
+
+def error_payload(
+    kind: str, message: str, recoverable: bool = True
+) -> Dict:
+    """The structured wire form of one serve-side error."""
+    if kind not in ERROR_KINDS:
+        raise ValueError(
+            f"unknown error kind {kind!r}; choose from {sorted(ERROR_KINDS)}"
+        )
+    return {
+        "error": {
+            "kind": kind,
+            "message": message,
+            "recoverable": recoverable,
+        }
+    }

@@ -25,12 +25,23 @@ import asyncio
 import json
 from typing import Optional
 
+from repro.serve.errors import (
+    ERROR_ACCURACY_VIOLATION,
+    ERROR_BAD_JSON,
+    ERROR_BAD_REQUEST,
+    ERROR_NOT_OBJECT,
+    ERROR_OVERSIZED_LINE,
+    error_payload,
+)
 from repro.serve.scheduler import (
     AccuracyViolation,
     ModeScheduler,
     ServedPhase,
     ServeRequest,
 )
+
+#: Default cap on one JSON-lines request (bytes, newline included).
+DEFAULT_MAX_LINE_BYTES = 64 * 1024
 
 
 def phase_to_dict(served: ServedPhase) -> dict:
@@ -63,15 +74,19 @@ class AccuracyServer:
         port: int = 0,
         max_pending: int = 64,
         drain_delay_s: float = 0.0,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if max_line_bytes < 2:
+            raise ValueError("max_line_bytes must be >= 2")
         self.scheduler = scheduler
         self.host = host
         self._requested_port = port
         #: Artificial per-request drain pause (tests/benchmarks use it to
         #: force queue saturation deterministically).
         self.drain_delay_s = drain_delay_s
+        self.max_line_bytes = max_line_bytes
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
         self._server: Optional[asyncio.AbstractServer] = None
         self._worker: Optional[asyncio.Task] = None
@@ -84,7 +99,10 @@ class AccuracyServer:
             raise RuntimeError("server already started")
         self._worker = asyncio.ensure_future(self._drain())
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            limit=self.max_line_bytes,
         )
 
     @property
@@ -155,12 +173,35 @@ class AccuracyServer:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    # EOF mid-line: a client that died after writing a
+                    # partial request, or (common) one whose final line
+                    # lacks the trailing newline.  Serve what arrived,
+                    # then treat the connection as closed.
+                    if eof.partial:
+                        response = await self._handle_line(eof.partial)
+                        await self._respond(writer, response)
+                    break
+                except asyncio.LimitOverrunError:
+                    # The line is longer than the read buffer, so the
+                    # stream cannot be resynchronized to the next
+                    # newline; answer structurally, then drop the
+                    # connection.
+                    self.scheduler.telemetry.bump("errors")
+                    await self._respond(
+                        writer,
+                        error_payload(
+                            ERROR_OVERSIZED_LINE,
+                            f"request line exceeds {self.max_line_bytes} "
+                            "bytes; connection will close",
+                            recoverable=False,
+                        ),
+                    )
                     break
                 response = await self._handle_line(line)
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
+                await self._respond(writer, response)
         finally:
             writer.close()
             try:
@@ -168,15 +209,26 @@ class AccuracyServer:
             except (ConnectionError, OSError):
                 pass
 
+    @staticmethod
+    async def _respond(writer, response: dict) -> None:
+        writer.write(json.dumps(response).encode() + b"\n")
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
     async def _handle_line(self, line: bytes) -> dict:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as error:
             self.scheduler.telemetry.bump("errors")
-            return {"error": f"bad json: {error}"}
+            return error_payload(ERROR_BAD_JSON, f"bad json: {error}")
         if not isinstance(payload, dict):
             self.scheduler.telemetry.bump("errors")
-            return {"error": "expected a json object"}
+            return error_payload(
+                ERROR_NOT_OBJECT,
+                f"expected a json object, got {type(payload).__name__}",
+            )
         if payload.get("cmd") == "stats":
             return {"stats": self.stats()}
         try:
@@ -188,6 +240,10 @@ class AccuracyServer:
             return phase_to_dict(served)
         except (KeyError, TypeError, ValueError) as error:
             self.scheduler.telemetry.bump("errors")
-            return {"error": f"bad request: {error}"}
+            return error_payload(ERROR_BAD_REQUEST, f"bad request: {error}")
         except AccuracyViolation as error:
-            return {"error": f"accuracy violation: {error}"}
+            return error_payload(
+                ERROR_ACCURACY_VIOLATION,
+                f"accuracy violation: {error}",
+                recoverable=False,
+            )

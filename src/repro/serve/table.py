@@ -51,6 +51,18 @@ MODE_TABLE_SCHEMA = 2
 #: Schemas :meth:`ModeTable.from_dict` accepts.
 COMPATIBLE_SCHEMAS = (1, MODE_TABLE_SCHEMA)
 
+#: Artifact-parse instrumentation.  ``json`` counts full-table dict
+#: parses (:meth:`ModeTable.from_dict`), ``shared`` counts zero-copy
+#: shared-memory attaches (:meth:`SharedModeTable.attach`).  The fleet
+#: differential suite reads these per worker process to prove that
+#: workers map the one exported segment instead of re-parsing JSON.
+PARSE_COUNTERS: Dict[str, int] = {"json": 0, "shared": 0}
+
+
+def parse_counters() -> Dict[str, int]:
+    """Snapshot of this process's table-parse instrumentation."""
+    return dict(PARSE_COUNTERS)
+
 
 @dataclass(frozen=True)
 class ModeMargin:
@@ -281,6 +293,7 @@ class ModeTable:
         surfaces as one clear :class:`ServeError`, never a raw
         ``KeyError``/``TypeError`` from the middle of the parse.
         """
+        PARSE_COUNTERS["json"] += 1
         if not isinstance(payload, dict):
             raise ServeError(
                 f"mode-table payload must be a JSON object, "
@@ -334,6 +347,30 @@ class ModeTable:
                 f"corrupt or truncated mode-table payload: {exc!r}; "
                 "re-run `repro compile-table` to regenerate the artifact"
             ) from exc
+
+    # -- shared memory -------------------------------------------------------
+
+    def to_shared(self, name: Optional[str] = None) -> "SharedModeTable":
+        """Export this table into a shared-memory segment, once.
+
+        The dense transition/margin matrices (and everything else the
+        runtime needs) are laid out as fixed-offset binary blocks in one
+        ``multiprocessing.shared_memory`` segment; fleet workers attach
+        with :meth:`from_shared` and map them zero-copy instead of
+        re-parsing the JSON artifact per process.  The returned
+        :class:`SharedModeTable` owns the segment: ``close()`` it when
+        this process is done and ``unlink()`` it at fleet shutdown.
+        """
+        return SharedModeTable.create(self, name=name)
+
+    @staticmethod
+    def from_shared(name: str) -> "SharedModeTable":
+        """Attach the segment exported by :meth:`to_shared` (zero JSON).
+
+        Round-trips bit-identically: every float travels as its binary
+        ``float64`` self, so ``from_shared(h.name).table == table``.
+        """
+        return SharedModeTable.attach(name)
 
 
 def compile_transitions(
@@ -453,3 +490,481 @@ def compile_mode_table(
         transitions=compile_transitions(modes, domain_areas, generator, fbb),
         margins=margins,
     )
+
+
+# -- shared-memory export ----------------------------------------------------
+
+#: First 8 bytes of every shared-memory table segment.
+SHARED_TABLE_MAGIC = b"RPROSHM\x00"
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+class _SharedLayout:
+    """Byte offsets of every block in a shared-memory table segment.
+
+    Fixed header (magic, schema, attach refcount, dimensions, scalars,
+    design name) followed by 8-byte-aligned dense blocks: mode keys,
+    per-mode operating-point fields, the per-mode/per-domain FBB matrix,
+    domain areas, the two transition matrices and (schema-2 tables) the
+    per-mode margin matrix.  Everything numeric is little-endian
+    ``int64``/``float64``, so attached views are bit-identical to the
+    exported arrays.
+    """
+
+    N_DIMS = 6
+    N_SCALARS = 8
+    MODE_FIELDS = 5  # vdd, total/dynamic/leakage power, worst slack
+    MARGIN_FIELDS = 6  # guarded/mean/sigma slack, 2 yields, samples
+
+    def __init__(
+        self,
+        n_modes: int,
+        num_domains: int,
+        n_areas: int,
+        bb_width: int,
+        has_margins: bool,
+        name_len: int,
+    ):
+        self.n_modes = n_modes
+        self.num_domains = num_domains
+        self.n_areas = n_areas
+        self.bb_width = bb_width
+        self.has_margins = has_margins
+        self.name_len = name_len
+        self.magic = 0
+        self.schema = 8
+        self.refcount = 16
+        self.dims = 24
+        self.scalars = self.dims + 8 * self.N_DIMS
+        self.name = self.scalars + 8 * self.N_SCALARS
+        offset = _align8(self.name + name_len)
+        self.mode_keys = offset
+        offset += 8 * n_modes
+        self.mode_fields = offset
+        offset += 8 * n_modes * self.MODE_FIELDS
+        self.bb_matrix = offset
+        offset = _align8(offset + n_modes * bb_width)
+        self.areas = offset
+        offset += 8 * n_areas
+        self.trans_energy = offset
+        offset += 8 * n_modes * n_modes
+        self.trans_settle = offset
+        offset += 8 * n_modes * n_modes
+        self.margins = offset
+        if has_margins:
+            offset += 8 * n_modes * self.MARGIN_FIELDS
+        self.size = offset
+
+
+class SharedModeTable:
+    """A :class:`ModeTable` living in a shared-memory segment.
+
+    One process (the fleet router) calls :meth:`create` /
+    :meth:`ModeTable.to_shared` once; every worker calls :meth:`attach` /
+    :meth:`ModeTable.from_shared` with the segment ``name`` and maps the
+    same physical pages -- no JSON artifact parse, no per-process copy of
+    the dense matrices.  ``table`` materializes a regular
+    :class:`ModeTable` from the mapped blocks (bit-identical floats);
+    ``transition_energy_matrix`` & co. expose the raw zero-copy views for
+    consumers that want the arrays themselves.
+
+    Lifecycle: every attach bumps the in-segment refcount
+    (diagnostic, not a lock), ``close()`` drops this process's mapping,
+    and ``unlink()`` -- owner-side, at fleet shutdown -- removes the
+    segment from the OS.  Attach-side resource-tracker registrations are
+    released so a worker exiting (or crashing) never tears down a
+    segment its peers still map; if the *owner* crashes, its resource
+    tracker removes the segment at process-family shutdown, so crash
+    injection cannot leak segments either.
+    """
+
+    def __init__(self, shm, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._table: Optional[ModeTable] = None
+        self._layout = self._read_layout()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, table: ModeTable, name: Optional[str] = None
+    ) -> "SharedModeTable":
+        from multiprocessing import shared_memory
+
+        mode_keys = list(table.modes)
+        bb_widths = {len(p.bb_config) for p in table.modes.values()}
+        if len(bb_widths) != 1:
+            raise ServeError(
+                "cannot export a table with inconsistent bb_config "
+                f"widths {sorted(bb_widths)}"
+            )
+        bb_width = bb_widths.pop()
+        encoded_name = table.design_name.encode("utf-8")
+        layout = _SharedLayout(
+            n_modes=len(mode_keys),
+            num_domains=table.num_domains,
+            n_areas=len(table.domain_areas_um2),
+            bb_width=bb_width,
+            has_margins=table.has_margins,
+            name_len=len(encoded_name),
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=layout.size, name=name
+        )
+        buf = shm.buf
+        buf[0:8] = SHARED_TABLE_MAGIC
+        ints = np.frombuffer(buf, dtype="<i8")
+
+        def put_ints(offset, values):
+            start = offset // 8
+            ints[start : start + len(values)] = values
+
+        def put_floats(offset, values):
+            np.frombuffer(buf, dtype="<f8", count=len(values), offset=offset)[
+                :
+            ] = values
+
+        put_ints(layout.schema, [MODE_TABLE_SCHEMA])
+        put_ints(layout.refcount, [1])
+        put_ints(
+            layout.dims,
+            [
+                layout.n_modes,
+                layout.num_domains,
+                layout.n_areas,
+                layout.bb_width,
+                int(layout.has_margins),
+                layout.name_len,
+            ],
+        )
+        generator = table.generator
+        put_floats(
+            layout.scalars,
+            [
+                table.fclk_ghz,
+                table.fbb_voltage,
+                generator.transition_time_ns,
+                generator.well_cap_ff_per_um2,
+                generator.pump_efficiency,
+                generator.vdd_transition_time_ns,
+                generator.rail_cap_ff_per_um2,
+                generator.regulator_efficiency,
+            ],
+        )
+        buf[layout.name : layout.name + layout.name_len] = encoded_name
+        put_ints(layout.mode_keys, mode_keys)
+        fields = np.frombuffer(
+            buf,
+            dtype="<f8",
+            count=layout.n_modes * layout.MODE_FIELDS,
+            offset=layout.mode_fields,
+        ).reshape(layout.n_modes, layout.MODE_FIELDS)
+        bb = np.frombuffer(
+            buf,
+            dtype=np.uint8,
+            count=layout.n_modes * layout.bb_width,
+            offset=layout.bb_matrix,
+        ).reshape(layout.n_modes, layout.bb_width)
+        for row, bits in enumerate(mode_keys):
+            point = table.modes[bits]
+            fields[row] = [
+                point.vdd,
+                point.total_power_w,
+                point.dynamic_power_w,
+                point.leakage_power_w,
+                point.worst_slack_ps,
+            ]
+            bb[row] = [1 if flag else 0 for flag in point.bb_config]
+        put_floats(layout.areas, list(table.domain_areas_um2))
+        energy = np.frombuffer(
+            buf,
+            dtype="<f8",
+            count=layout.n_modes**2,
+            offset=layout.trans_energy,
+        ).reshape(layout.n_modes, layout.n_modes)
+        settle = np.frombuffer(
+            buf,
+            dtype="<f8",
+            count=layout.n_modes**2,
+            offset=layout.trans_settle,
+        ).reshape(layout.n_modes, layout.n_modes)
+        for i, a in enumerate(mode_keys):
+            for j, b in enumerate(mode_keys):
+                cost = table.transitions[(a, b)]
+                energy[i, j] = cost.energy_j
+                settle[i, j] = cost.settle_ns
+        if table.has_margins:
+            margins = np.frombuffer(
+                buf,
+                dtype="<f8",
+                count=layout.n_modes * layout.MARGIN_FIELDS,
+                offset=layout.margins,
+            ).reshape(layout.n_modes, layout.MARGIN_FIELDS)
+            for row, bits in enumerate(mode_keys):
+                margin = table.margins[bits]
+                margins[row] = [
+                    margin.guarded_slack_ps,
+                    margin.mean_slack_ps,
+                    margin.sigma_slack_ps,
+                    margin.timing_yield,
+                    margin.target_yield,
+                    float(margin.samples),
+                ]
+        del ints, fields, bb, energy, settle  # release exported views
+        handle = cls(shm, owner=True)
+        handle._table = table
+        return handle
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedModeTable":
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Python < 3.13 registers attach-only mappings with the resource
+        # tracker exactly like created ones, so an attaching process
+        # exiting would unlink the segment out from under its peers (or,
+        # in a forked fleet, unbalance the creator's registration).
+        # Only the creator owns the registration: suppress it for the
+        # duration of the attach.
+        original_register = resource_tracker.register
+
+        def attach_register(name_, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                original_register(name_, rtype)
+
+        resource_tracker.register = attach_register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise ServeError(
+                f"no shared mode-table segment named {name!r}; the "
+                "exporting process is gone or already unlinked it"
+            ) from None
+        finally:
+            resource_tracker.register = original_register
+        if bytes(shm.buf[0:8]) != SHARED_TABLE_MAGIC:
+            shm.close()
+            raise ServeError(
+                f"segment {name!r} is not a shared mode table "
+                "(bad magic)"
+            )
+        schema = int(np.frombuffer(shm.buf, "<i8", count=1, offset=8)[0])
+        if schema not in COMPATIBLE_SCHEMAS:
+            shm.close()
+            raise ServeError(
+                f"unsupported shared mode-table schema {schema!r} (this "
+                f"build reads schemas {COMPATIBLE_SCHEMAS})"
+            )
+        handle = cls(shm, owner=False)
+        handle._bump_refcount(+1)
+        PARSE_COUNTERS["shared"] += 1
+        return handle
+
+    # -- segment bookkeeping -------------------------------------------------
+
+    def _read_layout(self) -> _SharedLayout:
+        dims = np.frombuffer(
+            self._shm.buf, "<i8", count=_SharedLayout.N_DIMS, offset=24
+        )
+        return _SharedLayout(
+            n_modes=int(dims[0]),
+            num_domains=int(dims[1]),
+            n_areas=int(dims[2]),
+            bb_width=int(dims[3]),
+            has_margins=bool(dims[4]),
+            name_len=int(dims[5]),
+        )
+
+    def _bump_refcount(self, delta: int) -> int:
+        view = np.frombuffer(
+            self._shm.buf, "<i8", count=1, offset=self._layout.refcount
+        )
+        # Diagnostic count, not a lock: attach/close are serialized by
+        # the router's lifecycle, not by concurrent writers.
+        value = int(view[0]) + delta
+        view[0] = value
+        del view
+        return value
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size_bytes(self) -> int:
+        return self._layout.size
+
+    @property
+    def attach_count(self) -> int:
+        """Current in-segment refcount (creator counts as 1)."""
+        return int(
+            np.frombuffer(
+                self._shm.buf, "<i8", count=1, offset=self._layout.refcount
+            )[0]
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (decrements the refcount once)."""
+        if self._closed:
+            return
+        self._bump_refcount(-1)
+        self._closed = True
+        self._table = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (owner-side, at shutdown)."""
+        if not self._closed:
+            self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedModeTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+    # -- zero-copy views -----------------------------------------------------
+
+    def _float_view(self, offset: int, count: int) -> np.ndarray:
+        if self._closed:
+            raise ServeError("shared mode table is closed")
+        return np.frombuffer(
+            self._shm.buf, dtype="<f8", count=count, offset=offset
+        )
+
+    @property
+    def mode_keys(self) -> np.ndarray:
+        layout = self._layout
+        return np.frombuffer(
+            self._shm.buf,
+            "<i8",
+            count=layout.n_modes,
+            offset=layout.mode_keys,
+        )
+
+    @property
+    def transition_energy_matrix(self) -> np.ndarray:
+        """Dense (n_modes, n_modes) energy matrix mapped zero-copy."""
+        layout = self._layout
+        return self._float_view(
+            layout.trans_energy, layout.n_modes**2
+        ).reshape(layout.n_modes, layout.n_modes)
+
+    @property
+    def transition_settle_matrix(self) -> np.ndarray:
+        """Dense (n_modes, n_modes) settle matrix mapped zero-copy."""
+        layout = self._layout
+        return self._float_view(
+            layout.trans_settle, layout.n_modes**2
+        ).reshape(layout.n_modes, layout.n_modes)
+
+    @property
+    def margin_matrix(self) -> Optional[np.ndarray]:
+        """Dense (n_modes, 6) margin matrix, or ``None`` (schema 1)."""
+        layout = self._layout
+        if not layout.has_margins:
+            return None
+        return self._float_view(
+            layout.margins, layout.n_modes * layout.MARGIN_FIELDS
+        ).reshape(layout.n_modes, layout.MARGIN_FIELDS)
+
+    # -- materialization -----------------------------------------------------
+
+    @property
+    def table(self) -> ModeTable:
+        """The :class:`ModeTable`, rebuilt from the mapped blocks.
+
+        Floats cross as binary ``float64``, so the result compares
+        ``==`` to the exported table; mode insertion order is preserved
+        so power tie-breaks replay identically.
+        """
+        if self._table is None:
+            self._table = self._materialize()
+        return self._table
+
+    def _materialize(self) -> ModeTable:
+        if self._closed:
+            raise ServeError("shared mode table is closed")
+        layout = self._layout
+        buf = self._shm.buf
+        scalars = self._float_view(layout.scalars, layout.N_SCALARS)
+        design_name = bytes(
+            buf[layout.name : layout.name + layout.name_len]
+        ).decode("utf-8")
+        keys = [int(k) for k in self.mode_keys]
+        fields = self._float_view(
+            layout.mode_fields, layout.n_modes * layout.MODE_FIELDS
+        ).reshape(layout.n_modes, layout.MODE_FIELDS)
+        bb = np.frombuffer(
+            buf,
+            dtype=np.uint8,
+            count=layout.n_modes * layout.bb_width,
+            offset=layout.bb_matrix,
+        ).reshape(layout.n_modes, layout.bb_width)
+        modes = {
+            bits: OperatingPoint(
+                active_bits=bits,
+                vdd=float(fields[row, 0]),
+                bb_config=tuple(bool(f) for f in bb[row]),
+                total_power_w=float(fields[row, 1]),
+                dynamic_power_w=float(fields[row, 2]),
+                leakage_power_w=float(fields[row, 3]),
+                worst_slack_ps=float(fields[row, 4]),
+            )
+            for row, bits in enumerate(keys)
+        }
+        energy = self.transition_energy_matrix
+        settle = self.transition_settle_matrix
+        transitions = {
+            (a, b): TransitionCost(
+                energy_j=float(energy[i, j]), settle_ns=float(settle[i, j])
+            )
+            for i, a in enumerate(keys)
+            for j, b in enumerate(keys)
+        }
+        margins = None
+        margin_rows = self.margin_matrix
+        if margin_rows is not None:
+            margins = {
+                bits: ModeMargin(
+                    guarded_slack_ps=float(margin_rows[row, 0]),
+                    mean_slack_ps=float(margin_rows[row, 1]),
+                    sigma_slack_ps=float(margin_rows[row, 2]),
+                    timing_yield=float(margin_rows[row, 3]),
+                    target_yield=float(margin_rows[row, 4]),
+                    samples=int(margin_rows[row, 5]),
+                )
+                for row, bits in enumerate(keys)
+            }
+        areas = tuple(
+            float(a) for a in self._float_view(layout.areas, layout.n_areas)
+        )
+        return ModeTable(
+            design_name=design_name,
+            fclk_ghz=float(scalars[0]),
+            num_domains=layout.num_domains,
+            domain_areas_um2=areas,
+            fbb_voltage=float(scalars[1]),
+            generator=BiasGeneratorModel(
+                transition_time_ns=float(scalars[2]),
+                well_cap_ff_per_um2=float(scalars[3]),
+                pump_efficiency=float(scalars[4]),
+                vdd_transition_time_ns=float(scalars[5]),
+                rail_cap_ff_per_um2=float(scalars[6]),
+                regulator_efficiency=float(scalars[7]),
+            ),
+            modes=modes,
+            transitions=transitions,
+            margins=margins,
+        )

@@ -108,6 +108,9 @@ class Telemetry:
             "margin_fallbacks": 0,
             "transition_retries": 0,
             "transition_failures": 0,
+            # Fleet tier (bus-driven retreat; see repro.fleet).
+            "fleet_alerts": 0,
+            "fleet_retreats": 0,
         }
         self.per_operator: Dict[str, int] = {}
         # Service latency: queue wait + settling, in virtual ns.

@@ -109,7 +109,7 @@ class TestSocket:
 
         run(body())
 
-    def test_malformed_lines_answered_with_errors(self):
+    def test_malformed_lines_answered_with_structured_errors(self):
         async def body():
             async with make_server() as server:
                 replies = await self.talk(
@@ -121,11 +121,75 @@ class TestSocket:
                         json.dumps({"op": "x", "bits": 0}),
                     ],
                 )
-                assert "bad json" in replies[0]["error"]
-                assert "expected a json object" in replies[1]["error"]
-                assert "bad request" in replies[2]["error"]
-                assert "bad request" in replies[3]["error"]
+                kinds = [r["error"]["kind"] for r in replies]
+                assert kinds == [
+                    "bad_json",
+                    "not_object",
+                    "bad_request",
+                    "bad_request",
+                ]
+                for reply in replies:
+                    assert reply["error"]["recoverable"] is True
+                    assert reply["error"]["message"]
+                assert "bad json" in replies[0]["error"]["message"]
                 assert server.stats()["counters"]["errors"] == 4
+
+        run(body())
+
+    def test_oversized_line_rejected_without_crashing(self):
+        async def body():
+            async with make_server(max_line_bytes=256) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"x" * 1024 + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["error"]["kind"] == "oversized_line"
+                assert reply["error"]["recoverable"] is False
+                assert await reader.readline() == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+                # The server survives and keeps serving new connections.
+                replies = await self.talk(
+                    server.port,
+                    [json.dumps({"op": "after", "bits": 4, "cycles": 10})],
+                )
+                assert replies[0]["served_bits"] >= 4
+                assert server.stats()["counters"]["errors"] == 1
+
+        run(body())
+
+    def test_partial_final_line_still_served_at_eof(self):
+        async def body():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # No trailing newline: the client hangs up mid-line.
+                payload = json.dumps({"op": "eof", "bits": 6, "cycles": 42})
+                writer.write(payload.encode())
+                await writer.drain()
+                writer.write_eof()
+                reply = json.loads(await reader.readline())
+                assert reply["served_bits"] >= 6
+                writer.close()
+                await writer.wait_closed()
+                assert server.stats()["per_operator"] == {"eof": 1}
+
+        run(body())
+
+    def test_clean_eof_without_partial_line_is_silent(self):
+        async def body():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write_eof()
+                assert await reader.readline() == b""
+                writer.close()
+                await writer.wait_closed()
+                assert server.stats()["counters"]["errors"] == 0
 
         run(body())
 

@@ -1,0 +1,221 @@
+"""Shared-memory ModeTable export: layout, lifecycle, crash hygiene."""
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.serve.errors import ServeError
+from repro.serve.table import (
+    MODE_TABLE_SCHEMA,
+    SHARED_TABLE_MAGIC,
+    ModeTable,
+    SharedModeTable,
+    parse_counters,
+)
+from tests.conftest import build_margined_table, build_synthetic_table
+
+
+class TestRoundTrip:
+    def test_synthetic_table_round_trips_bit_identically(self):
+        table = build_synthetic_table()
+        with table.to_shared() as shared:
+            with ModeTable.from_shared(shared.name) as attached:
+                assert attached.table == table
+                assert attached.table.margins is None
+
+    def test_margined_table_round_trips_bit_identically(self):
+        table = build_margined_table()
+        with table.to_shared() as shared:
+            with ModeTable.from_shared(shared.name) as attached:
+                assert attached.table == table
+                assert attached.table.margins == table.margins
+
+    def test_mode_insertion_order_preserved(self):
+        # Power tie-breaks replay identically only if key order survives.
+        table = build_synthetic_table()
+        with table.to_shared() as shared:
+            with SharedModeTable.attach(shared.name) as attached:
+                assert list(attached.mode_keys) == list(table.modes)
+                assert list(attached.table.modes) == list(table.modes)
+
+    def test_matrices_are_zero_copy_views_and_exact(self):
+        table = build_synthetic_table()
+        keys = list(table.modes)
+        with table.to_shared() as shared:
+            with SharedModeTable.attach(shared.name) as attached:
+                energy = attached.transition_energy_matrix
+                settle = attached.transition_settle_matrix
+                # Views map the segment, they don't own a copy.
+                assert not energy.flags.owndata
+                assert not settle.flags.owndata
+                for i, a in enumerate(keys):
+                    for j, b in enumerate(keys):
+                        cost = table.transitions[(a, b)]
+                        assert energy[i, j] == cost.energy_j
+                        assert settle[i, j] == cost.settle_ns
+                del energy, settle  # release views before unmapping
+
+    def test_margin_matrix_exact_or_absent(self):
+        plain = build_synthetic_table()
+        with plain.to_shared() as shared:
+            with SharedModeTable.attach(shared.name) as attached:
+                assert attached.margin_matrix is None
+        margined = build_margined_table()
+        with margined.to_shared() as shared:
+            with SharedModeTable.attach(shared.name) as attached:
+                rows = attached.margin_matrix
+                assert not rows.flags.owndata
+                for row, bits in enumerate(margined.modes):
+                    margin = margined.margins[bits]
+                    assert rows[row, 0] == margin.guarded_slack_ps
+                    assert rows[row, 5] == float(margin.samples)
+                del rows  # release view before unmapping
+
+    def test_attach_bumps_shared_counter_not_json(self):
+        table = build_synthetic_table()
+        with table.to_shared() as shared:
+            before = parse_counters()
+            with SharedModeTable.attach(shared.name) as attached:
+                attached.table  # materialize: still no JSON parse
+                after = parse_counters()
+        assert after["shared"] == before["shared"] + 1
+        assert after["json"] == before["json"]
+
+
+class TestLifecycle:
+    def test_refcount_tracks_attaches(self):
+        table = build_synthetic_table()
+        shared = table.to_shared()
+        try:
+            assert shared.attach_count == 1
+            first = SharedModeTable.attach(shared.name)
+            second = SharedModeTable.attach(shared.name)
+            assert shared.attach_count == 3
+            first.close()
+            assert shared.attach_count == 2
+            second.close()
+            assert shared.attach_count == 1
+        finally:
+            shared.unlink()
+
+    def test_close_is_idempotent(self):
+        table = build_synthetic_table()
+        shared = table.to_shared()
+        attached = SharedModeTable.attach(shared.name)
+        attached.close()
+        attached.close()  # second close must not double-decrement
+        assert shared.attach_count == 1
+        shared.unlink()
+
+    def test_closed_handle_refuses_access(self):
+        table = build_synthetic_table()
+        shared = table.to_shared()
+        attached = SharedModeTable.attach(shared.name)
+        attached.close()
+        with pytest.raises(ServeError, match="closed"):
+            attached.transition_energy_matrix
+        with pytest.raises(ServeError, match="closed"):
+            attached.table
+        shared.unlink()
+
+    def test_unlink_makes_segment_unattachable(self):
+        table = build_synthetic_table()
+        shared = table.to_shared()
+        name = shared.name
+        shared.unlink()
+        with pytest.raises(ServeError, match="gone or already unlinked"):
+            ModeTable.from_shared(name)
+
+    def test_named_segment_and_size_reporting(self):
+        table = build_synthetic_table()
+        name = f"repro_test_{os.getpid()}"
+        with table.to_shared(name=name) as shared:
+            assert shared.name == name
+            assert shared.size_bytes > 0
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            shm.buf[0:8] = b"notatabl"
+            with pytest.raises(ServeError, match="bad magic"):
+                SharedModeTable.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_unknown_schema_rejected(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            shm.buf[0:8] = SHARED_TABLE_MAGIC
+            np.frombuffer(shm.buf, "<i8", count=1, offset=8)[0] = (
+                MODE_TABLE_SCHEMA + 99
+            )
+            with pytest.raises(ServeError, match="unsupported"):
+                SharedModeTable.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_inconsistent_bb_widths_refused(self):
+        table = build_synthetic_table()
+        modes = dict(table.modes)
+        bits, point = next(iter(modes.items()))
+        modes[bits] = type(point)(
+            active_bits=point.active_bits,
+            vdd=point.vdd,
+            bb_config=point.bb_config + (True,),
+            total_power_w=point.total_power_w,
+            dynamic_power_w=point.dynamic_power_w,
+            leakage_power_w=point.leakage_power_w,
+            worst_slack_ps=point.worst_slack_ps,
+        )
+        lopsided = ModeTable(
+            design_name=table.design_name,
+            fclk_ghz=table.fclk_ghz,
+            num_domains=table.num_domains,
+            domain_areas_um2=table.domain_areas_um2,
+            fbb_voltage=table.fbb_voltage,
+            generator=table.generator,
+            modes=modes,
+            transitions=table.transitions,
+            margins=table.margins,
+        )
+        with pytest.raises(ServeError, match="inconsistent bb_config"):
+            lopsided.to_shared()
+
+
+def _attach_and_die(name: str) -> None:
+    ModeTable.from_shared(name)  # attach, never close
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestCrashHygiene:
+    def test_attacher_crash_neither_leaks_nor_tears_down(self):
+        """A SIGKILLed attacher must not unlink the segment its peers map,
+        and the owner's unlink must still remove it afterwards."""
+        table = build_synthetic_table()
+        shared = table.to_shared()
+        context = multiprocessing.get_context("spawn")
+        victim = context.Process(
+            target=_attach_and_die, args=(shared.name,), daemon=True
+        )
+        victim.start()
+        victim.join(timeout=30)
+        assert victim.exitcode == -signal.SIGKILL
+        # Segment survived the crash: peers can still attach...
+        with SharedModeTable.attach(shared.name) as attached:
+            assert attached.table == table
+        # ...and the owner's unlink leaves nothing behind.
+        name = shared.name
+        shared.unlink()
+        with pytest.raises(ServeError, match="gone or already unlinked"):
+            SharedModeTable.attach(name)

@@ -1,0 +1,108 @@
+"""Histogram edge cases and the telemetry counter contract."""
+
+import json
+
+import pytest
+
+from repro.serve.telemetry import Histogram, Telemetry, geometric_bounds
+
+
+class TestGeometricBounds:
+    def test_covers_range_inclusive(self):
+        bounds = geometric_bounds(1.0, 1e3, per_decade=1)
+        assert bounds == pytest.approx([1.0, 10.0, 100.0, 1000.0])
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError, match="0 < lo < hi"):
+            geometric_bounds(0.0, 10.0)
+        with pytest.raises(ValueError, match="0 < lo < hi"):
+            geometric_bounds(-1.0, 10.0)
+        with pytest.raises(ValueError, match="0 < lo < hi"):
+            geometric_bounds(10.0, 10.0)
+
+
+class TestHistogramEdges:
+    def test_empty_histogram_is_all_zero(self):
+        hist = Histogram([1.0, 2.0])
+        assert hist.total == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50.0) == 0.0
+        assert hist.percentile(99.0) == 0.0
+        snap = hist.to_dict()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_single_sample_dominates_every_percentile(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        hist.record(5.0)
+        assert hist.total == 1
+        assert hist.mean == 5.0
+        assert hist.min == hist.max == 5.0
+        # Conservative estimate: the upper edge of the 5.0 bucket.
+        assert hist.percentile(0.0) == 10.0
+        assert hist.percentile(50.0) == 10.0
+        assert hist.percentile(100.0) == 10.0
+
+    def test_value_on_bucket_edge_lands_in_lower_bucket(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        hist.record(10.0)
+        assert hist.counts == [0, 1, 0, 0]
+        assert hist.percentile(50.0) == 10.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram([1.0, 10.0])
+        hist.record(12345.0)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(99.0) == 12345.0
+
+    def test_percentile_out_of_range_rejected(self):
+        hist = Histogram([1.0])
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            hist.percentile(100.1)
+
+    def test_bounds_must_be_ascending_and_non_empty(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram([])
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram([2.0, 1.0])
+
+    def test_moments_exact_percentiles_bucketed(self):
+        hist = Histogram([1.0, 2.0, 4.0, 8.0])
+        for value in [0.5, 1.5, 3.0, 3.5, 7.0]:
+            hist.record(value)
+        assert hist.mean == pytest.approx(3.1)
+        assert hist.min == 0.5 and hist.max == 7.0
+        assert hist.percentile(50.0) == 4.0
+        assert hist.percentile(99.0) == 8.0
+
+    def test_to_dict_is_json_ready(self):
+        hist = Histogram([1.0, 2.0], unit="ns")
+        hist.record(1.5)
+        round_tripped = json.loads(json.dumps(hist.to_dict()))
+        assert round_tripped["unit"] == "ns"
+        assert round_tripped["counts"] == [0, 1, 0]
+
+
+class TestTelemetryCounters:
+    def test_fleet_counters_present_from_birth(self):
+        counters = Telemetry().counters
+        assert counters["fleet_alerts"] == 0
+        assert counters["fleet_retreats"] == 0
+
+    def test_bump_accumulates_and_admits_new_counters(self):
+        telemetry = Telemetry()
+        telemetry.bump("fleet_alerts")
+        telemetry.bump("fleet_alerts", 2)
+        assert telemetry.counters["fleet_alerts"] == 3
+        telemetry.bump("ad_hoc")
+        assert telemetry.counters["ad_hoc"] == 1
+
+    def test_snapshot_survives_json_round_trip(self):
+        telemetry = Telemetry()
+        telemetry.bump("fleet_alerts")
+        telemetry.bump("fleet_retreats", 3)
+        snap = json.loads(json.dumps(telemetry.snapshot()))
+        assert snap["counters"]["fleet_alerts"] == 1
+        assert snap["counters"]["fleet_retreats"] == 3
