@@ -1,4 +1,4 @@
-"""Benchmark: the serving subsystem end to end, greedy vs hysteresis.
+"""Benchmark: the serving subsystem end to end, plus the batch kernel.
 
 Drives the asyncio server in-process with a deterministic three-operator
 request mix over a ModeTable compiled from the Booth multiplier, once
@@ -11,22 +11,49 @@ per policy, and records:
 * mode switches and degradations, where hysteresis must not switch more
   than greedy.
 
-The numbers are emitted as one JSON object per policy so CI logs are
-machine-scrapeable.
+A second benchmark races the batched serve kernel against the scalar
+per-request path on single-worker trace replay and enforces the >= 5x
+speedup floor the compiled fast path exists for -- after asserting the
+two reports are bit-identical, so the floor can never be bought with a
+semantics change.
+
+The numbers are emitted as one JSON object per record so CI logs are
+machine-scrapeable; set ``$REPRO_BENCH_OUTPUT`` to also collect every
+record emitted by this module into one JSON artifact.
 """
 
 import asyncio
 import json
+import os
 import time
 
 import numpy as np
 
-from repro.serve.scheduler import ModeScheduler
+from repro.core.runtime import WorkloadPhase
+from repro.serve.scheduler import ModeScheduler, replay_trace
 from repro.serve.server import AccuracyServer
 from repro.serve.table import compile_mode_table
 
+SMALL = bool(int(os.environ.get("REPRO_BENCH_SMALL", "0")))
+
 REQUESTS = 5_000
 OPERATORS = ("mac0", "mac1", "mac2")
+
+#: Single-worker replay length for the kernel race (phase-structured).
+REPLAY_PHASES = 6_000 if SMALL else 20_000
+#: The batched kernel's reason to exist, enforced in CI.
+KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Records of every benchmark in this module, merged into one artifact.
+_RECORDS = {}
+
+
+def _dump_records(key, records):
+    _RECORDS[key] = records
+    output = os.environ.get("REPRO_BENCH_OUTPUT")
+    if output:
+        with open(output, "w") as handle:
+            json.dump(_RECORDS, handle, indent=2)
 
 
 def _drive(table, policy):
@@ -100,3 +127,70 @@ def test_serve_throughput_greedy_vs_hysteresis(bundles):
         results["hysteresis"]["mode_switches"]
         <= results["greedy"]["mode_switches"]
     )
+
+    _dump_records("serve_throughput", list(results.values()))
+
+
+def _replay_workload(table):
+    """Phase-structured trace: runs of equal bits, the serving shape."""
+    rng = np.random.default_rng(2017)
+    bitwidths = sorted(table.modes)
+    phases = []
+    while len(phases) < REPLAY_PHASES:
+        bits = int(rng.choice(bitwidths))
+        for _ in range(int(rng.integers(1, 8))):
+            phases.append(
+                WorkloadPhase(
+                    required_bits=bits,
+                    cycles=int(rng.integers(100, 10_000)),
+                )
+            )
+            if len(phases) == REPLAY_PHASES:
+                break
+    return phases
+
+
+def _replay_rate(table, workload, policy, engine, repeats=3):
+    best = 0.0
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = replay_trace(table, workload, policy=policy, engine=engine)
+        best = max(best, len(workload) / (time.perf_counter() - start))
+    return report, best
+
+
+def test_batch_kernel_replay_speedup(bundles):
+    bundle = bundles["booth"]
+    table = compile_mode_table(bundle.domained(), bundle.proposed())
+    workload = _replay_workload(table)
+
+    records = []
+    for policy in ("greedy", "hysteresis", "lookahead"):
+        scalar_report, scalar_rate = _replay_rate(
+            table, workload, policy, "scalar"
+        )
+        batch_report, batch_rate = _replay_rate(
+            table, workload, policy, "batch"
+        )
+        # Bit identity first: a faster kernel that drifts is worthless.
+        assert batch_report == scalar_report, policy
+        record = {
+            "policy": policy,
+            "phases": REPLAY_PHASES,
+            "scalar_req_per_s": round(scalar_rate, 1),
+            "batch_req_per_s": round(batch_rate, 1),
+            "speedup": round(batch_rate / scalar_rate, 2),
+        }
+        records.append(record)
+        print(f"\nserve_kernel_bench {json.dumps(record, sort_keys=True)}")
+
+    _dump_records("serve_batch_kernel", records)
+
+    for record in records:
+        assert record["speedup"] >= KERNEL_SPEEDUP_FLOOR, (
+            f"{record['policy']} batch kernel replayed at "
+            f"{record['batch_req_per_s']:.0f} req/s vs "
+            f"{record['scalar_req_per_s']:.0f} scalar: below the "
+            f"{KERNEL_SPEEDUP_FLOOR}x floor"
+        )

@@ -314,6 +314,7 @@ def cmd_serve(args) -> int:
         num_generators=args.generators,
         policy=args.policy,
         max_queue_depth=args.queue_depth,
+        engine=args.serve_engine,
     )
     server = AccuracyServer(
         scheduler, host=args.host, port=args.port, max_pending=args.max_pending
@@ -419,6 +420,7 @@ def cmd_fleet_serve(args) -> int:
         max_queue_depth=args.queue_depth,
         guard=args.guard,
         retreat_budget=args.retreat_budget,
+        engine=args.serve_engine,
     )
     trace = list(
         _fleet_soak_requests(table, args.operators, args.soak, args.seed)
@@ -481,7 +483,11 @@ def cmd_replay(args) -> int:
             for _ in range(args.phases)
         ]
     report = replay_trace(
-        table, workload, policy=args.policy, lookahead_window=args.window
+        table,
+        workload,
+        policy=args.policy,
+        lookahead_window=args.window,
+        engine=args.serve_engine,
     )
     print(f"policy {args.policy}: {report.summary()}")
     return 0
@@ -622,6 +628,18 @@ def build_parser() -> argparse.ArgumentParser:
             "are bit-identical either way)",
         )
 
+    def add_serve_engine_arg(p):
+        from repro.serve.compiled import SERVE_ENGINES
+
+        p.add_argument(
+            "--serve-engine",
+            choices=list(SERVE_ENGINES),
+            default="auto",
+            help="frame-serving kernel (auto consults $REPRO_SERVE_ENGINE "
+            "and defaults to the batched array kernel; scalar loops the "
+            "per-request path; results are bit-identical either way)",
+        )
+
     p = sub.add_parser("explore", help="implement + optimize one design")
     add_design_args(p)
     add_engine_args(p)
@@ -684,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generators", type=int, default=2)
     p.add_argument("--queue-depth", type=int, default=8)
     p.add_argument("--max-pending", type=int, default=64)
+    add_serve_engine_arg(p)
     p.add_argument(
         "--soak",
         type=int,
@@ -742,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="degraded requests a worker serves after a fleet alert",
     )
+    add_serve_engine_arg(p)
     p.add_argument(
         "--soak",
         type=int,
@@ -776,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=2017)
     p.add_argument("--window", type=int, default=4, help="lookahead window")
+    add_serve_engine_arg(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 #: ``workers`` value requesting auto-detection (``REPRO_WORKERS`` env var,
 #: falling back to the machine's CPU count).
@@ -40,6 +40,42 @@ def resolve_env_count(
             return max(1, default)
         return max(1, os.cpu_count() or 1)
     return max(1, requested)
+
+
+def resolve_env_choice(
+    requested: Optional[str],
+    env_var: str,
+    choices: Sequence[str],
+    *,
+    what: str,
+    auto: str = "auto",
+) -> str:
+    """Resolve an ``auto``-style engine knob against an env override.
+
+    The one choice-knob policy shared by the simulation
+    (``$REPRO_SIM_ENGINE``), STA (``$REPRO_STA_ENGINE``) and serve
+    (``$REPRO_SERVE_ENGINE``) engine selectors: ``None`` means *auto*;
+    *auto* consults ``$env_var`` (unset/empty keeps *auto*); explicit
+    requests win over the environment.  Invalid requests raise a
+    :class:`ValueError` naming the knob (*what*); invalid overrides
+    raise one naming the variable -- so a bad ``export`` is never
+    mistaken for a bad call site.
+    """
+    value = requested if requested is not None else auto
+    if value not in choices:
+        raise ValueError(
+            f"unknown {what} {value!r}; expected one of {tuple(choices)}"
+        )
+    if value == auto:
+        env = os.environ.get(env_var)
+        if env:
+            if env not in choices:
+                raise ValueError(
+                    f"${env_var} must be one of {tuple(choices)}, "
+                    f"got {env!r}"
+                )
+            value = env
+    return value
 
 
 @dataclass(frozen=True)

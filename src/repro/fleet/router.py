@@ -52,6 +52,7 @@ from repro.fleet.worker import (
     parse_control,
     worker_main,
 )
+from repro.serve.compiled import resolve_serve_engine
 from repro.serve.table import ModeTable, SharedModeTable
 
 #: Environment override consulted when ``workers`` is AUTO_WORKERS.
@@ -129,6 +130,7 @@ class FleetRouter:
         schedules: Optional[Dict[int, Dict]] = None,
         vnodes: int = DEFAULT_VNODES,
         segment_name: Optional[str] = None,
+        engine: Optional[str] = None,
     ):
         if batch_window < 1:
             raise ValueError("batch_window must be >= 1")
@@ -147,6 +149,10 @@ class FleetRouter:
             "guard": guard,
             "headroom_ps": headroom_ps,
             "retreat_budget": retreat_budget,
+            # Resolved here (not in the workers) so a bad request or env
+            # override fails in the router process, eagerly, and every
+            # worker is guaranteed to run the same kernel.
+            "engine": resolve_serve_engine(engine),
         }
         self._schedules = dict(schedules or {})
         self._vnodes = vnodes

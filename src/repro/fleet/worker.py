@@ -148,6 +148,7 @@ class _WorkerRuntime:
             policy=str(config.get("policy", "greedy")),
             max_queue_depth=int(config.get("max_queue_depth", 8)),
             guard=guard,
+            engine=config.get("engine"),
         )
         self.bus = bus
         self.retreat_budget = int(config.get("retreat_budget", 32))
@@ -187,6 +188,12 @@ class _WorkerRuntime:
         self.last_epoch = self.bus.post(kind, self.worker_id)
 
     def serve_batch(self, triples: np.ndarray) -> bytes:
+        if self.guard is None and self.scheduler.serve_engine == "batch":
+            # No guard means no per-request alert posting, so the only
+            # per-request side effect left is the bus poll -- which the
+            # fast path coarsens to frame granularity (an alert landing
+            # mid-frame is a real-time race either way).
+            return self._serve_batch_fast(triples)
         # Accumulate plain-python rows and convert once at the end:
         # per-row ``ndarray[row] = [...]`` assignments here were the
         # worker's second-largest per-request cost after the scheduler.
@@ -227,6 +234,71 @@ class _WorkerRuntime:
             np.array(int_rows, dtype="<i8").reshape(-1, REPLY_INT_COLS),
             np.array(float_rows, dtype="<f8").reshape(-1, REPLY_FLOAT_COLS),
         )
+
+    def _serve_batch_fast(self, triples: np.ndarray) -> bytes:
+        """Batched frame serving: one kernel call fills the reply arrays.
+
+        While retreating, requests are still served one by one (the bus
+        must be re-polled before every degraded decision); the moment
+        the retreat budget is spent, the rest of the frame goes through
+        :meth:`~repro.serve.scheduler.ModeScheduler.submit_batch_arrays`
+        (lookahead clipped to zero so decisions match the per-request
+        loop bit for bit) and the reply columns are filled vectorized.
+        """
+        count = len(triples)
+        ints = np.empty((count, REPLY_INT_COLS), dtype="<i8")
+        floats = np.empty((count, REPLY_FLOAT_COLS), dtype="<f8")
+        operators = self.operators
+        rows = triples.tolist()
+        start = 0
+        while start < count:
+            self._poll_bus()
+            if self.retreat_left > 0:
+                op_id, bits, cycles = rows[start]
+                self.retreat_left -= 1
+                self.scheduler.telemetry.bump("fleet_retreats")
+                served = self.scheduler.submit_degraded(
+                    ServeRequest(operators[op_id], bits, cycles)
+                )
+                ints[start] = (
+                    served.served_bits,
+                    _phase_flags(served, True),
+                    served.transition_retries,
+                    self.last_epoch,
+                )
+                floats[start] = (
+                    served.compute_energy_j,
+                    served.transition_energy_j,
+                    served.settle_ns,
+                    served.queue_wait_ns,
+                    served.decided_at_ns,
+                )
+                start += 1
+                continue
+            names = [operators[op_id] for op_id, _, _ in rows[start:]]
+            result = self.scheduler.submit_batch_arrays(
+                names,
+                triples[start:, 1],
+                triples[start:, 2],
+                upcoming_cap=0,
+            )
+            tail = slice(start, count)
+            ints[tail, 0] = result.served_bits
+            ints[tail, 1] = (
+                result.switched * FLAG_SWITCHED
+                | result.batched * FLAG_BATCHED
+                | result.degraded * FLAG_DEGRADED
+                | result.margin_fallback * FLAG_MARGIN_FALLBACK
+            )
+            ints[tail, 2] = result.transition_retries
+            ints[tail, 3] = self.last_epoch
+            floats[tail, 0] = result.compute_energy_j
+            floats[tail, 1] = result.transition_energy_j
+            floats[tail, 2] = result.settle_ns
+            floats[tail, 3] = result.queue_wait_ns
+            floats[tail, 4] = result.decided_at_ns
+            break
+        return encode_replies(ints, floats)
 
     # -- control -------------------------------------------------------------
 

@@ -18,6 +18,12 @@ See ``docs/serve.md`` for the subsystem overview and invariants, and
 ``docs/robustness.md`` for the fault model and margin-guard semantics.
 """
 
+from repro.serve.compiled import (
+    BatchResult,
+    CompiledTable,
+    SERVE_ENGINES,
+    resolve_serve_engine,
+)
 from repro.serve.errors import ServeError, error_payload
 from repro.serve.guard import MarginGuard
 from repro.serve.policy import (
@@ -52,6 +58,8 @@ from repro.serve.telemetry import Histogram, Telemetry
 __all__ = [
     "AccuracyServer",
     "AccuracyViolation",
+    "BatchResult",
+    "CompiledTable",
     "GeneratorPool",
     "GreedyPolicy",
     "Histogram",
@@ -63,6 +71,7 @@ __all__ = [
     "ModeScheduler",
     "ModeTable",
     "POLICIES",
+    "SERVE_ENGINES",
     "SelectionPolicy",
     "ServeError",
     "ServeRequest",
@@ -76,4 +85,5 @@ __all__ = [
     "make_policy",
     "parse_counters",
     "replay_trace",
+    "resolve_serve_engine",
 ]

@@ -115,3 +115,27 @@ class MarginGuard:
 
     def transition_blocked(self, now_ns: float) -> bool:
         return self.environment.transition_blocked(now_ns)
+
+    # -- batched-kernel hooks ------------------------------------------------
+
+    @property
+    def is_time_invariant(self) -> bool:
+        """Whether the environment never changes (no scheduled events).
+
+        With an empty schedule every environment query is constant in
+        time (erosion 0, no dropouts, no stuck-at / blocked windows), so
+        the batched serve kernel may precompute per-mode availability
+        once instead of consulting the guard at every decision instant.
+        """
+        return not self.environment.schedule.events
+
+    def refresh_availability(self, compiled) -> None:
+        """Push current per-mode safety verdicts into a CompiledTable.
+
+        Only meaningful when :attr:`is_time_invariant` holds -- the
+        verdicts are evaluated at t=0 and the mask is then valid at
+        every decision instant.
+        """
+        compiled.refresh_availability(
+            [self.mode_is_safe(key, 0.0) for key in compiled.keys]
+        )

@@ -61,9 +61,21 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.guard import MarginGuard
 
+import numpy as np
+
 from repro.core.config import OperatingPoint
 from repro.core.runtime import RuntimeReport, WorkloadPhase
-from repro.serve.policy import SelectionPolicy, Upcoming, make_policy
+from repro.serve.compiled import (
+    BatchResult,
+    CompiledTable,
+    resolve_serve_engine,
+)
+from repro.serve.policy import (
+    LookaheadPolicy,
+    SelectionPolicy,
+    Upcoming,
+    make_policy,
+)
 from repro.serve.table import ModeTable, TransitionCost
 from repro.serve.telemetry import Telemetry
 
@@ -240,6 +252,48 @@ class _OperatorState:
     static_energy_j: float = 0.0
 
 
+class _ScalarFrameFallback(Exception):
+    """Internal: a frame is not provably batchable; use the scalar loop."""
+
+
+@dataclass
+class _OperatorPlan:
+    """One operator's planned slice of a batched frame.
+
+    ``positions`` are the operator's indices into the global frame;
+    everything else is own-indexed.  ``complex_events`` lists the
+    positions whose transition must talk to the generator pool, as
+    ``(own_index, state_row_before)`` in order; the walk consumes them
+    via ``complex_ptr`` and replans the suffix after a degradation.
+    """
+
+    name: str
+    state: _OperatorState
+    compiled: CompiledTable
+    positions: np.ndarray
+    bits: np.ndarray
+    cycles: np.ndarray
+    terms: np.ndarray
+    decisions: np.ndarray
+    switched: np.ndarray
+    margin: np.ndarray
+    guard_active: bool
+    window: int = 0
+    dtable: Optional[np.ndarray] = None
+    dtable_list: Optional[List[List[int]]] = None
+    bits_list: List[int] = field(default_factory=list)
+    cycles_list: List[int] = field(default_factory=list)
+    cover_pos: Optional[np.ndarray] = None
+    complex_events: List[Tuple[int, int]] = field(default_factory=list)
+    complex_ptr: int = 0
+    fold_ptr: int = 0
+    clock: float = 0.0
+    # Python mirrors for the walk's per-element fold (list indexing is
+    # several times cheaper than numpy scalar indexing there).
+    terms_list: List[float] = field(default_factory=list)
+    positions_list: List[int] = field(default_factory=list)
+
+
 class ModeScheduler:
     """Serves accuracy-mode requests for many operators over one pool."""
 
@@ -254,6 +308,7 @@ class ModeScheduler:
         guard: Optional["MarginGuard"] = None,
         max_transition_retries: int = 3,
         retry_backoff_ns: float = 50.0,
+        engine: Optional[str] = None,
     ):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -270,7 +325,17 @@ class ModeScheduler:
         self.guard = guard
         self.max_transition_retries = max_transition_retries
         self.retry_backoff_ns = retry_backoff_ns
+        #: Which engine serves *frames* (submit_batch / submit_batch_arrays):
+        #: ``batch`` (default; falls back per frame when it cannot prove
+        #: equivalence) or ``scalar``.  ``submit`` is always scalar.
+        self.serve_engine = resolve_serve_engine(engine)
         self._operators: Dict[str, _OperatorState] = {}
+        # Per-scheduler array lowerings, keyed by table identity.  The
+        # CompiledTable holds a reference to its ModeTable, so the id is
+        # pinned for the cache entry's lifetime.  Never shared across
+        # schedulers: the availability bitmask is guard-specific state.
+        self._compiled: Dict[int, CompiledTable] = {}
+        self._guard_refreshed: set = set()
 
     # -- operator registry ---------------------------------------------------
 
@@ -477,6 +542,755 @@ class ModeScheduler:
         duration_s = cycles / (table.fclk_ghz * 1e9)
         return mode.total_power_w * duration_s
 
+    # -- batched serving -----------------------------------------------------
+
+    def compiled_for(self, table: ModeTable) -> CompiledTable:
+        """This scheduler's array lowering of *table* (built once)."""
+        compiled = self._compiled.get(id(table))
+        if compiled is None:
+            compiled = CompiledTable(table)
+            self._compiled[id(table)] = compiled
+        return compiled
+
+    def submit_batch(
+        self,
+        requests: Sequence[ServeRequest],
+        upcoming_cap: Optional[int] = None,
+    ) -> List[ServedPhase]:
+        """Serve a frame of requests; bit-identical to a submit() loop.
+
+        Semantics are exactly ``[self.submit(r, upcoming=w) for r in
+        requests]`` where each lookahead window ``w`` is derived from
+        the frame itself: the next requests of the same operator, up to
+        the policy's window (optionally clipped by *upcoming_cap*).  The
+        batched kernel resolves decisions, transition costs, energy
+        accounting and settle windows in array passes; frames it cannot
+        prove equivalent (time-varying guard environment, custom
+        policies, partially dropped-out pools, invalid requests) run
+        that scalar loop internally instead -- including raising the
+        same exception at the same request.
+        """
+        requests = list(requests)
+        count = len(requests)
+        if count == 0:
+            return []
+        operators = [r.operator for r in requests]
+        bits = np.fromiter(
+            (r.required_bits for r in requests), np.int64, count
+        )
+        cycles = np.fromiter((r.cycles for r in requests), np.int64, count)
+        phases, _ = self._serve_frame(
+            operators,
+            bits,
+            cycles,
+            want_phases=True,
+            want_arrays=False,
+            upcoming_cap=upcoming_cap,
+        )
+        return phases
+
+    def submit_batch_arrays(
+        self,
+        operators,
+        required_bits,
+        cycles,
+        upcoming_cap: Optional[int] = None,
+    ) -> BatchResult:
+        """Array-in / array-out frame serving (no ServedPhase objects).
+
+        *operators* is one name (the whole frame) or a sequence of
+        names; *required_bits* / *cycles* are equal-length 1-D int
+        arrays.  Same semantics as :meth:`submit_batch`, but the hot
+        consumers (fleet reply frames, trace replay) read the flat
+        :class:`BatchResult` arrays directly.
+        """
+        bits = np.asarray(required_bits, dtype=np.int64)
+        cyc = np.asarray(cycles, dtype=np.int64)
+        if bits.ndim != 1 or bits.shape != cyc.shape:
+            raise ValueError(
+                "required_bits and cycles must be 1-D and equal length"
+            )
+        if not isinstance(operators, str):
+            operators = list(operators)
+            if len(operators) != len(bits):
+                raise ValueError(
+                    "operators must match required_bits in length"
+                )
+        _, result = self._serve_frame(
+            operators,
+            bits,
+            cyc,
+            want_phases=False,
+            want_arrays=True,
+            upcoming_cap=upcoming_cap,
+        )
+        return result
+
+    def _serve_frame(
+        self,
+        operators,
+        bits: np.ndarray,
+        cycles: np.ndarray,
+        *,
+        want_phases: bool,
+        want_arrays: bool,
+        upcoming_cap: Optional[int],
+    ) -> Tuple[Optional[List[ServedPhase]], Optional[BatchResult]]:
+        count = len(bits)
+        if count == 0:
+            return (
+                [] if want_phases else None,
+                self._phases_to_arrays([]) if want_arrays else None,
+            )
+        try:
+            plans = self._plan_frame(operators, bits, cycles, upcoming_cap)
+        except _ScalarFrameFallback:
+            return self._serve_frame_scalar(
+                operators, bits, cycles, want_phases, want_arrays,
+                upcoming_cap,
+            )
+
+        # decided_at is a python list: the clock fold writes it element
+        # by element, and list stores are much cheaper than numpy scalar
+        # stores.  It is skipped entirely when no output wants it.
+        need_decided = want_phases or want_arrays
+        decided_at: List[float] = [0.0] * count if need_decided else []
+        queue_wait = np.zeros(count)
+        settle = np.zeros(count)
+        trans_e = np.zeros(count)
+        compute_e = np.zeros(count)
+        batched = np.zeros(count, dtype=bool)
+        degraded = np.zeros(count, dtype=bool)
+        switched_g = np.zeros(count, dtype=bool)
+        margin_g = np.zeros(count, dtype=bool)
+        served_bits = np.zeros(count, dtype=np.int64)
+
+        self._walk_frame(
+            plans, decided_at, need_decided, queue_wait, settle, trans_e,
+            batched, degraded,
+        )
+
+        # Per-operator accounting: every float accumulator is folded
+        # left-to-right in python, replicating the scalar += sequence
+        # bit-for-bit (numpy reductions would sum pairwise).
+        op_counts: Dict[str, int] = {}
+        for plan in plans:
+            comp = plan.compiled
+            pos = plan.positions
+            dur = plan.cycles / comp.denom_hz
+            ce = comp.power_w[plan.decisions] * dur
+            se = float(comp.power_w[comp.static_index]) * dur
+            compute_e[pos] = ce
+            switched_g[pos] = plan.switched
+            margin_g[pos] = plan.margin
+            served_bits[pos] = comp.active_bits[plan.decisions]
+            state = plan.state
+            op_counts[plan.name] = len(plan.bits)
+            state.phases += len(plan.bits)
+            state.cycles += int(plan.cycles.sum())
+            acc = state.compute_energy_j
+            for value in ce.tolist():
+                acc += value
+            state.compute_energy_j = acc
+            acc = state.transition_energy_j
+            for value in trans_e[pos].tolist():
+                acc += value
+            state.transition_energy_j = acc
+            acc = state.transition_time_ns
+            for value in settle[pos].tolist():
+                acc += value
+            state.transition_time_ns = acc
+            state.switches += int(np.count_nonzero(plan.switched))
+            acc = state.static_energy_j
+            for value in se.tolist():
+                acc += value
+            state.static_energy_j = acc
+            state.current_bits = comp.keys[int(plan.decisions[-1])]
+            state.clock_ns = plan.clock
+
+        fallbacks = int(np.count_nonzero(margin_g))
+        if fallbacks:
+            self.telemetry.bump("margin_fallbacks", fallbacks)
+        self.telemetry.record_batch(
+            op_counts,
+            int(np.count_nonzero(switched_g)),
+            int(np.count_nonzero(degraded)),
+            int(np.count_nonzero(batched)),
+            queue_wait + settle,
+            settle[settle > 0.0],
+            (compute_e + trans_e) * 1e12,
+        )
+
+        phases_out: Optional[List[ServedPhase]] = None
+        if want_phases:
+            phases_out = [None] * count  # type: ignore[list-item]
+            qw_l = queue_wait.tolist()
+            st_l = settle.tolist()
+            te_l = trans_e.tolist()
+            da_l = decided_at
+            bat_l = batched.tolist()
+            deg_l = degraded.tolist()
+            for plan in plans:
+                comp = plan.compiled
+                name = plan.name
+                modes = comp.modes
+                pos_l = plan.positions.tolist()
+                dec_l = plan.decisions.tolist()
+                rb_l = plan.bits.tolist()
+                sw_l = plan.switched.tolist()
+                mg_l = plan.margin.tolist()
+                ce_l = compute_e[plan.positions].tolist()
+                for k, g in enumerate(pos_l):
+                    phases_out[g] = ServedPhase(
+                        operator=name,
+                        required_bits=rb_l[k],
+                        mode=modes[dec_l[k]],
+                        compute_energy_j=ce_l[k],
+                        transition_energy_j=te_l[g],
+                        settle_ns=st_l[g],
+                        queue_wait_ns=qw_l[g],
+                        switched=sw_l[k],
+                        batched=bat_l[g],
+                        degraded=deg_l[g],
+                        margin_fallback=mg_l[k],
+                        transition_retries=0,
+                        decided_at_ns=da_l[g],
+                    )
+        result: Optional[BatchResult] = None
+        if want_arrays:
+            result = BatchResult(
+                served_bits=served_bits,
+                switched=switched_g,
+                batched=batched,
+                degraded=degraded,
+                margin_fallback=margin_g,
+                transition_retries=np.zeros(count, dtype=np.int64),
+                compute_energy_j=compute_e,
+                transition_energy_j=trans_e,
+                settle_ns=settle,
+                queue_wait_ns=queue_wait,
+                decided_at_ns=np.asarray(decided_at, dtype=np.float64),
+            )
+        return phases_out, result
+
+    def _plan_frame(
+        self,
+        operators,
+        bits: np.ndarray,
+        cycles: np.ndarray,
+        upcoming_cap: Optional[int],
+    ) -> List[_OperatorPlan]:
+        """Eligibility gate + pure planning pass.  Mutates nothing.
+
+        Raises :class:`_ScalarFrameFallback` the moment the frame stops
+        being provably equivalent to the scalar loop.
+        """
+        if self.serve_engine != "batch":
+            raise _ScalarFrameFallback
+        if self.pool.num_available != self.pool.size:
+            raise _ScalarFrameFallback
+        guard = self.guard
+        if guard is not None and not guard.is_time_invariant:
+            raise _ScalarFrameFallback
+
+        if isinstance(operators, str):
+            groups: List[Tuple[str, Optional[List[int]]]] = [
+                (operators, None)
+            ]
+        else:
+            by_name: Dict[str, List[int]] = {}
+            for index, name in enumerate(operators):
+                by_name.setdefault(name, []).append(index)
+            groups = list(by_name.items())
+
+        plans: List[_OperatorPlan] = []
+        for name, idx in groups:
+            state = self._state(name)
+            policy = state.policy
+            if not CompiledTable.is_known_policy(policy):
+                raise _ScalarFrameFallback
+            if guard is not None and state.table is not guard.table:
+                # The guard vets modes against *its* table; equivalence
+                # of the compiled mask needs them to be the same object.
+                raise _ScalarFrameFallback
+            comp = self.compiled_for(state.table)
+            if guard is not None:
+                fresh_key = (id(comp), id(guard))
+                if fresh_key not in self._guard_refreshed:
+                    guard.refresh_availability(comp)
+                    self._guard_refreshed.add(fresh_key)
+
+            if idx is None:
+                positions = np.arange(len(bits), dtype=np.int64)
+                op_bits = bits
+                op_cycles = cycles
+            else:
+                positions = np.asarray(idx, dtype=np.int64)
+                op_bits = bits[positions]
+                op_cycles = cycles[positions]
+            if (
+                int(op_bits.min()) < 1
+                or int(op_bits.max()) > comp.max_bits
+                or int(op_cycles.min()) < 0
+            ):
+                raise _ScalarFrameFallback
+
+            plan = _OperatorPlan(
+                name=name,
+                state=state,
+                compiled=comp,
+                positions=positions,
+                bits=op_bits,
+                cycles=op_cycles,
+                terms=op_cycles / comp.fclk_ghz,
+                decisions=np.empty(len(op_bits), dtype=np.int64),
+                switched=np.zeros(len(op_bits), dtype=bool),
+                margin=np.zeros(len(op_bits), dtype=bool),
+                # With every mode available the guard never overrides
+                # (guarded_key returns the safe preferred key, no flag),
+                # so the adjusted lookup degenerates to the plain one.
+                guard_active=guard is not None and not comp.all_available,
+            )
+            if CompiledTable.policy_cache_key(policy) is not None:
+                plan.dtable = comp.decision_table(policy)
+                plan.dtable_list = plan.dtable.tolist()
+                if not self._memoryless_stable(
+                    comp, plan.dtable, plan.guard_active
+                ):
+                    raise _ScalarFrameFallback
+            else:
+                plan.window = (
+                    policy.window
+                    if upcoming_cap is None
+                    else min(policy.window, upcoming_cap)
+                )
+                plan.bits_list = op_bits.tolist()
+                plan.cycles_list = op_cycles.tolist()
+                plan.cover_pos = comp.cover_index[op_bits]
+
+            start_row = (
+                comp.index_of[state.current_bits]
+                if state.current_bits is not None
+                else comp.none_row
+            )
+            plan.clock = state.clock_ns
+            if plan.dtable is not None:
+                self._plan_memoryless(plan, 0, start_row)
+            else:
+                self._plan_lookahead(plan, 0, start_row)
+            # Accuracy invariant, pre-verified so the walk cannot raise
+            # mid-mutation.  Unreachable with the stock policies (cover
+            # and guard substitutions always cover), so a hit means a
+            # probe-table surprise: serve scalar and let submit() raise
+            # its AccuracyViolation at the exact offending request.
+            if bool((comp.active_bits[plan.decisions] < plan.bits).any()):
+                raise _ScalarFrameFallback
+            plans.append(plan)
+        return plans
+
+    @staticmethod
+    def _memoryless_stable(
+        comp: CompiledTable, dtable: np.ndarray, guard_active: bool
+    ) -> bool:
+        """``adj(dt[adj(dt[s,b]), b]) == adj(dt[s,b])`` for all (s, b).
+
+        The run-length collapse in :meth:`_plan_memoryless` relies on
+        guard-adjusted decisions being idempotent: within a run of equal
+        bits, the decision made *from the head's mode* must re-pick the
+        head's mode.  True for greedy (state-independent) and hysteresis
+        (holds or stays on its target); verified wholesale here so the
+        kernel never has to bail mid-walk.
+        """
+        if guard_active:
+            available = comp.mode_available
+            guarded = comp.guarded_cover_index
+            head = np.where(available[dtable], dtable, guarded)
+        else:
+            head = dtable
+        body = np.take_along_axis(dtable, head, axis=0)
+        if guard_active:
+            body = np.where(available[body], body, guarded)
+        return bool((body == head).all())
+
+    def _plan_memoryless(
+        self, plan: _OperatorPlan, start: int, row: int
+    ) -> None:
+        """Fill decisions for ``[start:]`` from state *row* (greedy/hyst).
+
+        Requests are run-length collapsed: within a run of equal bits
+        only the head (from *row*) and the body (from the head's mode)
+        lookups exist, and :meth:`_memoryless_stable` guarantees the
+        body re-picks the head -- so the whole run shares one decision.
+        The margin flag is recomputed for the body: the policy's *raw*
+        pick may be unsafe every time even though the guarded result is
+        stable.
+        """
+        bits = plan.bits
+        total = len(bits)
+        if start >= total:
+            return
+        comp = plan.compiled
+        dtable = plan.dtable_list
+        guard_active = plan.guard_active
+        if guard_active:
+            available = comp.mode_available.tolist()
+            guarded = comp.guarded_cover_index.tolist()
+        free = comp._free_rows
+        events = plan.complex_events
+
+        seg = bits[start:]
+        change = np.flatnonzero(seg[1:] != seg[:-1]) + start + 1
+        starts = np.concatenate(([start], change))
+        lengths = np.diff(np.concatenate((starts, [total])))
+        starts_l = starts.tolist()
+        lengths_l = lengths.tolist()
+        run_bits = bits[starts].tolist()
+
+        heads: List[int] = []
+        head_switched: List[bool] = []
+        head_flags: List[bool] = []
+        body_flags: List[bool] = []
+        for index, b in enumerate(run_bits):
+            head = dtable[row][b]
+            flag = False
+            if guard_active and not available[head]:
+                head = guarded[b]
+                flag = True
+            heads.append(head)
+            head_flags.append(flag)
+            if head != row:
+                head_switched.append(True)
+                if not free[row][head]:
+                    events.append((starts_l[index], row))
+            else:
+                head_switched.append(False)
+            if lengths_l[index] > 1:
+                raw_body = dtable[head][b]
+                body_flags.append(
+                    guard_active and not available[raw_body]
+                )
+            else:
+                body_flags.append(False)
+            row = head
+
+        plan.decisions[start:] = np.repeat(
+            np.asarray(heads, dtype=np.int64), lengths
+        )
+        plan.switched[start:] = False
+        plan.switched[starts] = head_switched
+        plan.margin[start:] = np.repeat(
+            np.asarray(body_flags, dtype=bool), lengths
+        )
+        plan.margin[starts] = head_flags
+
+    def _plan_lookahead(
+        self, plan: _OperatorPlan, start: int, row: int
+    ) -> None:
+        """Fill decisions for ``[start:]`` from state *row* (lookahead).
+
+        Positions whose whole horizon maps to one covering mode are
+        *trivial* -- the policy's early return makes the decision
+        state-independent, so maximal trivial prefixes of each cover run
+        are assigned in one slice.  The rest get the policy's exact plan
+        comparison, folded in python float arithmetic that mirrors
+        ``LookaheadPolicy._plan_energy_j`` operation for operation.
+        """
+        total = len(plan.bits)
+        if start >= total:
+            return
+        comp = plan.compiled
+        window = plan.window
+        bits_l = plan.bits_list
+        cycles_l = plan.cycles_list
+        cover_own = plan.cover_pos.tolist()
+        cover_of_bits = comp._cover_list
+        trans_rows = comp._energy_rows
+        power = comp._power_list
+        free = comp._free_rows
+        denom = comp.denom_hz
+        available = comp.mode_available
+        guarded = comp.guarded_cover_index
+        guard_active = plan.guard_active
+        decisions = plan.decisions
+        switched = plan.switched
+        margin = plan.margin
+        events = plan.complex_events
+
+        idx = np.arange(start, total, dtype=np.int64)
+        horizon = np.minimum(window, total - 1 - idx)
+        seg = plan.cover_pos[start:]
+        change = np.flatnonzero(seg[1:] != seg[:-1]) + start + 1
+        bounds = np.concatenate((change, [total]))
+        run_end = bounds[np.searchsorted(bounds, idx, side="right")]
+        trivial = (run_end >= idx + horizon + 1).tolist()
+        run_end_l = run_end.tolist()
+        horizon_l = horizon.tolist()
+
+        j = start
+        while j < total:
+            own = j - start
+            if trivial[own]:
+                decision = cover_own[j]
+                flag = False
+                if guard_active and not available[decision]:
+                    # Guarded substitution depends on the exact bits,
+                    # which may differ within a cover run: go one by one.
+                    decision = int(guarded[bits_l[j]])
+                    flag = True
+                    end = j + 1
+                else:
+                    r = run_end_l[own]
+                    # Inside a cover run, positions stay trivial until
+                    # the horizon starts peeking past the run (the last
+                    # run of the trace never does).
+                    end = r if r == total else max(j + 1, r - window)
+                decisions[j:end] = decision
+                switched[j:end] = False
+                margin[j:end] = False
+                margin[j] = flag
+                if decision != row:
+                    switched[j] = True
+                    if not free[row][decision]:
+                        events.append((j, row))
+                row = decision
+                j = end
+            else:
+                span = horizon_l[own]
+                head_bits = bits_l[j]
+                future = cycles_l[j + 1 : j + 1 + span]
+                mean_cycles = sum(future) // span if span else 0
+                keys = cover_own[j : j + span + 1]
+                peak_bits = head_bits
+                for step in range(1, span + 1):
+                    if bits_l[j + step] > peak_bits:
+                        peak_bits = bits_l[j + step]
+                peak = cover_of_bits[peak_bits]
+                cycle_seq = [mean_cycles, *future]
+                greedy_cost = 0.0
+                current = row
+                for key, cyc in zip(keys, cycle_seq):
+                    greedy_cost += trans_rows[current][key]
+                    greedy_cost += power[key] * cyc / denom
+                    current = key
+                hold_cost = 0.0
+                current = row
+                for cyc in cycle_seq:
+                    hold_cost += trans_rows[current][peak]
+                    hold_cost += power[peak] * cyc / denom
+                    current = peak
+                decision = peak if hold_cost < greedy_cost else keys[0]
+                flag = False
+                if guard_active and not available[decision]:
+                    decision = int(guarded[head_bits])
+                    flag = True
+                decisions[j] = decision
+                margin[j] = flag
+                if decision != row:
+                    switched[j] = True
+                    if not free[row][decision]:
+                        events.append((j, row))
+                else:
+                    switched[j] = False
+                row = decision
+                j += 1
+
+    def _walk_frame(
+        self,
+        plans: List[_OperatorPlan],
+        decided_at: List[float],
+        need_decided: bool,
+        queue_wait: np.ndarray,
+        settle: np.ndarray,
+        trans_e: np.ndarray,
+        batched: np.ndarray,
+        degraded: np.ndarray,
+    ) -> None:
+        """Pass 2: advance virtual clocks, talking to the real pool.
+
+        Only *complex* positions (mode switch with a non-free cost)
+        interact with the generator pool; everything between consecutive
+        complex positions of one operator is a pure prefix sum of
+        compute durations.  Complex positions are consumed in global
+        frame order so the pool sees the exact scalar call sequence.
+        """
+        pool = self.pool
+        depth_limit = self.max_queue_depth
+        for plan in plans:
+            plan.fold_ptr = 0
+            plan.complex_ptr = 0
+            plan.clock = plan.state.clock_ns
+            plan.terms_list = plan.terms.tolist()
+            plan.positions_list = plan.positions.tolist()
+        while True:
+            best: Optional[_OperatorPlan] = None
+            best_global = -1
+            for plan in plans:
+                if plan.complex_ptr < len(plan.complex_events):
+                    own, _ = plan.complex_events[plan.complex_ptr]
+                    at = plan.positions_list[own]
+                    if best is None or at < best_global:
+                        best = plan
+                        best_global = at
+            if best is None:
+                break
+            plan = best
+            own, row_before = plan.complex_events[plan.complex_ptr]
+            plan.complex_ptr += 1
+            self._fold_clock(plan, own, decided_at, need_decided)
+            comp = plan.compiled
+            now = plan.clock
+            if need_decided:
+                decided_at[best_global] = now
+            decision = int(plan.decisions[own])
+            if pool.queue_depth(now) >= depth_limit:
+                # Saturated: degrade to the static mode (power-on rail,
+                # no pool), exactly like the scalar branch -- then the
+                # operator's remaining requests are replanned from it.
+                static = comp.static_index
+                changed = static != row_before
+                plan.decisions[own] = static
+                plan.switched[own] = changed
+                degraded[best_global] = True
+                settle[best_global] = float(
+                    comp.transition_settle_ns[row_before, static]
+                )
+                if changed:
+                    trans_e[best_global] = float(
+                        comp.transition_energy_j[row_before, static]
+                    )
+                plan.complex_events = []
+                plan.complex_ptr = 0
+                if plan.dtable is not None:
+                    self._plan_memoryless(plan, own + 1, static)
+                else:
+                    self._plan_lookahead(plan, own + 1, static)
+            else:
+                grant = pool.acquire(
+                    now,
+                    float(comp.transition_settle_ns[row_before, decision]),
+                    comp.signatures[decision],
+                )
+                if grant is None:  # pragma: no cover - gated on eligibility
+                    raise RuntimeError("pool dropped out mid-frame")
+                start, end, was_batched = grant
+                queue_wait[best_global] = start - now
+                settle[best_global] = end - start
+                batched[best_global] = was_batched
+                trans_e[best_global] = float(
+                    comp.transition_energy_j[row_before, decision]
+                )
+                plan.clock = end
+            plan.clock = plan.clock + plan.terms_list[own]
+            plan.fold_ptr = own + 1
+        for plan in plans:
+            self._fold_clock(plan, len(plan.bits), decided_at, need_decided)
+
+    @staticmethod
+    def _fold_clock(
+        plan: _OperatorPlan,
+        upto: int,
+        decided_at: List[float],
+        need_decided: bool,
+    ) -> None:
+        """Fold the clock over simple positions ``[fold_ptr, upto)``.
+
+        A plain left-to-right python float fold -- exactly the scalar
+        ``clock += cycles / fclk`` chain, on the same precomputed
+        per-request terms.
+        """
+        begin = plan.fold_ptr
+        if upto <= begin:
+            return
+        clock = plan.clock
+        terms = plan.terms_list
+        if need_decided:
+            positions = plan.positions_list
+            for k in range(begin, upto):
+                decided_at[positions[k]] = clock
+                clock += terms[k]
+        else:
+            for term in terms[begin:upto]:
+                clock += term
+        plan.clock = clock
+        plan.fold_ptr = upto
+
+    def _serve_frame_scalar(
+        self,
+        operators,
+        bits: np.ndarray,
+        cycles: np.ndarray,
+        want_phases: bool,
+        want_arrays: bool,
+        upcoming_cap: Optional[int],
+    ) -> Tuple[Optional[List[ServedPhase]], Optional[BatchResult]]:
+        """Reference path: the scalar loop the kernel must match."""
+        count = len(bits)
+        single = operators if isinstance(operators, str) else None
+        bits_l = bits.tolist()
+        cycles_l = cycles.tolist()
+        by_op: Dict[str, List[int]] = {}
+        if single is None:
+            for index, name in enumerate(operators):
+                by_op.setdefault(name, []).append(index)
+        else:
+            by_op[single] = list(range(count))
+        upcomings: List[Tuple] = [()] * count
+        for name, idx in by_op.items():
+            window = getattr(self._state(name).policy, "window", 0)
+            if upcoming_cap is not None:
+                window = min(window, upcoming_cap)
+            if window <= 0:
+                continue
+            own_bits = [bits_l[i] for i in idx]
+            own_cycles = [cycles_l[i] for i in idx]
+            for k, i in enumerate(idx):
+                upcomings[i] = tuple(
+                    zip(
+                        own_bits[k + 1 : k + 1 + window],
+                        own_cycles[k + 1 : k + 1 + window],
+                    )
+                )
+        phases: List[ServedPhase] = []
+        for i in range(count):
+            name = single if single is not None else operators[i]
+            request = ServeRequest(name, int(bits_l[i]), int(cycles_l[i]))
+            phases.append(self.submit(request, upcoming=upcomings[i]))
+        result = self._phases_to_arrays(phases) if want_arrays else None
+        return (phases if want_phases else None), result
+
+    @staticmethod
+    def _phases_to_arrays(phases: Sequence[ServedPhase]) -> BatchResult:
+        count = len(phases)
+        return BatchResult(
+            served_bits=np.fromiter(
+                (p.served_bits for p in phases), np.int64, count
+            ),
+            switched=np.fromiter((p.switched for p in phases), bool, count),
+            batched=np.fromiter((p.batched for p in phases), bool, count),
+            degraded=np.fromiter((p.degraded for p in phases), bool, count),
+            margin_fallback=np.fromiter(
+                (p.margin_fallback for p in phases), bool, count
+            ),
+            transition_retries=np.fromiter(
+                (p.transition_retries for p in phases), np.int64, count
+            ),
+            compute_energy_j=np.fromiter(
+                (p.compute_energy_j for p in phases), np.float64, count
+            ),
+            transition_energy_j=np.fromiter(
+                (p.transition_energy_j for p in phases), np.float64, count
+            ),
+            settle_ns=np.fromiter(
+                (p.settle_ns for p in phases), np.float64, count
+            ),
+            queue_wait_ns=np.fromiter(
+                (p.queue_wait_ns for p in phases), np.float64, count
+            ),
+            decided_at_ns=np.fromiter(
+                (p.decided_at_ns for p in phases), np.float64, count
+            ),
+        )
+
     # -- reporting -----------------------------------------------------------
 
     def report(self, operator: str) -> RuntimeReport:
@@ -499,6 +1313,7 @@ def replay_trace(
     policy: str = "greedy",
     num_generators: int = 1,
     lookahead_window: int = 4,
+    engine: Optional[str] = None,
     **policy_kwargs,
 ) -> RuntimeReport:
     """Replay an offline trace through the scheduler; return the report.
@@ -507,6 +1322,11 @@ def replay_trace(
     length), so the only differences between policies are the selection
     decisions themselves.  The lookahead policy sees the next
     ``lookahead_window`` phases of the trace.
+
+    *engine* picks the serving kernel (``auto``/``batch``/``scalar``,
+    default ``auto`` -> ``$REPRO_SERVE_ENGINE`` -> ``batch``).  The
+    engines are differential-tested bit-identical; batch replays the
+    whole trace as one frame of array passes.
     """
     if not workload:
         raise ValueError("empty workload")
@@ -518,7 +1338,24 @@ def replay_trace(
         policy=policy,
         max_queue_depth=len(workload) + 1,
         policy_kwargs=policy_kwargs,
+        engine=engine,
     )
+    if scheduler.serve_engine == "batch":
+        count = len(workload)
+        bits = np.fromiter(
+            (p.required_bits for p in workload), np.int64, count
+        )
+        cycles = np.fromiter((p.cycles for p in workload), np.int64, count)
+        # Report-only: no phases, no result arrays -- just accounting.
+        scheduler._serve_frame(
+            "replay",
+            bits,
+            cycles,
+            want_phases=False,
+            want_arrays=False,
+            upcoming_cap=lookahead_window if policy == "lookahead" else 0,
+        )
+        return scheduler.report("replay")
     window = lookahead_window if policy == "lookahead" else 0
     for index, phase in enumerate(workload):
         upcoming = tuple(

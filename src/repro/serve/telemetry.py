@@ -12,6 +12,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 
 def geometric_bounds(
     lo: float, hi: float, per_decade: int = 4
@@ -57,6 +59,38 @@ class Histogram:
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+
+    def record_many(self, values) -> None:
+        """Vector form of :meth:`record`; bit-identical by construction.
+
+        Bucket indices come from a vectorized ``searchsorted`` with the
+        same on-boundary adjustment as the scalar path, and the counts
+        land via ``bincount``.  The running ``sum`` is still folded
+        left-to-right in python float arithmetic -- a numpy reduction
+        would sum pairwise and drift from N scalar ``record`` calls.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        bounds = np.asarray(self.bounds)
+        index = np.searchsorted(bounds, values, side="right")
+        on_edge = (index > 0) & (
+            values == bounds[np.maximum(index - 1, 0)]
+        )
+        index = index - on_edge
+        for bucket, count in enumerate(
+            np.bincount(index, minlength=len(self.counts)).tolist()
+        ):
+            self.counts[bucket] += count
+        self.total += int(values.size)
+        acc = self.sum
+        for value in values.tolist():
+            acc += value
+        self.sum = acc
+        lo = float(values.min())
+        hi = float(values.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
 
     @property
     def mean(self) -> float:
@@ -143,6 +177,38 @@ class Telemetry:
         self.energy_pj.record(
             (served.compute_energy_j + served.transition_energy_j) * 1e12
         )
+
+    def record_batch(
+        self,
+        operator_counts: Dict[str, int],
+        num_switched: int,
+        num_degraded: int,
+        num_batched: int,
+        latency_values,
+        settle_values,
+        energy_values,
+    ) -> None:
+        """Batched :meth:`record_phase`: same totals as N scalar calls.
+
+        Counter bumps are integer sums (order-free); histogram values
+        must arrive in frame submission order (``settle_values`` already
+        filtered to the positive entries, order preserved) so the
+        float ``sum`` folds match the scalar sequence exactly.
+        """
+        self.bump("requests", sum(operator_counts.values()))
+        for operator, count in operator_counts.items():
+            self.per_operator[operator] = (
+                self.per_operator.get(operator, 0) + count
+            )
+        if num_switched:
+            self.bump("mode_switches", num_switched)
+        if num_degraded:
+            self.bump("degraded", num_degraded)
+        if num_batched:
+            self.bump("batched_slews", num_batched)
+        self.latency_ns.record_many(latency_values)
+        self.settle_ns.record_many(settle_values)
+        self.energy_pj.record_many(energy_values)
 
     def snapshot(self) -> Dict:
         return {

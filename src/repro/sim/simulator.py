@@ -52,15 +52,16 @@ ENGINES = ("auto", "packed", "interpreted")
 
 
 def resolve_engine_request(engine: Optional[str]) -> str:
-    """Normalize an engine request (None -> ``$REPRO_SIM_ENGINE`` -> auto)."""
-    requested = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR)
-    if not requested:
-        requested = "auto"
-    if requested not in ENGINES:
-        raise ValueError(
-            f"unknown simulation engine {requested!r}; expected one of {ENGINES}"
-        )
-    return requested
+    """Normalize an engine request (None -> ``$REPRO_SIM_ENGINE`` -> auto).
+
+    Delegates to :func:`repro.core.config.resolve_env_choice`, the one
+    choice-knob policy shared with the STA and serve engine selectors.
+    """
+    from repro.core.config import resolve_env_choice
+
+    return resolve_env_choice(
+        engine, ENGINE_ENV_VAR, ENGINES, what="simulation engine"
+    )
 
 
 class SimulationMode(enum.Enum):

@@ -63,18 +63,11 @@ def resolve_sta_engine(engine: Optional[str]) -> str:
     an explicit ``--sta-engine lattice`` and a defaulted ``auto`` share
     shard entries while lattice and pointwise runs never do.
     """
-    requested = engine if engine is not None else "auto"
-    if requested not in STA_ENGINES:
-        raise ValueError(
-            f"unknown STA engine {requested!r}; expected one of {STA_ENGINES}"
-        )
-    if requested == "auto":
-        requested = os.environ.get(STA_ENGINE_ENV_VAR) or "auto"
-        if requested not in STA_ENGINES:
-            raise ValueError(
-                f"${STA_ENGINE_ENV_VAR} must be one of {STA_ENGINES}, "
-                f"got {requested!r}"
-            )
+    from repro.core.config import resolve_env_choice
+
+    requested = resolve_env_choice(
+        engine, STA_ENGINE_ENV_VAR, STA_ENGINES, what="STA engine"
+    )
     return "pointwise" if requested == "pointwise" else "lattice"
 
 

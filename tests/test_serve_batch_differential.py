@@ -1,0 +1,488 @@
+"""Differential wall: the batched serve kernel vs the scalar reference.
+
+Every test here runs the same work twice -- once through the scalar
+per-request path (``engine="scalar"``) and once through the batched
+array kernel (``engine="batch"``) -- and asserts **bit identity**:
+equal ServedPhase streams, equal telemetry snapshots (histogram float
+sums included), equal per-operator reports.  This is the serve-tier
+analogue of ``tests/test_sta_lattice_differential.py``.
+
+Covered surfaces: trace replay for all three policies, multi-operator
+frames with pool contention and queue-depth degradation, array-out
+serving, the time-invariant margin guard (including statically unsafe
+modes), the scalar fallback under a time-varying fault schedule,
+exception parity for uncoverable requests, the asyncio server's drain
+window, and a real 2-worker fleet.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.runtime import WorkloadPhase
+from repro.faults.environment import SiliconEnvironment
+from repro.faults.events import KIND_TEMP_DRIFT, FaultEvent, FaultSchedule
+from repro.io.results import save_mode_table
+from repro.serve import (
+    MarginGuard,
+    ModeScheduler,
+    ServeRequest,
+    replay_trace,
+)
+from repro.serve.server import AccuracyServer, phase_to_dict
+from tests.conftest import build_margined_table, build_synthetic_table
+
+POLICIES = ("greedy", "hysteresis", "lookahead")
+BITWIDTHS = (2, 4, 6, 8)
+
+
+def phase_trace(length, seed=7, bits_pool=BITWIDTHS, max_run=6):
+    """Phase-structured workload: runs of equal bits, varying cycles."""
+    rng = np.random.default_rng(seed)
+    phases = []
+    while len(phases) < length:
+        bits = int(rng.choice(bits_pool))
+        for _ in range(int(rng.integers(1, max_run))):
+            phases.append(
+                WorkloadPhase(
+                    required_bits=bits, cycles=int(rng.integers(0, 50_000))
+                )
+            )
+            if len(phases) == length:
+                break
+    return phases
+
+
+def request_mix(length, operators, seed=11, bits_pool=BITWIDTHS):
+    rng = np.random.default_rng(seed)
+    return [
+        ServeRequest(
+            operators[int(rng.integers(0, len(operators)))],
+            int(rng.choice(bits_pool)),
+            int(rng.integers(0, 5_000)),
+        )
+        for _ in range(length)
+    ]
+
+
+def twin_schedulers(
+    table_factory=build_synthetic_table, guard_factory=None, **kwargs
+):
+    """Identical schedulers, one per engine (separate tables/guards)."""
+    pair = []
+    for engine in ("scalar", "batch"):
+        table = table_factory()
+        guard = guard_factory(table) if guard_factory is not None else None
+        pair.append(
+            ModeScheduler(table, guard=guard, engine=engine, **kwargs)
+        )
+    return pair
+
+
+def assert_schedulers_equal(scalar, batch):
+    assert scalar.telemetry.snapshot() == batch.telemetry.snapshot()
+    assert sorted(scalar.operators) == sorted(batch.operators)
+    for operator in scalar.operators:
+        assert scalar.report(operator) == batch.report(operator)
+
+
+class TestReplayDifferential:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("length", [1, 2, 7, 63, 400])
+    def test_reports_bit_identical(self, policy, length):
+        table = build_synthetic_table()
+        trace = phase_trace(length, seed=length)
+        scalar = replay_trace(table, trace, policy=policy, engine="scalar")
+        batch = replay_trace(table, trace, policy=policy, engine="batch")
+        assert scalar == batch
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_adversarial_alternating_trace(self, policy):
+        # Every request switches: the worst case for run-length collapse.
+        trace = [
+            WorkloadPhase(required_bits=BITWIDTHS[i % 4], cycles=1_000 + i)
+            for i in range(120)
+        ]
+        table = build_synthetic_table()
+        assert replay_trace(
+            table, trace, policy=policy, engine="scalar"
+        ) == replay_trace(table, trace, policy=policy, engine="batch")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_uncovered_bits_still_covered_identically(self, policy):
+        # Bits 1/3/5/7 have no exact mode; the cover table must match
+        # mode_key_for for every one of them.
+        trace = [
+            WorkloadPhase(required_bits=bits, cycles=2_500)
+            for bits in (1, 3, 5, 7, 8, 7, 5, 3, 1, 2, 6, 4)
+        ]
+        table = build_synthetic_table()
+        assert replay_trace(
+            table, trace, policy=policy, engine="scalar"
+        ) == replay_trace(table, trace, policy=policy, engine="batch")
+
+    @pytest.mark.parametrize("window", [0, 1, 2, 4, 9])
+    def test_lookahead_windows(self, window):
+        table = build_synthetic_table()
+        trace = phase_trace(90, seed=window + 1)
+        assert replay_trace(
+            table, trace, policy="lookahead", engine="scalar",
+            lookahead_window=window,
+        ) == replay_trace(
+            table, trace, policy="lookahead", engine="batch",
+            lookahead_window=window,
+        )
+
+    def test_zero_cycle_phases(self):
+        table = build_synthetic_table()
+        trace = [WorkloadPhase(required_bits=b, cycles=0) for b in (8, 2, 8)]
+        for policy in POLICIES:
+            assert replay_trace(
+                table, trace, policy=policy, engine="scalar"
+            ) == replay_trace(table, trace, policy=policy, engine="batch")
+
+
+class TestFrameDifferential:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_submit_batch_equals_submit_loop(self, policy):
+        # The contract in one assert: submit_batch(frame) is the phase
+        # list a submit() loop produces, on the same scheduler state.
+        reference, batch = twin_schedulers(
+            policy=policy, num_generators=2, max_queue_depth=4
+        )
+        requests = request_mix(200, ("mac0", "mac1", "mac2"))
+        expected = [reference.submit(r) for r in requests]
+        got = batch.submit_batch(requests)
+        assert got == expected
+        assert_schedulers_equal(reference, batch)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("depth", [1, 2, 8])
+    def test_contention_and_degradation(self, policy, depth):
+        scalar, batch = twin_schedulers(
+            policy=policy, num_generators=1, max_queue_depth=depth
+        )
+        operators = ("a", "b", "c", "d")
+        for frame in range(25):
+            requests = request_mix(
+                17 + frame, operators, seed=100 * depth + frame
+            )
+            assert scalar.submit_batch(requests) == batch.submit_batch(
+                requests
+            ), f"frame {frame} diverged"
+        assert_schedulers_equal(scalar, batch)
+        # The mix must actually exercise the degraded path for depth 1.
+        if depth == 1:
+            assert scalar.telemetry.counters["degraded"] > 0
+
+    def test_state_carries_across_frames(self):
+        scalar, batch = twin_schedulers(policy="hysteresis")
+        for seed in range(12):
+            requests = request_mix(1 + seed * 3, ("x", "y"), seed=seed)
+            assert scalar.submit_batch(requests) == batch.submit_batch(
+                requests
+            )
+            # Interleave scalar submits between frames on both sides:
+            # frame state must compose with per-request state.
+            probe = ServeRequest("x", 4, 111)
+            assert scalar.submit(probe) == batch.submit(probe)
+        assert_schedulers_equal(scalar, batch)
+
+    def test_empty_frame(self):
+        scalar, batch = twin_schedulers()
+        assert scalar.submit_batch([]) == [] == batch.submit_batch([])
+        assert_schedulers_equal(scalar, batch)
+
+    def test_arrays_match_scalar_phases(self):
+        scalar, batch = twin_schedulers(policy="greedy", num_generators=2)
+        requests = request_mix(150, ("p", "q"))
+        expected = [scalar.submit(r) for r in requests]
+        result = batch.submit_batch_arrays(
+            [r.operator for r in requests],
+            np.array([r.required_bits for r in requests]),
+            np.array([r.cycles for r in requests]),
+        )
+        assert result.served_bits.tolist() == [
+            p.served_bits for p in expected
+        ]
+        assert result.switched.tolist() == [p.switched for p in expected]
+        assert result.batched.tolist() == [p.batched for p in expected]
+        assert result.degraded.tolist() == [p.degraded for p in expected]
+        assert result.compute_energy_j.tolist() == [
+            p.compute_energy_j for p in expected
+        ]
+        assert result.transition_energy_j.tolist() == [
+            p.transition_energy_j for p in expected
+        ]
+        assert result.settle_ns.tolist() == [p.settle_ns for p in expected]
+        assert result.queue_wait_ns.tolist() == [
+            p.queue_wait_ns for p in expected
+        ]
+        assert result.decided_at_ns.tolist() == [
+            p.decided_at_ns for p in expected
+        ]
+        assert_schedulers_equal(scalar, batch)
+
+
+class TestGuardDifferential:
+    @staticmethod
+    def margined_guard(headroom_ps=5.0, slacks=None):
+        def factory(table):
+            return MarginGuard(
+                table, SiliconEnvironment(), headroom_ps=headroom_ps
+            )
+
+        return factory
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_statically_unsafe_modes(self, policy):
+        # Modes 4 and 6 fall below the headroom at t=0: the guard must
+        # substitute on *every* pick, identically in both engines.
+        def table_factory():
+            return build_margined_table(
+                guarded_slack_ps={4: 1.0, 6: 2.0}
+            )
+
+        scalar, batch = twin_schedulers(
+            table_factory=table_factory,
+            policy=policy,
+            guard_factory=self.margined_guard(headroom_ps=5.0),
+        )
+        for frame in range(20):
+            requests = request_mix(23, ("op0", "op1"), seed=frame)
+            assert scalar.submit_batch(requests) == batch.submit_batch(
+                requests
+            )
+        assert_schedulers_equal(scalar, batch)
+        assert scalar.telemetry.counters["margin_fallbacks"] > 0
+
+    def test_all_modes_safe_guard_is_transparent(self):
+        scalar, batch = twin_schedulers(
+            table_factory=build_margined_table,
+            guard_factory=self.margined_guard(headroom_ps=0.0),
+        )
+        requests = request_mix(120, ("op",))
+        assert scalar.submit_batch(requests) == batch.submit_batch(requests)
+        assert scalar.telemetry.counters["margin_fallbacks"] == 0
+        assert_schedulers_equal(scalar, batch)
+
+    def test_time_varying_schedule_falls_back_identically(self):
+        # A scheduled fault makes the environment time-varying: the
+        # batch engine must refuse the fast path and serve through the
+        # scalar loop -- results stay identical by construction, which
+        # this locks in.
+        def guard_factory(table):
+            schedule = FaultSchedule(
+                (
+                    FaultEvent(
+                        kind=KIND_TEMP_DRIFT,
+                        start_ns=1_000.0,
+                        duration_ns=50_000.0,
+                        magnitude=30.0,
+                    ),
+                )
+            )
+            return MarginGuard(
+                table, SiliconEnvironment(schedule), headroom_ps=2.0
+            )
+
+        scalar, batch = twin_schedulers(
+            table_factory=build_margined_table,
+            guard_factory=guard_factory,
+        )
+        for frame in range(8):
+            requests = request_mix(31, ("a", "b"), seed=frame + 50)
+            assert scalar.submit_batch(requests) == batch.submit_batch(
+                requests
+            )
+        assert_schedulers_equal(scalar, batch)
+
+
+class TestExceptionParity:
+    def test_uncoverable_bits_raise_identically(self):
+        scalar, batch = twin_schedulers()
+        prefix = request_mix(9, ("op",))
+        bad = prefix + [ServeRequest("op", 16, 100)] + request_mix(3, ("op",))
+        with pytest.raises(ValueError) as scalar_err:
+            for request in bad:
+                scalar.submit(request)
+        with pytest.raises(ValueError) as batch_err:
+            batch.submit_batch(bad)
+        assert str(scalar_err.value) == str(batch_err.value)
+        # The failed frame served the same prefix on both sides.
+        assert_schedulers_equal(scalar, batch)
+
+
+class TestServerDrainWindow:
+    @staticmethod
+    def drive(engine, drain_window=32):
+        scheduler = ModeScheduler(
+            build_synthetic_table(), num_generators=2, engine=engine
+        )
+        server = AccuracyServer(
+            scheduler, max_pending=256, drain_window=drain_window
+        )
+        requests = request_mix(180, ("s0", "s1", "s2"), seed=3)
+
+        async def body():
+            async with server:
+                phases = await asyncio.gather(
+                    *(
+                        server.request(r.operator, r.required_bits, r.cycles)
+                        for r in requests
+                    )
+                )
+                return phases, server.stats()
+
+        return asyncio.run(body())
+
+    def test_batch_drain_matches_scalar_drain(self):
+        scalar_phases, scalar_stats = self.drive("scalar")
+        batch_phases, batch_stats = self.drive("batch")
+        assert [phase_to_dict(p) for p in batch_phases] == [
+            phase_to_dict(p) for p in scalar_phases
+        ]
+        assert batch_stats == scalar_stats
+
+    def test_window_of_one_disables_batching(self):
+        phases, stats = self.drive("batch", drain_window=1)
+        reference, ref_stats = self.drive("scalar")
+        assert [phase_to_dict(p) for p in phases] == [
+            phase_to_dict(p) for p in reference
+        ]
+        assert stats == ref_stats
+
+    def test_uncoverable_request_fails_alone_in_batch_window(self):
+        scheduler = ModeScheduler(build_synthetic_table(), engine="batch")
+        server = AccuracyServer(scheduler, max_pending=64)
+
+        async def body():
+            async with server:
+                results = await asyncio.gather(
+                    server.request("op", 4, 100),
+                    server.request("op", 16, 100),
+                    server.request("op", 6, 100),
+                    return_exceptions=True,
+                )
+                return results
+
+        ok1, bad, ok2 = asyncio.run(body())
+        assert ok1.served_bits >= 4
+        assert isinstance(bad, ValueError)
+        assert ok2.served_bits >= 6
+
+
+class TestFleetEngines:
+    def test_two_worker_fleet_bit_identical_across_engines(self):
+        from repro.fleet import FleetRouter
+
+        table = build_synthetic_table()
+        requests = [
+            (r.operator, r.required_bits, r.cycles)
+            for r in request_mix(
+                400, tuple(f"op{i}" for i in range(6)), seed=9
+            )
+        ]
+        results = {}
+        stats = {}
+        for engine in ("scalar", "batch"):
+            with FleetRouter(
+                table, workers=2, batch_window=16, engine=engine
+            ) as router:
+                phases = []
+                for offset in range(0, len(requests), 100):
+                    phases.extend(
+                        router.submit_many(requests[offset : offset + 100])
+                    )
+                results[engine] = phases
+                stats[engine] = router.stats()
+        assert results["batch"] == results["scalar"]
+        assert stats["batch"]["counters"] == stats["scalar"]["counters"]
+        for batch_w, scalar_w in zip(
+            stats["batch"]["workers"], stats["scalar"]["workers"]
+        ):
+            assert batch_w["telemetry"] == scalar_w["telemetry"]
+
+
+class TestReplayCli:
+    @pytest.fixture()
+    def table_path(self, tmp_path):
+        path = tmp_path / "table.json"
+        with open(path, "w") as stream:
+            save_mode_table(build_synthetic_table(), stream)
+        return str(path)
+
+    @staticmethod
+    def replay_line(capsys, table_path, *extra):
+        assert (
+            main(
+                ["replay", "--table", table_path, "--phases", "40", *extra]
+            )
+            == 0
+        )
+        return capsys.readouterr().out.strip().splitlines()[-1]
+
+    def test_engines_print_identical_reports(self, capsys, table_path):
+        lines = {
+            engine: self.replay_line(
+                capsys, table_path, "--serve-engine", engine
+            )
+            for engine in ("auto", "batch", "scalar")
+        }
+        assert lines["auto"] == lines["batch"] == lines["scalar"]
+        assert lines["auto"].startswith("policy greedy:")
+
+    def test_env_override_and_bad_value(
+        self, capsys, table_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVE_ENGINE", "scalar")
+        scalar_env = self.replay_line(capsys, table_path)
+        monkeypatch.setenv("REPRO_SERVE_ENGINE", "batch")
+        batch_env = self.replay_line(capsys, table_path)
+        assert scalar_env == batch_env
+        monkeypatch.setenv("REPRO_SERVE_ENGINE", "warp")
+        with pytest.raises(ValueError, match="REPRO_SERVE_ENGINE"):
+            self.replay_line(capsys, table_path)
+
+    def test_unknown_engine_flag_rejected(self, table_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "replay",
+                    "--table",
+                    table_path,
+                    "--serve-engine",
+                    "warp",
+                ]
+            )
+
+    @pytest.mark.parametrize("policy", ["hysteresis", "lookahead"])
+    def test_policies_identical_across_engines(
+        self, capsys, table_path, policy
+    ):
+        lines = {
+            engine: self.replay_line(
+                capsys, table_path, "--policy", policy,
+                "--serve-engine", engine,
+            )
+            for engine in ("batch", "scalar")
+        }
+        assert lines["batch"] == lines["scalar"]
+
+
+class TestJsonSafety:
+    def test_batched_phases_serialize_like_scalar(self):
+        # phase_to_dict feeds json.dumps on the socket path: the batch
+        # kernel must hand back python scalars, not numpy ones.
+        scalar, batch = twin_schedulers()
+        requests = request_mix(25, ("op",))
+        expected = [json.dumps(phase_to_dict(p)) for p in scalar.submit_batch(requests)]
+        scalar2, batch2 = twin_schedulers()
+        del scalar2
+        got = [
+            json.dumps(phase_to_dict(p)) for p in batch2.submit_batch(requests)
+        ]
+        assert got == expected

@@ -1,0 +1,171 @@
+"""Property-based bit-identity for the batched serve kernel.
+
+Hypothesis drives randomized traces, frame shapes, policies and pool
+configurations through twin schedulers (one per engine) and asserts the
+batched kernel never diverges from the scalar reference -- the serve
+analogue of ``tests/test_sta_lattice_property.py``.  Also home of the
+``resolve_serve_engine`` selector contract (flag / env precedence and
+error shapes, shared with the sim and STA selectors).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import WorkloadPhase
+from repro.serve import (
+    SERVE_ENGINES,
+    ModeScheduler,
+    ServeRequest,
+    replay_trace,
+    resolve_serve_engine,
+)
+from repro.serve.compiled import SERVE_ENGINE_ENV
+from repro.serve.telemetry import Histogram
+from tests.conftest import build_synthetic_table
+
+PROPERTY_SETTINGS = settings(max_examples=40, deadline=None)
+
+#: Any bits in [1, 8] is coverable by the synthetic table.
+REQUEST = st.tuples(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=20_000),
+)
+
+
+@st.composite
+def frame_sequence(draw):
+    """A short sequence of frames over a couple of operators."""
+    num_ops = draw(st.integers(min_value=1, max_value=3))
+    operators = [f"op{i}" for i in range(num_ops)]
+    frames = draw(
+        st.lists(
+            st.lists(
+                st.tuples(st.sampled_from(operators), REQUEST),
+                min_size=1,
+                max_size=25,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return [
+        [ServeRequest(op, bits, cycles) for op, (bits, cycles) in frame]
+        for frame in frames
+    ]
+
+
+@PROPERTY_SETTINGS
+@given(
+    policy=st.sampled_from(("greedy", "hysteresis", "lookahead")),
+    trace=st.lists(REQUEST, min_size=1, max_size=80),
+    window=st.integers(min_value=0, max_value=6),
+)
+def test_replay_engines_agree(policy, trace, window):
+    table = build_synthetic_table()
+    workload = [
+        WorkloadPhase(required_bits=b, cycles=c) for b, c in trace
+    ]
+    assert replay_trace(
+        table, workload, policy=policy, engine="scalar",
+        lookahead_window=window,
+    ) == replay_trace(
+        table, workload, policy=policy, engine="batch",
+        lookahead_window=window,
+    )
+
+
+@PROPERTY_SETTINGS
+@given(
+    policy=st.sampled_from(("greedy", "hysteresis", "lookahead")),
+    frames=frame_sequence(),
+    generators=st.integers(min_value=1, max_value=3),
+    depth=st.integers(min_value=1, max_value=6),
+)
+def test_frames_bit_identical(policy, frames, generators, depth):
+    scalar = ModeScheduler(
+        build_synthetic_table(),
+        num_generators=generators,
+        policy=policy,
+        max_queue_depth=depth,
+        engine="scalar",
+    )
+    batch = ModeScheduler(
+        build_synthetic_table(),
+        num_generators=generators,
+        policy=policy,
+        max_queue_depth=depth,
+        engine="batch",
+    )
+    for frame in frames:
+        assert scalar.submit_batch(frame) == batch.submit_batch(frame)
+    assert scalar.telemetry.snapshot() == batch.telemetry.snapshot()
+    for operator in scalar.operators:
+        assert scalar.report(operator) == batch.report(operator)
+
+
+@PROPERTY_SETTINGS
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=0.0,
+            max_value=1e8,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=0,
+        max_size=60,
+    )
+)
+def test_record_many_matches_scalar_record(values):
+    bounds = [1.0, 10.0, 100.0, 1_000.0, 10_000.0]
+    scalar = Histogram(bounds, unit="x")
+    vector = Histogram(bounds, unit="x")
+    for value in values:
+        scalar.record(value)
+    vector.record_many(np.asarray(values, dtype=np.float64))
+    assert vector.to_dict() == scalar.to_dict()
+
+
+class TestResolveServeEngine:
+    def test_defaults_to_batch(self, monkeypatch):
+        monkeypatch.delenv(SERVE_ENGINE_ENV, raising=False)
+        assert resolve_serve_engine(None) == "batch"
+        assert resolve_serve_engine("auto") == "batch"
+
+    def test_explicit_requests_win(self, monkeypatch):
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "scalar")
+        assert resolve_serve_engine("batch") == "batch"
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "batch")
+        assert resolve_serve_engine("scalar") == "scalar"
+
+    def test_env_steers_auto(self, monkeypatch):
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "scalar")
+        assert resolve_serve_engine(None) == "scalar"
+        assert resolve_serve_engine("auto") == "scalar"
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "batch")
+        assert resolve_serve_engine("auto") == "batch"
+
+    def test_unknown_request_message_shape(self):
+        with pytest.raises(ValueError, match="unknown serve engine 'warp'"):
+            resolve_serve_engine("warp")
+
+    def test_bad_env_message_shape(self, monkeypatch):
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "warp")
+        with pytest.raises(
+            ValueError, match=r"\$REPRO_SERVE_ENGINE must be one of"
+        ):
+            resolve_serve_engine("auto")
+
+    def test_engines_tuple_is_the_contract(self):
+        assert SERVE_ENGINES == ("auto", "batch", "scalar")
+
+    def test_scheduler_records_resolved_engine(self, monkeypatch):
+        monkeypatch.delenv(SERVE_ENGINE_ENV, raising=False)
+        table = build_synthetic_table()
+        assert ModeScheduler(table).serve_engine == "batch"
+        assert (
+            ModeScheduler(table, engine="scalar").serve_engine == "scalar"
+        )
+        monkeypatch.setenv(SERVE_ENGINE_ENV, "scalar")
+        assert ModeScheduler(table, engine="auto").serve_engine == "scalar"

@@ -347,6 +347,90 @@ class TestExpiryBoundaries:
         assert pool.pending == []
 
 
+class TestDropoutBoundaries:
+    """apply_dropouts at its edges: last survivor, restore, rebalance."""
+
+    def test_dropping_the_only_generator_empties_the_pool(self):
+        pool = GeneratorPool(1)
+        pool.apply_dropouts(frozenset({0}), 0.0)
+        assert pool.num_available == 0
+        assert pool.dropouts == 1
+        # Nothing to rebalance onto: acquire must signal "degrade".
+        assert pool.acquire(0.0, 100.0, ("a",)) is None
+
+    def test_restore_after_total_dropout(self):
+        pool = GeneratorPool(1)
+        pool.apply_dropouts(frozenset({0}), 0.0)
+        pool.apply_dropouts(frozenset(), 10.0)
+        assert pool.num_available == 1
+        assert pool.acquire(10.0, 50.0, ("a",)) == (10.0, 60.0, False)
+        # Dropout counter records events, not current state.
+        assert pool.dropouts == 1
+
+    def test_redropping_a_dead_generator_is_idempotent(self):
+        pool = GeneratorPool(2)
+        pool.apply_dropouts(frozenset({0}), 0.0)
+        pool.apply_dropouts(frozenset({0}), 1.0)
+        assert pool.dropouts == 1
+        assert pool.num_available == 1
+
+    def test_pending_grant_rebalances_to_survivor(self):
+        pool = GeneratorPool(2)
+        pool.acquire(0.0, 100.0, ("a",))  # gen 0, starts now
+        pool.acquire(0.0, 100.0, ("b",))  # gen 1, starts now
+        queued = pool.acquire(0.0, 100.0, ("c",))  # queued behind one
+        assert queued[0] == 100.0
+        victim = next(
+            g.generator for g in pool.pending if g.signature == ("c",)
+        )
+        pool.apply_dropouts(frozenset({victim}), 0.0)
+        assert pool.rebalanced_grants == 1
+        survivor = 1 - victim
+        moved = next(
+            g for g in pool.pending if g.signature == ("c",)
+        )
+        assert moved.generator == survivor
+        # Same 100 ns duration, restarted behind the survivor's queue.
+        assert moved.end_ns - moved.start_ns == 100.0
+        assert pool.free_at_ns[survivor] == moved.end_ns
+
+    def test_in_flight_grant_stays_on_dropped_generator(self):
+        pool = GeneratorPool(2)
+        pool.acquire(0.0, 100.0, ("a",))  # gen 0, slewing at t=50
+        pool.apply_dropouts(frozenset({0}), 50.0)
+        grant = next(g for g in pool.pending if g.signature == ("a",))
+        assert grant.generator == 0  # pump output held through the slew
+        assert pool.rebalanced_grants == 0
+
+    def test_grant_starting_exactly_now_is_not_rebalanced(self):
+        # start_ns == now means "already started" (same half-open
+        # convention as queue_depth): the slew rides out the dropout.
+        pool = GeneratorPool(2)
+        pool.acquire(0.0, 100.0, ("a",))
+        pool.apply_dropouts(frozenset({0}), 0.0)
+        grant = next(g for g in pool.pending if g.signature == ("a",))
+        assert grant.generator == 0
+        assert pool.rebalanced_grants == 0
+
+    def test_total_dropout_skips_rebalancing(self):
+        pool = GeneratorPool(2)
+        pool.acquire(0.0, 100.0, ("a",))
+        pool.acquire(0.0, 100.0, ("b",))
+        queued = pool.acquire(0.0, 100.0, ("c",))
+        assert queued[0] == 100.0
+        pool.apply_dropouts(frozenset({0, 1}), 0.0)
+        assert pool.num_available == 0
+        # No survivor to move work onto; grants keep their bookkeeping.
+        assert pool.rebalanced_grants == 0
+        assert len(pool.pending) == 3
+
+    def test_out_of_range_ids_are_ignored(self):
+        pool = GeneratorPool(2)
+        pool.apply_dropouts(frozenset({-1, 5}), 0.0)
+        assert pool.num_available == 2
+        assert pool.dropouts == 0
+
+
 class TestDegradedAccounting:
     """submit_degraded must account telemetry and energy like any phase."""
 

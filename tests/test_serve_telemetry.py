@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.serve.telemetry import Histogram, Telemetry, geometric_bounds
@@ -83,6 +84,53 @@ class TestHistogramEdges:
         round_tripped = json.loads(json.dumps(hist.to_dict()))
         assert round_tripped["unit"] == "ns"
         assert round_tripped["counts"] == [0, 1, 0]
+
+
+class TestRecordManyEdges:
+    """The vectorized record path at the same edges as the scalar one."""
+
+    def test_values_on_every_bound_land_in_lower_buckets(self):
+        bounds = [1.0, 10.0, 100.0]
+        scalar = Histogram(bounds)
+        vector = Histogram(bounds)
+        values = [1.0, 10.0, 100.0]
+        for value in values:
+            scalar.record(value)
+        vector.record_many(np.array(values))
+        assert vector.counts == scalar.counts == [1, 1, 1, 0]
+
+    def test_underflow_and_overflow_buckets(self):
+        hist = Histogram([1.0, 10.0])
+        hist.record_many(np.array([0.25, 0.5, 11.0, 1e9]))
+        assert hist.counts == [2, 0, 2]
+        assert hist.min == 0.25 and hist.max == 1e9
+
+    def test_empty_batch_is_a_no_op(self):
+        hist = Histogram([1.0, 2.0])
+        hist.record(1.5)
+        before = hist.to_dict()
+        hist.record_many(np.array([], dtype=np.float64))
+        assert hist.to_dict() == before
+
+    def test_min_max_merge_with_prior_scalar_records(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        hist.record(5.0)
+        hist.record_many(np.array([50.0, 2.0]))
+        assert hist.min == 2.0 and hist.max == 50.0
+        hist.record_many(np.array([0.5]))
+        assert hist.min == 0.5 and hist.max == 50.0
+
+    def test_sum_folds_left_to_right_like_scalar(self):
+        # Values chosen so pairwise (numpy) summation disagrees with a
+        # sequential fold in the last ulp -- the bit-identity contract.
+        values = [1e16, 1.0, 1.0, 1.0, -1e16, 1.0]
+        scalar = Histogram([1.0])
+        vector = Histogram([1.0])
+        for value in values:
+            scalar.record(value)
+        vector.record_many(np.array(values))
+        assert vector.sum == scalar.sum
+        assert vector.to_dict() == scalar.to_dict()
 
 
 class TestTelemetryCounters:
