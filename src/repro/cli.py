@@ -309,12 +309,34 @@ def cmd_serve(args) -> int:
 
     table = _load_table(args.table)
     print(table.describe())
+    guard = None
+    recal = None
+    if args.recal_interval > 0.0:
+        from repro.serve.guard import MarginGuard
+        from repro.serve.recal import RecalibrationLoop
+
+        if not table.has_margins:
+            print(
+                "--recal-interval needs a margined table; re-run "
+                "`repro compile-table --margins`"
+            )
+            return 2
+        guard = MarginGuard(table)
+        recal = RecalibrationLoop(
+            guard, args.recal_interval, seed=args.seed
+        )
+        print(
+            f"recalibration loop attached (every "
+            f"{args.recal_interval:.0f} ns of operator virtual time)"
+        )
     scheduler = ModeScheduler(
         table,
         num_generators=args.generators,
         policy=args.policy,
         max_queue_depth=args.queue_depth,
         engine=args.serve_engine,
+        guard=guard,
+        recal=recal,
     )
     server = AccuracyServer(
         scheduler, host=args.host, port=args.port, max_pending=args.max_pending
@@ -379,6 +401,13 @@ def cmd_serve(args) -> int:
             f"{counters['accuracy_violations']} violations, "
             f"p99 latency {stats['latency_ns']['p99']:.0f} ns"
         )
+        if recal is not None:
+            print(
+                f"recalibration: {recal.learner.epoch} epochs, "
+                f"{recal.probes_run} probes, "
+                f"{recal.learner.demotions} demotions / "
+                f"{recal.learner.readvances} re-advances"
+            )
         if args.stats_output:
             with open(args.stats_output, "w") as stream:
                 json_module.dump(stats, stream, indent=2)
@@ -499,7 +528,8 @@ def cmd_chaos(args) -> int:
     import tempfile
 
     from repro.core.runtime import BiasGeneratorModel
-    from repro.faults import FaultSchedule, run_chaos
+    from repro.faults import FaultSchedule, recovery_schedule, run_chaos
+    from repro.faults.environment import TEMP_SLOWDOWN_PER_C
     from repro.serve.table import compile_mode_table
 
     design = _implement_for(args)
@@ -520,13 +550,39 @@ def cmd_chaos(args) -> int:
         margin_samples=args.margin_samples,
     )
     print(table.describe())
-    schedule = FaultSchedule.generate(
-        args.seed,
-        horizon_ns=args.horizon_ns,
-        num_generators=args.generators,
-        num_shards=len(settings.bitwidths),
-        intensity=args.intensity,
-    )
+    if args.recovery:
+        # Excursion sized from the compiled margins: the peak must erode
+        # past every mode's sign-off slack or nothing ever demotes.
+        worst_slack_ps = max(
+            margin.guarded_slack_ps for margin in table.margins.values()
+        )
+        magnitude_c = 1.5 * worst_slack_ps / (
+            TEMP_SLOWDOWN_PER_C * 1e3 / table.fclk_ghz
+        )
+        # The recovery shape only audits re-advance if its windows overlap
+        # live traffic, so size the horizon from the soak's actual virtual
+        # span (the request mix runs ~3e5 ns per 96 requests at 1 GHz and
+        # the clock advances cycles / fclk) instead of --horizon-ns.
+        recovery_horizon_ns = 3e5 * (args.requests / 96.0) / table.fclk_ghz
+        print(
+            f"recovery schedule: horizon {recovery_horizon_ns:.3g} ns "
+            f"(matched to {args.requests} requests at "
+            f"{table.fclk_ghz:.2f} GHz), excursion {magnitude_c:.1f} C"
+        )
+        schedule = recovery_schedule(
+            recovery_horizon_ns,
+            magnitude=magnitude_c,
+            relapse=True,
+            seed=args.seed,
+        )
+    else:
+        schedule = FaultSchedule.generate(
+            args.seed,
+            horizon_ns=args.horizon_ns,
+            num_generators=args.generators,
+            num_shards=len(settings.bitwidths),
+            intensity=args.intensity,
+        )
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
         report = run_chaos(
             table,
@@ -539,6 +595,8 @@ def cmd_chaos(args) -> int:
             seed=args.seed,
             fleet_workers=args.fleet,
             fleet_requests=args.fleet_requests,
+            recalibrate=args.recalibrate,
+            recal_interval_ns=args.recal_interval,
         )
     print(report.describe())
     if args.summary:
@@ -712,6 +770,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--clients", type=int, default=4, help="soak connections")
     p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--recal-interval",
+        type=float,
+        default=0.0,
+        metavar="NS",
+        help="attach a margin guard + canary recalibration loop probing "
+        "every NS of operator virtual time (0 = off; needs a table "
+        "compiled with --margins)",
+    )
     p.add_argument("--stats-output", help="write soak telemetry JSON here")
     p.set_defaults(func=cmd_serve)
 
@@ -853,6 +920,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="request count of the fleet soak",
+    )
+    p.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="serve with the canary-probe recalibration loop attached "
+        "and race it against the retreat-only guard (reports energy "
+        "reclaimed; with --fleet, audits margin-epoch propagation)",
+    )
+    p.add_argument(
+        "--recal-interval",
+        type=float,
+        default=None,
+        metavar="NS",
+        help="probe cadence in virtual ns (default: horizon / 32)",
+    )
+    p.add_argument(
+        "--recovery",
+        action="store_true",
+        help="replace the generated storm with a recover-then-relapse "
+        "temperature schedule sized from the compiled margins (the "
+        "energy-reclaim audit shape; pairs with --recalibrate)",
     )
     p.add_argument("--summary", help="write the chaos report JSON here")
     p.set_defaults(func=cmd_chaos, sweep_command=True)

@@ -24,10 +24,13 @@ from repro.faults.chaos import (
     ChaosReport,
     ExplorationChaosReport,
     FleetChaosReport,
+    RecalChaosReport,
     ServeChaosReport,
+    recovery_schedule,
     run_chaos,
     run_exploration_chaos,
     run_fleet_chaos,
+    run_recal_chaos,
     run_serve_chaos,
 )
 from repro.faults.environment import (
@@ -78,14 +81,17 @@ __all__ = [
     "KIND_TRANSITION_TIMEOUT",
     "KIND_VDD_DROOP",
     "KIND_WORKER_CRASH",
+    "RecalChaosReport",
     "SILICON_KINDS",
     "ServeChaosReport",
     "SiliconEnvironment",
     "TEMP_SLOWDOWN_PER_C",
     "WorkerFaultPlan",
     "corrupt_cache_entries",
+    "recovery_schedule",
     "run_chaos",
     "run_exploration_chaos",
     "run_fleet_chaos",
+    "run_recal_chaos",
     "run_serve_chaos",
 ]

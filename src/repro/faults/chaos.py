@@ -31,7 +31,9 @@ import numpy as np
 from repro.faults.environment import SiliconEnvironment
 from repro.faults.events import (
     KIND_CACHE_CORRUPT,
+    KIND_TEMP_DRIFT,
     KIND_WORKER_CRASH,
+    FaultEvent,
     FaultSchedule,
 )
 from repro.faults.injector import (
@@ -59,6 +61,16 @@ class ServeChaosReport:
     transition_failures: int = 0
     generator_dropouts: int = 0
     rebalanced_grants: int = 0
+    #: Total energy the soak served (compute + transitions), plus the
+    #: canary probes' own cost when recalibration was on (J).
+    energy_j: float = 0.0
+    probe_energy_j: float = 0.0
+    #: Recalibration-loop activity (all zero without --recalibrate).
+    recal_probes: int = 0
+    recal_epochs: int = 0
+    recal_demotions: int = 0
+    recal_readvances: int = 0
+    recal_failures: int = 0
     stayed_up: bool = False
     error: Optional[str] = None
 
@@ -85,6 +97,14 @@ class ServeChaosReport:
             f"({self.rebalanced_grants} slews rebalanced), "
             f"{self.accuracy_violations} accuracy violations, "
             f"{self.margin_violations} margin violations"
+            + (
+                f", {self.recal_epochs} recal epochs "
+                f"({self.recal_demotions} demotions / "
+                f"{self.recal_readvances} re-advances, "
+                f"{self.recal_failures} probe failures)"
+                if self.recal_epochs or self.recal_failures
+                else ""
+            )
         )
 
 
@@ -109,29 +129,70 @@ def run_serve_chaos(
     policy: str = "greedy",
     num_generators: int = 2,
     headroom_ps: float = 0.0,
+    recalibrate: bool = False,
+    recal_interval_ns: Optional[float] = None,
+    recal_bias_ps: float = 2.0,
+    readvance_probes: int = 3,
+    retreat_only: bool = False,
 ) -> ServeChaosReport:
-    """Soak a margin-guarded scheduler against *schedule*, then audit it."""
+    """Soak a margin-guarded scheduler against *schedule*, then audit it.
+
+    ``recalibrate=True`` attaches a canary-probe recalibration loop
+    (:mod:`repro.serve.recal`) so the guard re-advances as margins
+    recover; ``retreat_only=True`` runs the pessimistic baseline whose
+    guard latches every mode it ever saw unsafe.  Both variants are
+    audited by a **fresh oracle guard** over the same pure environment
+    -- not the serving guard, whose learner/latch state at audit time
+    differs from what it was at each decision instant.  Because a
+    learned margin can only restrict relative to the compile-time
+    check, zero ``margin_violations`` under recalibration *is* the
+    per-phase re-advance correctness audit.
+    """
     from repro.serve.guard import MarginGuard
+    from repro.serve.recal import RecalibrationLoop
     from repro.serve.scheduler import ModeScheduler, ServeRequest
 
     if num_operators < 1:
         raise ValueError("need at least one operator")
+    if recalibrate and retreat_only:
+        raise ValueError(
+            "recalibrate and retreat_only are mutually exclusive"
+        )
     environment = SiliconEnvironment(schedule)
-    guard = MarginGuard(table, environment, headroom_ps=headroom_ps)
+    guard = MarginGuard(
+        table,
+        environment,
+        headroom_ps=headroom_ps,
+        retreat_only=retreat_only,
+    )
+    recal = None
+    if recalibrate:
+        if recal_interval_ns is None:
+            recal_interval_ns = max(schedule.horizon_ns, 1.0) / 32.0
+        recal = RecalibrationLoop(
+            guard,
+            recal_interval_ns,
+            bias_ps=recal_bias_ps,
+            readvance_probes=readvance_probes,
+            seed=seed,
+        )
     scheduler = ModeScheduler(
         table,
         num_generators=num_generators,
         policy=policy,
         guard=guard,
+        recal=recal,
     )
     report = ServeChaosReport()
     served_log = []
+    energy_j = 0.0
     try:
         for operator, bits, cycles in chaos_requests(
             table, num_operators, requests, seed
         ):
             served = scheduler.submit(ServeRequest(operator, bits, cycles))
             served_log.append(served)
+            energy_j += served.compute_energy_j + served.transition_energy_j
             report.requests += 1
     except Exception as error:  # the soak's "stays up" criterion
         report.error = f"{type(error).__name__}: {error}"
@@ -139,7 +200,13 @@ def run_serve_chaos(
     else:
         report.stayed_up = True
 
-    # Audit against the same (pure, replayable) environment.
+    # Audit against the same (pure, replayable) environment with a
+    # *fresh* stateless guard: the oracle for "was this mode actually
+    # safe at that instant", independent of any learner or latch state
+    # the serving guard has accumulated since.
+    oracle = MarginGuard(
+        table, SiliconEnvironment(schedule), headroom_ps=headroom_ps
+    )
     for served in served_log:
         if served.served_bits < served.required_bits:
             report.accuracy_violations += 1
@@ -149,7 +216,7 @@ def run_serve_chaos(
             # whenever any covering mode was); the invariant audited
             # here is about un-overridden policy picks.
             continue
-        if not guard.mode_is_safe(served.served_bits, served.decided_at_ns):
+        if not oracle.mode_is_safe(served.served_bits, served.decided_at_ns):
             report.margin_violations += 1
 
     counters = scheduler.telemetry.counters
@@ -160,7 +227,146 @@ def run_serve_chaos(
     report.accuracy_violations += counters["accuracy_violations"]
     report.generator_dropouts = scheduler.pool.dropouts
     report.rebalanced_grants = scheduler.pool.rebalanced_grants
+    if recal is not None:
+        report.probe_energy_j = recal.probe_energy_j
+        report.recal_probes = recal.probes_run
+        report.recal_epochs = recal.learner.epoch
+        report.recal_demotions = recal.learner.demotions
+        report.recal_readvances = recal.learner.readvances
+        report.recal_failures = recal.failures
+    # The recalibrating run pays for its own probes; the comparison
+    # against the retreat-only baseline is only honest if it does.
+    report.energy_j = energy_j + report.probe_energy_j
     return report
+
+
+# -- recalibration comparator -------------------------------------------------
+
+
+def recovery_schedule(
+    horizon_ns: float = 3e5,
+    magnitude: float = 60.0,
+    relapse: bool = False,
+    seed: int = 0,
+) -> FaultSchedule:
+    """A recover-after-excursion schedule (optionally recover-then-relapse).
+
+    One early temperature excursion erodes margins past the guard's
+    threshold, then the die cools: a retreat-only guard stays latched in
+    expensive modes for the whole clean tail, which is exactly the
+    energy a recalibrating guard reclaims.  ``relapse=True`` adds a
+    second late excursion so the soak also proves re-advance does not
+    overshoot into the relapse.
+    """
+    events = [
+        FaultEvent(
+            KIND_TEMP_DRIFT,
+            0.05 * horizon_ns,
+            0.25 * horizon_ns,
+            magnitude=magnitude,
+        )
+    ]
+    if relapse:
+        events.append(
+            FaultEvent(
+                KIND_TEMP_DRIFT,
+                0.70 * horizon_ns,
+                0.20 * horizon_ns,
+                magnitude=magnitude,
+            )
+        )
+    return FaultSchedule(events, seed=seed, horizon_ns=horizon_ns)
+
+
+@dataclass
+class RecalChaosReport:
+    """Retreat-only vs recalibrating guard on one schedule + request mix."""
+
+    retreat_only: ServeChaosReport
+    recalibrating: ServeChaosReport
+    energy_reclaimed_j: float = 0.0
+    #: Fraction of the retreat-only run's energy the recalibrating run
+    #: saved, probes included.  Negative means probing cost more than
+    #: re-advancing recovered (e.g. a schedule that never recovers).
+    energy_reclaimed_fraction: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.retreat_only.ok
+            and self.recalibrating.ok
+            and self.recalibrating.recal_epochs > 0
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "retreat_only": self.retreat_only.to_dict(),
+            "recalibrating": self.recalibrating.to_dict(),
+            "energy_reclaimed_j": self.energy_reclaimed_j,
+            "energy_reclaimed_fraction": self.energy_reclaimed_fraction,
+        }
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"recal chaos [{verdict}]: retreat-only "
+            f"{self.retreat_only.energy_j:.3e} J vs recalibrating "
+            f"{self.recalibrating.energy_j:.3e} J "
+            f"(probes {self.recalibrating.probe_energy_j:.3e} J) -> "
+            f"{100.0 * self.energy_reclaimed_fraction:.1f}% reclaimed, "
+            f"{self.recalibrating.recal_readvances} re-advances, "
+            f"0 violations required on both runs"
+        )
+
+
+def run_recal_chaos(
+    table,
+    schedule: FaultSchedule,
+    num_operators: int = 3,
+    requests: int = 96,
+    seed: int = 7,
+    policy: str = "greedy",
+    num_generators: int = 2,
+    headroom_ps: float = 0.0,
+    recal_interval_ns: Optional[float] = None,
+    recal_bias_ps: float = 2.0,
+    readvance_probes: int = 3,
+) -> RecalChaosReport:
+    """Race the retreat-only guard against the recalibrating one.
+
+    Identical schedule, seed and request mix; the only difference is the
+    guard's margin source.  The reclaimed-energy fraction charges the
+    recalibrating run for its own canary probes.
+    """
+    common = dict(
+        num_operators=num_operators,
+        requests=requests,
+        seed=seed,
+        policy=policy,
+        num_generators=num_generators,
+        headroom_ps=headroom_ps,
+    )
+    baseline = run_serve_chaos(
+        table, schedule, retreat_only=True, **common
+    )
+    recal = run_serve_chaos(
+        table,
+        schedule,
+        recalibrate=True,
+        recal_interval_ns=recal_interval_ns,
+        recal_bias_ps=recal_bias_ps,
+        readvance_probes=readvance_probes,
+        **common,
+    )
+    reclaimed = baseline.energy_j - recal.energy_j
+    fraction = reclaimed / baseline.energy_j if baseline.energy_j else 0.0
+    return RecalChaosReport(
+        retreat_only=baseline,
+        recalibrating=recal,
+        energy_reclaimed_j=reclaimed,
+        energy_reclaimed_fraction=fraction,
+    )
 
 
 # -- fleet-side soak ---------------------------------------------------------
@@ -196,6 +402,14 @@ class FleetChaosReport:
     peers_retreated: bool = False
     unanswered_requests: int = 0
     segment_leaked: bool = False
+    #: Recalibration propagation (only audited when recal is enabled).
+    recal_enabled: bool = False
+    bus_recal_epoch: int = 0
+    fleet_margin_syncs: int = 0
+    #: Worst count of requests any peer decided between the final margin
+    #: epoch first appearing fleet-wide and that peer reporting it.
+    worst_recal_lag: int = -1
+    recal_converged: bool = True
     stayed_up: bool = False
     error: Optional[str] = None
 
@@ -208,6 +422,10 @@ class FleetChaosReport:
             and self.peers_retreated
             and 0 <= self.worst_propagation <= self.propagation_bound
             and not self.segment_leaked
+            and (
+                not self.recal_enabled
+                or (self.recal_converged and self.bus_recal_epoch > 0)
+            )
         )
 
     def to_dict(self) -> Dict:
@@ -225,6 +443,14 @@ class FleetChaosReport:
             f"{self.propagation_bound} requests, "
             f"{self.accuracy_violations} accuracy violations, "
             f"segment leaked: {self.segment_leaked}"
+            + (
+                f", recal epoch {self.bus_recal_epoch} "
+                f"({self.fleet_margin_syncs} peer syncs, worst lag "
+                f"{self.worst_recal_lag} <= {self.propagation_bound}, "
+                f"converged: {self.recal_converged})"
+                if self.recal_enabled
+                else ""
+            )
         )
 
 
@@ -239,6 +465,7 @@ def run_fleet_chaos(
     batch_window: int = 16,
     retreat_budget: int = 32,
     chunk: int = 256,
+    recal_interval_ns: float = 0.0,
 ) -> FleetChaosReport:
     """Soak a fleet against *schedule* injected on worker 0, then audit.
 
@@ -256,7 +483,9 @@ def run_fleet_chaos(
             "fleet chaos needs a margined table (the degradation signal "
             "is the margin guard's fallback); compile with --margins"
         )
-    report = FleetChaosReport(workers=workers)
+    report = FleetChaosReport(
+        workers=workers, recal_enabled=recal_interval_ns > 0.0
+    )
     router = FleetRouter(
         table,
         workers=workers,
@@ -266,6 +495,8 @@ def run_fleet_chaos(
         guard=True,
         schedules={0: schedule.to_dict()},
         max_queue_depth=requests + 1,
+        recal_interval_ns=recal_interval_ns,
+        recal_seed=seed,
     )
     report.propagation_bound = router.max_inflight * router.batch_window
 
@@ -368,6 +599,46 @@ def run_fleet_chaos(
         report.peers_retreated = peers_ok and bool(peers)
         if gaps:
             report.worst_propagation = max(gaps)
+
+    # Recal-epoch convergence audit: the final committed margin epoch
+    # must reach every peer that keeps deciding within the same bounded
+    # window degradation honors (a peer that stops deciding cannot poll
+    # the bus -- by design retreat/re-advance costs nothing on a worker
+    # serving nothing, so such peers are exempt, not failures).
+    if report.recal_enabled:
+        report.bus_recal_epoch = stats.get("bus_recal_epoch", 0)
+        report.fleet_margin_syncs = counters.get("fleet_margin_syncs", 0)
+        final_epoch = max(
+            (p.recal_epoch for p in phases if p is not None), default=0
+        )
+        if final_epoch <= 0:
+            report.recal_converged = False
+        else:
+            first_index = next(
+                index
+                for index, phase in enumerate(phases)
+                if phase is not None and phase.recal_epoch == final_epoch
+            )
+            lags = []
+            converged = True
+            tail = [p for p in phases[first_index + 1 :] if p is not None]
+            for peer in {p.worker_id for p in tail}:
+                lag = 0
+                reached = False
+                for phase in tail:
+                    if phase.worker_id != peer:
+                        continue
+                    if phase.recal_epoch >= final_epoch:
+                        reached = True
+                        break
+                    lag += 1
+                if reached:
+                    lags.append(lag)
+                elif lag >= report.propagation_bound:
+                    converged = False
+            report.recal_converged = converged
+            if lags:
+                report.worst_recal_lag = max(lags)
     return report
 
 
@@ -514,6 +785,7 @@ class ChaosReport:
     serve: ServeChaosReport
     exploration: Optional[ExplorationChaosReport] = None
     fleet: Optional[FleetChaosReport] = None
+    recal: Optional[RecalChaosReport] = None
 
     @property
     def ok(self) -> bool:
@@ -521,6 +793,7 @@ class ChaosReport:
             self.serve.ok
             and (self.exploration is None or self.exploration.ok)
             and (self.fleet is None or self.fleet.ok)
+            and (self.recal is None or self.recal.ok)
         )
 
     def to_dict(self) -> Dict:
@@ -536,6 +809,9 @@ class ChaosReport:
             "fleet": (
                 self.fleet.to_dict() if self.fleet is not None else None
             ),
+            "recal": (
+                self.recal.to_dict() if self.recal is not None else None
+            ),
         }
 
     def describe(self) -> str:
@@ -544,6 +820,8 @@ class ChaosReport:
             lines.append(self.exploration.describe())
         if self.fleet is not None:
             lines.append(self.fleet.describe())
+        if self.recal is not None:
+            lines.append(self.recal.describe())
         lines.append(f"chaos run: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
@@ -559,19 +837,36 @@ def run_chaos(
     seed: int = 7,
     fleet_workers: int = 0,
     fleet_requests: int = 1024,
+    recalibrate: bool = False,
+    recal_interval_ns: Optional[float] = None,
 ) -> ChaosReport:
     """Replay *schedule* against serving and (optionally) exploration.
 
     ``fleet_workers >= 2`` additionally soaks the fleet tier
     (:func:`run_fleet_chaos`) with the same schedule and seed.
+    ``recalibrate=True`` serves with the canary-probe loop attached,
+    races it against the retreat-only baseline for the reclaimed-energy
+    report, and (with a fleet) audits margin-epoch propagation.
     """
-    serve = run_serve_chaos(
-        table,
-        schedule,
-        num_operators=num_operators,
-        requests=requests,
-        seed=seed,
-    )
+    recal = None
+    if recalibrate:
+        recal = run_recal_chaos(
+            table,
+            schedule,
+            num_operators=num_operators,
+            requests=requests,
+            seed=seed,
+            recal_interval_ns=recal_interval_ns,
+        )
+        serve = recal.recalibrating
+    else:
+        serve = run_serve_chaos(
+            table,
+            schedule,
+            num_operators=num_operators,
+            requests=requests,
+            seed=seed,
+        )
     exploration = None
     if design is not None:
         if settings is None or workdir is None:
@@ -583,16 +878,25 @@ def run_chaos(
         )
     fleet = None
     if fleet_workers:
+        fleet_recal_interval = 0.0
+        if recalibrate:
+            fleet_recal_interval = (
+                recal_interval_ns
+                if recal_interval_ns is not None
+                else max(schedule.horizon_ns, 1.0) / 32.0
+            )
         fleet = run_fleet_chaos(
             table,
             schedule,
             workers=fleet_workers,
             requests=fleet_requests,
             seed=seed,
+            recal_interval_ns=fleet_recal_interval,
         )
     return ChaosReport(
         schedule=schedule,
         serve=serve,
         exploration=exploration,
         fleet=fleet,
+        recal=recal,
     )

@@ -24,12 +24,22 @@ post lands, which the differential suite measures end to end.
 Alert kinds reuse the fault layer's silicon event vocabulary
 (:data:`repro.faults.events.SILICON_KINDS`) plus ``margin_erosion`` for
 guard fallbacks that are not attributable to a single injected event.
+
+The bus also carries the **recalibration channel** (PR 9): when a worker
+runs the canary-probe loop (:mod:`repro.serve.recal`) and commits a new
+margin epoch, it posts the learner's per-mode estimates + admissibility
+onto fixed-size shared arrays via :meth:`FleetBus.post_margins`.  Peers
+poll the recal epoch with the same one-int-load pattern as alerts and
+adopt the state into their own (passive) learner -- so re-advance
+decisions propagate fleet-wide within the same bounded window that
+degradation already honors.  The array slots are sized at construction
+(``num_modes``) because shared memory cannot grow after fork.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.faults.events import SILICON_KINDS
 
@@ -63,13 +73,24 @@ def alert_kind(code: int) -> str:
 class FleetBus:
     """Shared degradation-alert channel across one fleet's processes."""
 
-    def __init__(self):
+    def __init__(self, num_modes: int = 0):
+        if num_modes < 0:
+            raise ValueError("num_modes must be >= 0")
         # lock=False: single-writer-at-a-time is enforced by _lock, and
         # readers tolerate tearing-free int64 loads.
         self._epoch = multiprocessing.Value("q", 0, lock=False)
         self._kind = multiprocessing.Value("q", 0, lock=False)
         self._origin = multiprocessing.Value("q", -1, lock=False)
         self._lock = multiprocessing.Lock()
+        # Recalibration channel (zero-sized when the fleet has no
+        # margin-compiled table: post_margins then refuses).
+        self.num_modes = num_modes
+        self._recal_epoch = multiprocessing.Value("q", 0, lock=False)
+        self._recal_origin = multiprocessing.Value("q", -1, lock=False)
+        self._margins = multiprocessing.Array("d", num_modes, lock=False)
+        self._admissible = multiprocessing.Array(
+            "b", [1] * num_modes, lock=False
+        )
 
     def post(self, kind: str, origin: int) -> int:
         """Publish an alert; returns the new epoch."""
@@ -88,3 +109,49 @@ class FleetBus:
     @property
     def epoch(self) -> int:
         return self._epoch.value
+
+    # -- recalibration channel -----------------------------------------------
+
+    def post_margins(
+        self, estimates, admissible, origin: int
+    ) -> int:
+        """Publish one committed learner state; returns the recal epoch.
+
+        The returned epoch is the fleet-wide identity of this margin
+        state: the poster adopts it as its own learner epoch, so every
+        worker's ``recal_epoch`` converges to the same value.
+        """
+        if self.num_modes == 0:
+            raise ValueError(
+                "bus has no margin slots (construct with num_modes > 0)"
+            )
+        if len(estimates) != self.num_modes or len(admissible) != (
+            self.num_modes
+        ):
+            raise ValueError("state arrays must match the bus mode count")
+        with self._lock:
+            for index in range(self.num_modes):
+                self._margins[index] = float(estimates[index])
+                self._admissible[index] = 1 if admissible[index] else 0
+            self._recal_origin.value = origin
+            self._recal_epoch.value += 1
+            return self._recal_epoch.value
+
+    def read_margins(self) -> Tuple[int, List[float], List[bool], int]:
+        """(epoch, estimates, admissible, origin) -- consistent snapshot.
+
+        Readers are lock-free; a concurrent post is detected by the
+        epoch changing across the copy, in which case the copy retries
+        (posts are rare -- one per committed probe round).
+        """
+        while True:
+            epoch = self._recal_epoch.value
+            estimates = list(self._margins)
+            admissible = [bool(value) for value in self._admissible]
+            origin = self._recal_origin.value
+            if self._recal_epoch.value == epoch:
+                return epoch, estimates, admissible, origin
+
+    @property
+    def recal_epoch(self) -> int:
+        return self._recal_epoch.value

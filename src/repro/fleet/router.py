@@ -92,6 +92,7 @@ class FleetServedPhase(NamedTuple):
     transition_retries: int
     decided_at_ns: float
     epoch_seen: int
+    recal_epoch: int
     worker_id: int
 
 
@@ -131,6 +132,10 @@ class FleetRouter:
         vnodes: int = DEFAULT_VNODES,
         segment_name: Optional[str] = None,
         engine: Optional[str] = None,
+        recal_interval_ns: float = 0.0,
+        recal_bias_ps: float = 2.0,
+        recal_readvance: int = 3,
+        recal_seed: int = 0,
     ):
         if batch_window < 1:
             raise ValueError("batch_window must be >= 1")
@@ -138,6 +143,8 @@ class FleetRouter:
             raise ValueError("max_inflight must be >= 1")
         if retreat_budget < 1:
             raise ValueError("retreat_budget must be >= 1")
+        if recal_interval_ns < 0.0:
+            raise ValueError("recal_interval_ns must be >= 0")
         self.num_workers = resolve_fleet_workers(workers)
         self.batch_window = batch_window
         self.max_inflight = max_inflight
@@ -153,6 +160,13 @@ class FleetRouter:
             # override fails in the router process, eagerly, and every
             # worker is guaranteed to run the same kernel.
             "engine": resolve_serve_engine(engine),
+            # Canary recalibration: workers that own an injected fault
+            # schedule run the probe loop; guarded peers adopt committed
+            # margin states over the bus (see repro.fleet.worker).
+            "recal_interval_ns": recal_interval_ns,
+            "recal_bias_ps": recal_bias_ps,
+            "recal_readvance": recal_readvance,
+            "recal_seed": recal_seed,
         }
         self._schedules = dict(schedules or {})
         self._vnodes = vnodes
@@ -174,7 +188,7 @@ class FleetRouter:
         if self._workers:
             raise RuntimeError("fleet already started")
         self._shared = self._table.to_shared(name=self._segment_name)
-        self._bus = FleetBus()
+        self._bus = FleetBus(num_modes=len(self._table.modes))
         for worker_id in range(self.num_workers):
             self._spawn(worker_id)
         self._ring = ConsistentHashRing(
@@ -411,7 +425,7 @@ class FleetRouter:
         for (index, op_id, bits, _), int_row, float_row in zip(
             items, ints.tolist(), floats.tolist()
         ):
-            served_bits, flags, retries, epoch_seen = int_row
+            served_bits, flags, retries, epoch_seen, recal_epoch = int_row
             compute_e, transition_e, settle, queue_wait, decided = float_row
             results[index] = FleetServedPhase(
                 op_names[op_id],
@@ -429,6 +443,7 @@ class FleetRouter:
                 retries,
                 decided,
                 epoch_seen,
+                recal_epoch,
                 worker_id,
             )
 
@@ -484,4 +499,7 @@ class FleetRouter:
                 self._shared.attach_count if self._shared else 0
             ),
             "bus_epoch": self._bus.epoch if self._bus else 0,
+            "bus_recal_epoch": (
+                self._bus.recal_epoch if self._bus else 0
+            ),
         }

@@ -46,7 +46,8 @@ FLAG_MARGIN_FALLBACK = 8
 FLAG_FLEET_RETREAT = 16
 
 #: Reply layout: int64 columns, float64 columns.
-REPLY_INT_COLS = 4  # served_bits, flags, transition_retries, epoch_seen
+#: int: served_bits, flags, transition_retries, epoch_seen, recal_epoch
+REPLY_INT_COLS = 5
 REPLY_FLOAT_COLS = 5  # compute_e, transition_e, settle, queue_wait, decided_at
 
 
@@ -142,6 +143,28 @@ class _WorkerRuntime:
                 table, headroom_ps=float(config.get("headroom_ps", 0.0))
             )
         self.guard = guard
+        # Closed-loop recalibration: only the worker that owns an
+        # injected fault schedule probes (its environment is the one
+        # being instrumented); every other guarded peer *adopts* the
+        # poster's committed state over the bus, so one canary serves
+        # the whole die.
+        self.recal = None
+        recal_interval = float(config.get("recal_interval_ns") or 0.0)
+        if (
+            guard is not None
+            and recal_interval > 0.0
+            and schedule_dict is not None
+            and table.has_margins
+        ):
+            from repro.serve.recal import RecalibrationLoop
+
+            self.recal = RecalibrationLoop(
+                guard,
+                recal_interval,
+                bias_ps=float(config.get("recal_bias_ps", 2.0)),
+                readvance_probes=int(config.get("recal_readvance", 3)),
+                seed=int(config.get("recal_seed", 0)),
+            )
         self.scheduler = ModeScheduler(
             table,
             num_generators=int(config.get("num_generators", 2)),
@@ -149,11 +172,16 @@ class _WorkerRuntime:
             max_queue_depth=int(config.get("max_queue_depth", 8)),
             guard=guard,
             engine=config.get("engine"),
+            recal=self.recal,
         )
         self.bus = bus
         self.retreat_budget = int(config.get("retreat_budget", 32))
         self.retreat_left = 0
         self.last_epoch = bus.epoch if bus is not None else 0
+        # Recal epochs start at 0 so a state posted before this worker
+        # spawned is adopted at its very first poll.
+        self.last_recal_epoch = 0
+        self._posted_recal_epoch = 0
         self.operators: Dict[int, str] = {}
 
     # -- serving -------------------------------------------------------------
@@ -161,8 +189,10 @@ class _WorkerRuntime:
     def _poll_bus(self) -> None:
         if self.bus is None:
             return
-        # Hot path: one shared int64 load decides "nothing new"; the
-        # full (epoch, kind, origin) read only happens on a transition.
+        # Hot path: one shared int64 load per channel decides "nothing
+        # new"; full reads only happen on a transition.
+        if self.bus.recal_epoch != self.last_recal_epoch:
+            self._sync_margins()
         if self.bus.epoch == self.last_epoch:
             return
         epoch, _, origin = self.bus.read()
@@ -170,6 +200,41 @@ class _WorkerRuntime:
         if origin != self.worker_id:
             self.scheduler.telemetry.bump("fleet_alerts")
             self.retreat_left = self.retreat_budget
+
+    def _sync_margins(self) -> None:
+        """Adopt a peer's committed learner state from the bus."""
+        epoch, estimates, admissible, origin = self.bus.read_margins()
+        if origin == self.worker_id or self.guard is None:
+            self.last_recal_epoch = epoch
+            return
+        learner = self.guard.learner
+        if learner is None:
+            if not self.guard.table.has_margins:
+                self.last_recal_epoch = epoch
+                return
+            from repro.serve.recal import MarginLearner
+
+            learner = MarginLearner(self.guard.table)
+            self.guard.attach_learner(learner)
+        learner.adopt(estimates, admissible, epoch)
+        self.last_recal_epoch = epoch
+        self.scheduler.telemetry.bump("fleet_margin_syncs")
+
+    def _post_margins(self) -> None:
+        """Publish this worker's freshly committed learner state.
+
+        The bus epoch the post returns becomes the learner's epoch --
+        the fleet-wide identity of the state -- so the origin and every
+        adopting peer report the same ``recal_epoch``.
+        """
+        learner = self.recal.learner
+        estimates, admissible = learner.state_arrays()
+        bus_epoch = self.bus.post_margins(
+            estimates, admissible, self.worker_id
+        )
+        learner.epoch = bus_epoch
+        self._posted_recal_epoch = bus_epoch
+        self.last_recal_epoch = bus_epoch
 
     def _post_alert(self, served: ServedPhase) -> None:
         if self.bus is None:
@@ -213,12 +278,19 @@ class _WorkerRuntime:
                 retreat = False
                 if served.margin_fallback:
                     self._post_alert(served)
+                if (
+                    self.recal is not None
+                    and self.bus is not None
+                    and self.recal.learner.epoch != self._posted_recal_epoch
+                ):
+                    self._post_margins()
             int_rows.append(
                 (
                     served.served_bits,
                     _phase_flags(served, retreat),
                     served.transition_retries,
                     self.last_epoch,
+                    self.last_recal_epoch,
                 )
             )
             float_rows.append(
@@ -265,6 +337,7 @@ class _WorkerRuntime:
                     _phase_flags(served, True),
                     served.transition_retries,
                     self.last_epoch,
+                    self.last_recal_epoch,
                 )
                 floats[start] = (
                     served.compute_energy_j,
@@ -292,6 +365,7 @@ class _WorkerRuntime:
             )
             ints[tail, 2] = result.transition_retries
             ints[tail, 3] = self.last_epoch
+            ints[tail, 4] = self.last_recal_epoch
             floats[tail, 0] = result.compute_energy_j
             floats[tail, 1] = result.transition_energy_j
             floats[tail, 2] = result.settle_ns
@@ -314,6 +388,8 @@ class _WorkerRuntime:
             "operators": sorted(self.operators.values()),
             "attach_count": self.handle.attach_count,
             "epoch": self.last_epoch,
+            "recal_epoch": self.last_recal_epoch,
+            "recal": self.recal.snapshot() if self.recal else None,
         }
 
 

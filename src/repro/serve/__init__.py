@@ -12,7 +12,9 @@ Turns exploration results into a live, concurrent accuracy-mode service:
   JSON-lines socket),
 * :mod:`repro.serve.telemetry` -- counters and latency/energy histograms,
 * :mod:`repro.serve.guard` -- the runtime margin guard (erosion
-  detection + safe-mode fallback against :mod:`repro.faults`).
+  detection + safe-mode fallback against :mod:`repro.faults`),
+* :mod:`repro.serve.recal` -- the closed-loop canary-probe
+  recalibration path (online margin learning + guard re-advance).
 
 See ``docs/serve.md`` for the subsystem overview and invariants, and
 ``docs/robustness.md`` for the fault model and margin-guard semantics.
@@ -24,8 +26,18 @@ from repro.serve.compiled import (
     SERVE_ENGINES,
     resolve_serve_engine,
 )
-from repro.serve.errors import ServeError, error_payload
+from repro.serve.errors import (
+    RecalibrationError,
+    ServeError,
+    error_payload,
+)
 from repro.serve.guard import MarginGuard
+from repro.serve.recal import (
+    MarginLearner,
+    ProbeResult,
+    RecalibrationLoop,
+    run_canary_probe,
+)
 from repro.serve.policy import (
     GreedyPolicy,
     HysteresisPolicy,
@@ -67,10 +79,14 @@ __all__ = [
     "LookaheadPolicy",
     "MODE_TABLE_SCHEMA",
     "MarginGuard",
+    "MarginLearner",
     "ModeMargin",
     "ModeScheduler",
     "ModeTable",
     "POLICIES",
+    "ProbeResult",
+    "RecalibrationError",
+    "RecalibrationLoop",
     "SERVE_ENGINES",
     "SelectionPolicy",
     "ServeError",
@@ -86,4 +102,5 @@ __all__ = [
     "parse_counters",
     "replay_trace",
     "resolve_serve_engine",
+    "run_canary_probe",
 ]

@@ -24,12 +24,22 @@ class ServeError(ValueError):
     """A serving artifact or request is invalid, corrupt or truncated."""
 
 
+class RecalibrationError(ServeError):
+    """A canary-probe recalibration round could not run or complete.
+
+    Always *recoverable*: the guard keeps serving on its last committed
+    margin estimates (which are conservative by construction), so a
+    failed probe degrades the control loop, not the accuracy invariant.
+    """
+
+
 #: Wire error kinds (the ``kind`` field of :func:`error_payload`).
 ERROR_BAD_JSON = "bad_json"
 ERROR_NOT_OBJECT = "not_object"
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_OVERSIZED_LINE = "oversized_line"
 ERROR_ACCURACY_VIOLATION = "accuracy_violation"
+ERROR_RECALIBRATION_FAILED = "recalibration_failed"
 
 ERROR_KINDS = frozenset(
     {
@@ -38,6 +48,7 @@ ERROR_KINDS = frozenset(
         ERROR_BAD_REQUEST,
         ERROR_OVERSIZED_LINE,
         ERROR_ACCURACY_VIOLATION,
+        ERROR_RECALIBRATION_FAILED,
     }
 )
 

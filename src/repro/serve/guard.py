@@ -23,30 +23,51 @@ that slack.  :class:`MarginGuard` closes the loop --
   construction, and flags the decision as a fallback so telemetry and
   the chaos harness can see the guard working.
 
+A :class:`~repro.serve.recal.MarginLearner` may be **attached**: the
+guard then trusts ``min(learned_margin, guarded_slack_ps)`` and the
+learner's admissibility gate on top of the frozen margins.  Because the
+learned term can only *restrict* (it is clamped to the sign-off margin
+from above), every mode the learned check admits would also pass the
+compile-time check -- the provable floor of the accuracy invariant --
+while a learner whose probes see margins *recover* lets the guard
+**re-advance** to aggressive modes the retreat-only guard would have
+abandoned for good.  ``retreat_only=True`` builds exactly that baseline
+guard (a mode once observed unsafe stays latched out), which the chaos
+harness races against the recalibrating guard to measure the energy
+reclaimed.
+
 The guard also answers the scheduler's hardware-availability questions
 (dropped generators, blocked transitions), making it the single seam
 between the serving stack and the fault layer.  A guard attached to a
-table compiled *without* margins warns once and skips the margin check
+table compiled *without* margins warns once **per table fingerprint**
+(not per guard instance -- fleet workers mapping the same shared table
+must not emit N duplicate warnings) and skips the margin check
 (availability handling still applies) -- old artifacts keep serving.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Set, Tuple
 
 from repro.faults.environment import SiliconEnvironment
+from repro.serve.errors import ServeError
 from repro.serve.table import ModeTable
 
 
 class MarginGuard:
     """Margin-erosion monitor for one serving environment."""
 
+    #: Table fingerprints that already produced the no-margins warning
+    #: (process-wide; see :meth:`reset_margin_warnings`).
+    _margin_warned: Set[Tuple] = set()
+
     def __init__(
         self,
         table: ModeTable,
         environment: Optional[SiliconEnvironment] = None,
         headroom_ps: float = 0.0,
+        retreat_only: bool = False,
     ):
         if headroom_ps < 0.0:
             raise ValueError("headroom must be non-negative")
@@ -57,16 +78,67 @@ class MarginGuard:
         self.headroom_ps = headroom_ps
         self.margins_enabled = table.has_margins
         if not self.margins_enabled:
-            warnings.warn(
-                "mode table was compiled without margins; the margin "
-                "guard will only track bias-hardware availability "
-                "(re-run `repro compile-table --margins` to enable "
-                "erosion checks)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            fingerprint = self.table_fingerprint(table)
+            if fingerprint not in MarginGuard._margin_warned:
+                MarginGuard._margin_warned.add(fingerprint)
+                warnings.warn(
+                    "mode table was compiled without margins; the margin "
+                    "guard will only track bias-hardware availability "
+                    "(re-run `repro compile-table --margins` to enable "
+                    "erosion checks)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         #: ps of clock period at this table's frequency.
         self.period_ps = 1e3 / table.fclk_ghz
+        #: Optional learned-margin source (see :mod:`repro.serve.recal`).
+        self.learner = None
+        #: Retreat-only baseline: modes observed unsafe stay latched out.
+        self.retreat_only = retreat_only
+        self._latched_unsafe: Set[int] = set()
+
+    # -- no-margins warning registry -----------------------------------------
+
+    @staticmethod
+    def table_fingerprint(table: ModeTable) -> Tuple:
+        """Identity of a table's *content* for warn-once purposes.
+
+        Two guards over the same artifact (same design, clock and mode
+        set -- e.g. fleet workers mapping one shared segment) share one
+        warning, regardless of how many ModeTable objects wrap it.
+        """
+        return (
+            table.design_name,
+            table.fclk_ghz,
+            tuple(sorted(table.modes)),
+            table.has_margins,
+        )
+
+    @classmethod
+    def reset_margin_warnings(cls) -> None:
+        """Forget which tables warned (test isolation hook)."""
+        cls._margin_warned.clear()
+
+    # -- learned margins -----------------------------------------------------
+
+    def attach_learner(self, learner) -> None:
+        """Adopt a margin learner as an additional (restricting) source."""
+        if learner.table is not self.table:
+            raise ServeError(
+                "margin learner was built for a different mode table"
+            )
+        self.learner = learner
+
+    @property
+    def margin_epoch(self) -> int:
+        """Monotone version of the guard's margin source.
+
+        Bumps whenever an attached learner commits a probe round (or
+        adopts a peer's state); consumers caching per-mode availability
+        (the compiled batch kernel) re-refresh on change.  ``0`` forever
+        without a learner -- frozen margins never change.
+        """
+        return self.learner.epoch if self.learner is not None else 0
 
     # -- erosion -------------------------------------------------------------
 
@@ -76,14 +148,32 @@ class MarginGuard:
 
     def mode_is_safe(self, bits_key: int, now_ns: float) -> bool:
         """Margin + reachability check for one compiled mode, now."""
+        verdict = self._mode_is_safe(bits_key, now_ns)
+        if self.retreat_only:
+            if not verdict:
+                self._latched_unsafe.add(bits_key)
+            elif bits_key in self._latched_unsafe:
+                # The baseline never re-advances: once retreated from a
+                # mode, stay retreated (frozen-margin pessimism).
+                verdict = False
+        return verdict
+
+    def _mode_is_safe(self, bits_key: int, now_ns: float) -> bool:
         mode = self.table.modes[bits_key]
         if any(mode.bb_config) and self.environment.stuck_at_nobb(now_ns):
             return False
         if not self.margins_enabled:
             return True
-        margin = self.table.margins[bits_key]
+        margin = self.table.margins[bits_key].guarded_slack_ps
+        if self.learner is not None:
+            if not self.learner.admissible(bits_key):
+                return False
+            # min() keeps the compile-time sign-off margin a hard floor:
+            # the learned term only ever restricts, so learned-safe
+            # implies compile-time-safe at the same instant.
+            margin = min(margin, self.learner.effective_margin_ps(bits_key))
         erosion = self.erosion_ps(now_ns, mode.vdd)
-        return margin.guarded_slack_ps - erosion >= self.headroom_ps
+        return margin - erosion >= self.headroom_ps
 
     def guarded_key(
         self, required_bits: int, preferred_key: int, now_ns: float
@@ -120,21 +210,26 @@ class MarginGuard:
 
     @property
     def is_time_invariant(self) -> bool:
-        """Whether the environment never changes (no scheduled events).
+        """Whether every environment query is constant in time.
 
         With an empty schedule every environment query is constant in
         time (erosion 0, no dropouts, no stuck-at / blocked windows), so
         the batched serve kernel may precompute per-mode availability
         once instead of consulting the guard at every decision instant.
+        A retreat-only guard is stateful (verdicts latch), so it is
+        never time-invariant; an attached learner is fine -- its state
+        only changes at committed epochs, which the kernel's refresh
+        keys on (:attr:`margin_epoch`).
         """
-        return not self.environment.schedule.events
+        return not self.environment.schedule.events and not self.retreat_only
 
     def refresh_availability(self, compiled) -> None:
         """Push current per-mode safety verdicts into a CompiledTable.
 
         Only meaningful when :attr:`is_time_invariant` holds -- the
         verdicts are evaluated at t=0 and the mask is then valid at
-        every decision instant.
+        every decision instant (until the next :attr:`margin_epoch`
+        bump, when the scheduler refreshes again).
         """
         compiled.refresh_availability(
             [self.mode_is_safe(key, 0.0) for key in compiled.keys]

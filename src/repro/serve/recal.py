@@ -1,0 +1,423 @@
+"""Closed-loop in-situ recalibration: canary probes re-learn margins online.
+
+The :class:`~repro.serve.guard.MarginGuard` of PR 4 only ever *retreats*:
+margins are frozen at compile-table time, so every transient temperature
+or droop excursion permanently taxes energy -- once a mode looked unsafe
+the conservative reaction is to keep avoiding it.  Real block-level
+voltage-overscaling silicon (Bahoo-style) recovers that energy by
+re-learning margins *online*: a small canary datapath periodically runs
+known vectors at the aggressive operating point and the observed slack
+feeds a filtered margin estimate the runtime trusts going forward.
+
+This module is that loop, in the repo's deterministic virtual time:
+
+* :func:`run_canary_probe` replays a seeded golden-vector probe (the
+  bit-exact :func:`repro.sim.golden.multiply_reference` model) for one
+  mode against the current :class:`~repro.faults.environment.
+  SiliconEnvironment` erosion estimate.  The emulated canary output is
+  corrupted deterministically whenever the mode's observed slack has
+  gone negative (a late carry that missed the clock edge), so a probe
+  *functionally* detects the failure it is instrumenting for instead of
+  trusting the erosion model's arithmetic.
+* :class:`MarginLearner` folds observed per-mode slack into an
+  asymmetric EWMA: degradations are adopted immediately (fast attack),
+  recoveries are believed slowly (``alpha``-weighted release), and a
+  conservative ``bias_ps`` is subtracted from everything the guard gets
+  to see.  A mode that fails its probe is **demoted** (inadmissible) and
+  only **re-advances** after ``readvance_probes`` consecutive healthy
+  probes -- hysteresis that provably prevents flapping.
+* :class:`RecalibrationLoop` owns the cadence: the scheduler calls
+  :meth:`~RecalibrationLoop.maybe_recalibrate` with the deciding
+  operator's virtual clock, and every ``interval_ns`` the loop probes
+  all modes, feeds the learner, bumps the **margin epoch** and accounts
+  the probe's cycle/energy cost in telemetry.
+
+The accuracy invariant stays provable by construction: the guard uses
+``min(learned_margin, guarded_slack_ps)`` and an admissibility gate, so
+a learned margin can only *restrict* relative to the compile-time
+sign-off floor -- it never admits a mode the frozen margins would have
+rejected, at any instant, under any fault schedule
+(``tests/test_serve_recal.py`` holds that as a hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.errors import RecalibrationError
+from repro.serve.table import ModeTable
+from repro.sim.golden import _wrap_signed, multiply_reference
+
+#: Default number of golden vectors per probe (one multiply per cycle).
+DEFAULT_PROBE_VECTORS = 16
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """What one canary probe of one mode observed."""
+
+    bits_key: int
+    #: Slack the canary measured: sign-off guarded slack minus the
+    #: environment's erosion at the probe instant (ps).
+    observed_slack_ps: float
+    #: Golden-vector comparison verdict (False = the mode is failing).
+    functional_ok: bool
+    #: Cycles the probe occupied the operator (one per vector).
+    probe_cycles: int
+    #: Energy the probe burned at the mode's operating point (J).
+    probe_energy_j: float
+
+
+def run_canary_probe(
+    table: ModeTable,
+    environment,
+    bits_key: int,
+    now_ns: float,
+    vectors: int = DEFAULT_PROBE_VECTORS,
+    seed: int = 0,
+    epoch: int = 0,
+) -> ProbeResult:
+    """Probe one mode with seeded golden vectors at *now_ns*.
+
+    The canary is a ``active_bits``-wide signed multiplier fed *vectors*
+    seeded operand pairs.  Its emulated silicon output matches
+    :func:`multiply_reference` exactly while the mode's observed slack
+    is non-negative; once erosion has eaten past the sign-off margin the
+    critical carry misses the clock edge and the top product bits come
+    out stale -- modelled as a deterministic high-order offset, so the
+    golden comparison fails.  A mode whose FBB wells are unreachable
+    (stuck-at-NoBB window) cannot even be biased to its operating point:
+    the probe reports it failing outright.
+    """
+    if not table.has_margins:
+        raise RecalibrationError(
+            "cannot probe a table compiled without margins; re-run "
+            "`repro compile-table --margins` to enable recalibration"
+        )
+    if vectors < 1:
+        raise ValueError("need at least one probe vector")
+    mode = table.modes[bits_key]
+    period_ps = 1e3 / table.fclk_ghz
+    erosion_ps = environment.slack_erosion_ps(now_ns, mode.vdd, period_ps)
+    observed_slack_ps = table.margins[bits_key].guarded_slack_ps - erosion_ps
+
+    width = max(1, mode.active_bits)
+    rng = np.random.default_rng([seed & 0x7FFFFFFF, epoch, bits_key])
+    lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+    a = rng.integers(lo, hi, size=vectors, dtype=np.int64)
+    b = rng.integers(lo, hi, size=vectors, dtype=np.int64)
+    reference = multiply_reference(a, b, width)
+    if any(mode.bb_config) and environment.stuck_at_nobb(now_ns):
+        # The bias mux is stuck at 0 V: the canary never reaches the
+        # FBB operating point at all, which reads as a hard failure.
+        functional_ok = False
+    elif observed_slack_ps < 0.0:
+        # Late carry into the product's high half: the canary latches a
+        # stale partial sum offset by one high-order weight.
+        corrupted = _wrap_signed(
+            reference + (1 << max(0, 2 * width - 2)), 2 * width
+        )
+        functional_ok = bool(np.array_equal(corrupted, reference))
+    else:
+        functional_ok = True
+
+    duration_s = vectors / (table.fclk_ghz * 1e9)
+    return ProbeResult(
+        bits_key=bits_key,
+        observed_slack_ps=observed_slack_ps,
+        functional_ok=functional_ok,
+        probe_cycles=vectors,
+        probe_energy_j=mode.total_power_w * duration_s,
+    )
+
+
+class MarginLearner:
+    """Online per-mode margin estimates with demote/re-advance hysteresis.
+
+    The filter is deliberately asymmetric:
+
+    * **fast attack** -- an observation *below* the current estimate is
+      adopted immediately (silicon got worse; believe it now);
+    * **slow release** -- an observation above it moves the estimate by
+      ``alpha`` of the gap (silicon looks better; earn the trust);
+    * every estimate is clamped to the compile-time sign-off margin
+      (``guarded_slack_ps``) from above, and the guard-visible
+      :meth:`effective_margin_ps` subtracts a conservative ``bias_ps``.
+
+    Admissibility carries the hysteresis: a mode whose probe fails is
+    demoted on the spot and re-advances only after ``readvance_probes``
+    consecutive healthy probes (any failure resets the streak), so a
+    margin oscillating around the threshold cannot flap the mode in and
+    out of service.
+    """
+
+    def __init__(
+        self,
+        table: ModeTable,
+        alpha: float = 0.25,
+        bias_ps: float = 2.0,
+        readvance_probes: int = 3,
+    ):
+        if not table.has_margins:
+            raise RecalibrationError(
+                "cannot learn margins for a table compiled without "
+                "margins; re-run `repro compile-table --margins`"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if bias_ps < 0.0:
+            raise ValueError("bias_ps must be non-negative")
+        if readvance_probes < 1:
+            raise ValueError("readvance_probes must be >= 1")
+        self.table = table
+        self.alpha = alpha
+        self.bias_ps = bias_ps
+        self.readvance_probes = readvance_probes
+        #: Wire/bus ordering of modes (stable across processes).
+        self.keys: Tuple[int, ...] = tuple(sorted(table.modes))
+        self._floor: Dict[int, float] = {
+            key: table.margins[key].guarded_slack_ps for key in self.keys
+        }
+        self._estimate: Dict[int, float] = dict(self._floor)
+        self._restricted: Dict[int, bool] = {k: False for k in self.keys}
+        self._streak: Dict[int, int] = {k: 0 for k in self.keys}
+        #: Monotone epoch; bumped by :meth:`commit` after a probe round.
+        self.epoch = 0
+        self.demotions = 0
+        self.readvances = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(
+        self,
+        bits_key: int,
+        observed_slack_ps: float,
+        functional_ok: bool,
+        safe_floor_ps: float = 0.0,
+    ) -> bool:
+        """Fold one probe observation in; returns its health verdict.
+
+        *safe_floor_ps* is the guard's headroom: a mode is healthy only
+        if its biased observation clears it (and the golden vectors
+        matched).
+        """
+        estimate = self._estimate[bits_key]
+        if observed_slack_ps < estimate:
+            estimate = observed_slack_ps
+        else:
+            estimate += self.alpha * (observed_slack_ps - estimate)
+        self._estimate[bits_key] = min(estimate, self._floor[bits_key])
+
+        healthy = (
+            functional_ok
+            and observed_slack_ps - self.bias_ps >= safe_floor_ps
+        )
+        if healthy:
+            self._streak[bits_key] += 1
+            if (
+                self._restricted[bits_key]
+                and self._streak[bits_key] >= self.readvance_probes
+            ):
+                self._restricted[bits_key] = False
+                self.readvances += 1
+        else:
+            if not self._restricted[bits_key]:
+                self.demotions += 1
+            self._restricted[bits_key] = True
+            self._streak[bits_key] = 0
+        return healthy
+
+    def commit(self) -> int:
+        """Seal one probe round; returns the new margin epoch."""
+        self.epoch += 1
+        return self.epoch
+
+    # -- the guard's view ----------------------------------------------------
+
+    def effective_margin_ps(self, bits_key: int) -> float:
+        """Learned margin the guard may trust (never above sign-off)."""
+        return min(
+            self._estimate[bits_key] - self.bias_ps, self._floor[bits_key]
+        )
+
+    def admissible(self, bits_key: int) -> bool:
+        """Whether the mode has (re-)earned service eligibility."""
+        return not self._restricted[bits_key]
+
+    def healthy_streak(self, bits_key: int) -> int:
+        return self._streak[bits_key]
+
+    # -- fleet transport -----------------------------------------------------
+
+    def state_arrays(self) -> Tuple[List[float], List[bool]]:
+        """(estimates, admissible) in :attr:`keys` order, for the bus."""
+        return (
+            [self._estimate[k] for k in self.keys],
+            [not self._restricted[k] for k in self.keys],
+        )
+
+    def adopt(
+        self,
+        estimates: Sequence[float],
+        admissible: Sequence[bool],
+        epoch: int,
+    ) -> None:
+        """Adopt a peer's committed state (same die, same table).
+
+        Estimates stay clamped to the local sign-off floor, so an
+        adopted state can never admit more than the compile-time check
+        either.  Streaks reset: a peer's re-advance decision arrives
+        already made; local hysteresis restarts from its verdict.
+        """
+        if len(estimates) != len(self.keys) or len(admissible) != len(
+            self.keys
+        ):
+            raise ValueError("state arrays must match the mode count")
+        for key, estimate, ok in zip(self.keys, estimates, admissible):
+            self._estimate[key] = min(float(estimate), self._floor[key])
+            self._restricted[key] = not bool(ok)
+            self._streak[key] = 0
+        self.epoch = int(epoch)
+
+
+class RecalibrationLoop:
+    """Virtual-time canary cadence driving one guard's margin learner."""
+
+    def __init__(
+        self,
+        guard,
+        interval_ns: float,
+        probe_vectors: int = DEFAULT_PROBE_VECTORS,
+        alpha: float = 0.25,
+        bias_ps: float = 2.0,
+        readvance_probes: int = 3,
+        seed: int = 0,
+    ):
+        if guard is None:
+            raise ValueError("recalibration needs a margin guard")
+        if interval_ns <= 0.0:
+            raise ValueError("interval_ns must be positive")
+        self.guard = guard
+        self.interval_ns = float(interval_ns)
+        self.probe_vectors = probe_vectors
+        self.seed = seed
+        self.learner = MarginLearner(
+            guard.table,
+            alpha=alpha,
+            bias_ps=bias_ps,
+            readvance_probes=readvance_probes,
+        )
+        guard.attach_learner(self.learner)
+        self.next_due_ns = self.interval_ns
+        self.probes_run = 0
+        self.failures = 0
+        self.probe_energy_j = 0.0
+        self.probe_cycles = 0
+        self._fail_next = 0
+
+    # -- failure injection (tests / chaos) -----------------------------------
+
+    def inject_failure(self, count: int = 1) -> None:
+        """Arm the next *count* probe rounds to fail (canary offline)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._fail_next += count
+
+    # -- cadence -------------------------------------------------------------
+
+    def due(self, now_ns: float) -> bool:
+        return now_ns >= self.next_due_ns
+
+    def maybe_recalibrate(self, now_ns: float, telemetry=None) -> Optional[int]:
+        """Probe if the cadence is due; swallow probe failures gracefully.
+
+        Returns the new margin epoch when a round ran, else ``None``.  A
+        failed probe round (canary offline) keeps the previous -- by
+        construction conservative -- margins and is only accounted
+        (``recal_failures``), never raised: serving must not die because
+        its calibration path did.
+        """
+        if now_ns < self.next_due_ns:
+            return None
+        while self.next_due_ns <= now_ns:
+            self.next_due_ns += self.interval_ns
+        try:
+            return self.recalibrate(now_ns, telemetry)
+        except RecalibrationError:
+            return None
+
+    def recalibrate(self, now_ns: float, telemetry=None) -> int:
+        """Run one probe round over every mode, now; returns the epoch.
+
+        Raises :class:`RecalibrationError` when the canary itself cannot
+        run; the learner keeps its previous state in that case.
+        """
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            self.failures += 1
+            if telemetry is not None:
+                telemetry.bump("recal_failures")
+            raise RecalibrationError(
+                "canary probe unavailable (injected failure)"
+            )
+        learner = self.learner
+        guard = self.guard
+        demotions_before = learner.demotions
+        readvances_before = learner.readvances
+        round_energy_j = 0.0
+        round_cycles = 0
+        for bits_key in learner.keys:
+            result = run_canary_probe(
+                guard.table,
+                guard.environment,
+                bits_key,
+                now_ns,
+                vectors=self.probe_vectors,
+                seed=self.seed,
+                epoch=learner.epoch,
+            )
+            learner.observe(
+                bits_key,
+                result.observed_slack_ps,
+                result.functional_ok,
+                safe_floor_ps=guard.headroom_ps,
+            )
+            round_energy_j += result.probe_energy_j
+            round_cycles += result.probe_cycles
+        epoch = learner.commit()
+        self.probes_run += len(learner.keys)
+        self.probe_energy_j += round_energy_j
+        self.probe_cycles += round_cycles
+        if telemetry is not None:
+            telemetry.bump("recal_probes", len(learner.keys))
+            telemetry.bump("recal_epochs")
+            telemetry.bump(
+                "recal_demotions", learner.demotions - demotions_before
+            )
+            telemetry.bump(
+                "recal_readvances", learner.readvances - readvances_before
+            )
+            telemetry.probe_energy_pj.record(round_energy_j * 1e12)
+        return epoch
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-ready state (the server's ``recalibrate`` reply body)."""
+        learner = self.learner
+        return {
+            "epoch": learner.epoch,
+            "probes_run": self.probes_run,
+            "failures": self.failures,
+            "probe_energy_j": self.probe_energy_j,
+            "margins_ps": {
+                str(key): learner.effective_margin_ps(key)
+                for key in learner.keys
+            },
+            "restricted": [
+                key for key in learner.keys if not learner.admissible(key)
+            ],
+        }

@@ -60,6 +60,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.guard import MarginGuard
+    from repro.serve.recal import RecalibrationLoop
 
 import numpy as np
 
@@ -309,9 +310,19 @@ class ModeScheduler:
         max_transition_retries: int = 3,
         retry_backoff_ns: float = 50.0,
         engine: Optional[str] = None,
+        recal: Optional["RecalibrationLoop"] = None,
     ):
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if recal is not None:
+            if guard is None:
+                raise ValueError(
+                    "a recalibration loop requires a margin guard"
+                )
+            if recal.guard is not guard:
+                raise ValueError(
+                    "recalibration loop is bound to a different guard"
+                )
         if max_transition_retries < 0:
             raise ValueError("max_transition_retries must be >= 0")
         if retry_backoff_ns <= 0.0:
@@ -323,6 +334,7 @@ class ModeScheduler:
         self.max_queue_depth = max_queue_depth
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.guard = guard
+        self.recal = recal
         self.max_transition_retries = max_transition_retries
         self.retry_backoff_ns = retry_backoff_ns
         #: Which engine serves *frames* (submit_batch / submit_batch_arrays):
@@ -335,7 +347,9 @@ class ModeScheduler:
         # pinned for the cache entry's lifetime.  Never shared across
         # schedulers: the availability bitmask is guard-specific state.
         self._compiled: Dict[int, CompiledTable] = {}
-        self._guard_refreshed: set = set()
+        # (compiled id, guard id) -> margin epoch the availability mask
+        # was last refreshed at; an epoch bump forces a re-refresh.
+        self._guard_refreshed: Dict[Tuple[int, int], int] = {}
 
     # -- operator registry ---------------------------------------------------
 
@@ -365,6 +379,13 @@ class ModeScheduler:
     def operators(self) -> List[str]:
         return list(self._operators)
 
+    def latest_clock_ns(self) -> float:
+        """Latest operator virtual clock (0.0 before any request)."""
+        return max(
+            (state.clock_ns for state in self._operators.values()),
+            default=0.0,
+        )
+
     # -- serving -------------------------------------------------------------
 
     def submit(
@@ -373,6 +394,11 @@ class ModeScheduler:
         """Serve one request; deterministic in submission order."""
         state = self._state(request.operator)
         table = state.table
+        if self.recal is not None:
+            # Probe cadence runs on the deciding operator's virtual
+            # clock, *before* the decision, so a committed margin epoch
+            # already governs this request's safety check.
+            self.recal.maybe_recalibrate(state.clock_ns, self.telemetry)
         decided_at_ns = state.clock_ns
         bits_key = state.policy.select(
             request.required_bits, state.current_bits, upcoming
@@ -787,9 +813,16 @@ class ModeScheduler:
         """
         if self.serve_engine != "batch":
             raise _ScalarFrameFallback
-        if self.pool.num_available != self.pool.size:
+        if self.recal is not None:
+            # A local probe loop fires mid-frame on operator clocks; the
+            # batch kernel cannot interleave probes, so frames fall back
+            # to the scalar loop.  A guard with a *passively adopted*
+            # learner (fleet peer) stays batch-eligible -- its margins
+            # only change between frames, tracked by margin_epoch below.
             raise _ScalarFrameFallback
         guard = self.guard
+        if self.pool.num_available != self.pool.size:
+            raise _ScalarFrameFallback
         if guard is not None and not guard.is_time_invariant:
             raise _ScalarFrameFallback
 
@@ -816,9 +849,10 @@ class ModeScheduler:
             comp = self.compiled_for(state.table)
             if guard is not None:
                 fresh_key = (id(comp), id(guard))
-                if fresh_key not in self._guard_refreshed:
+                epoch = guard.margin_epoch
+                if self._guard_refreshed.get(fresh_key) != epoch:
                     guard.refresh_availability(comp)
-                    self._guard_refreshed.add(fresh_key)
+                    self._guard_refreshed[fresh_key] = epoch
 
             if idx is None:
                 positions = np.arange(len(bits), dtype=np.int64)

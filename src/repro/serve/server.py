@@ -6,7 +6,9 @@ Two entry points onto one :class:`~repro.serve.scheduler.ModeScheduler`:
   for applications living in the same interpreter;
 * a **JSON-lines socket** -- one request object per line, one response
   object per line -- for everything else.  ``{"cmd": "stats"}`` returns
-  the telemetry snapshot.
+  the telemetry snapshot; ``{"cmd": "recalibrate"}`` forces one canary
+  probe round when a recalibration loop is attached (a structured,
+  recoverable ``recalibration_failed`` error frame otherwise).
 
 All submissions funnel through one bounded queue drained by a single
 worker task, which both serializes access to the (synchronous, virtual
@@ -40,6 +42,8 @@ from repro.serve.errors import (
     ERROR_BAD_REQUEST,
     ERROR_NOT_OBJECT,
     ERROR_OVERSIZED_LINE,
+    ERROR_RECALIBRATION_FAILED,
+    RecalibrationError,
     error_payload,
 )
 from repro.serve.scheduler import (
@@ -167,6 +171,33 @@ class AccuracyServer:
 
     def stats(self) -> dict:
         return self.scheduler.telemetry.snapshot()
+
+    def recalibrate(self) -> dict:
+        """Force one canary probe round; structured error when it can't.
+
+        A failed probe is *recoverable* -- the guard keeps serving on
+        its last committed (conservative) margins and the connection
+        stays usable -- so the reply is an error frame, never a dropped
+        connection.
+        """
+        recal = getattr(self.scheduler, "recal", None)
+        if recal is None:
+            self.scheduler.telemetry.bump("errors")
+            return error_payload(
+                ERROR_RECALIBRATION_FAILED,
+                "no recalibration loop is attached; start the server "
+                "with --recal-interval on a margin-compiled table",
+            )
+        try:
+            recal.recalibrate(
+                self.scheduler.latest_clock_ns(), self.scheduler.telemetry
+            )
+        except RecalibrationError as error:
+            self.scheduler.telemetry.bump("errors")
+            return error_payload(
+                ERROR_RECALIBRATION_FAILED, f"recalibration failed: {error}"
+            )
+        return {"recalibrated": recal.snapshot()}
 
     # -- internals -----------------------------------------------------------
 
@@ -313,6 +344,8 @@ class AccuracyServer:
             )
         if payload.get("cmd") == "stats":
             return {"stats": self.stats()}
+        if payload.get("cmd") == "recalibrate":
+            return self.recalibrate()
         try:
             served = await self.request(
                 str(payload["op"]),

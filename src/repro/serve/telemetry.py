@@ -145,6 +145,12 @@ class Telemetry:
             # Fleet tier (bus-driven retreat; see repro.fleet).
             "fleet_alerts": 0,
             "fleet_retreats": 0,
+            # Recalibration loop (canary probes; see repro.serve.recal).
+            "recal_probes": 0,
+            "recal_epochs": 0,
+            "recal_failures": 0,
+            "recal_demotions": 0,
+            "recal_readvances": 0,
         }
         self.per_operator: Dict[str, int] = {}
         # Service latency: queue wait + settling, in virtual ns.
@@ -155,6 +161,10 @@ class Telemetry:
         self.settle_ns = Histogram(geometric_bounds(1.0, 1e6), unit="ns")
         # Per-request served energy (compute + transition share), in pJ.
         self.energy_pj = Histogram(geometric_bounds(1e-3, 1e9), unit="pJ")
+        # Energy spent on canary recalibration probes, per round, in pJ.
+        self.probe_energy_pj = Histogram(
+            geometric_bounds(1e-3, 1e9), unit="pJ"
+        )
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + amount
@@ -217,4 +227,5 @@ class Telemetry:
             "latency_ns": self.latency_ns.to_dict(),
             "settle_ns": self.settle_ns.to_dict(),
             "energy_pj": self.energy_pj.to_dict(),
+            "probe_energy_pj": self.probe_energy_pj.to_dict(),
         }

@@ -53,6 +53,16 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _reset_margin_warnings():
+    """Isolate the guard's warn-once-per-fingerprint dedup between tests."""
+    from repro.serve.guard import MarginGuard
+
+    MarginGuard.reset_margin_warnings()
+    yield
+    MarginGuard.reset_margin_warnings()
+
+
 def build_synthetic_table(generator=None):
     """A hand-built ModeTable exercising every transition flavour.
 

@@ -25,8 +25,10 @@ from repro.faults import (
     KIND_WORKER_CRASH,
     FaultEvent,
     FaultSchedule,
+    recovery_schedule,
     run_chaos,
     run_exploration_chaos,
+    run_recal_chaos,
     run_serve_chaos,
 )
 from repro.operators import adequate_adder
@@ -132,6 +134,78 @@ class TestServeSoak:
         payload = report.to_dict()
         assert payload["ok"] is True
         assert payload["requests"] == 6
+
+
+class TestRecalSoak:
+    def test_recover_then_relapse_reclaims_energy_without_violations(self):
+        """The acceptance soak: one excursion, a clean recovery window,
+        then a relapse.  The recalibrating guard must re-advance during
+        the recovery (reclaiming >= 10% of the retreat-only baseline's
+        energy, canary probes charged) and retreat again into the
+        relapse -- with zero accuracy/margin violations on both runs."""
+        report = run_recal_chaos(
+            build_margined_table(),
+            recovery_schedule(SOAK_HORIZON_NS, 60.0, relapse=True, seed=1),
+            requests=256,
+            seed=7,
+        )
+        assert report.ok, report.describe()
+        assert report.retreat_only.accuracy_violations == 0
+        assert report.retreat_only.margin_violations == 0
+        assert report.recalibrating.accuracy_violations == 0
+        assert report.recalibrating.margin_violations == 0
+        assert report.recalibrating.recal_readvances > 0
+        assert report.recalibrating.recal_demotions > 0
+        assert report.energy_reclaimed_fraction >= 0.10
+        assert "[PASS]" in report.describe()
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["energy_reclaimed_fraction"] == pytest.approx(
+            report.energy_reclaimed_fraction
+        )
+
+    def test_recalibrating_soak_holds_under_seeded_storm(self):
+        """Recalibration under an arbitrary storm (not a friendly
+        recovery shape) must still never admit an unsafe mode."""
+        schedule = FaultSchedule.generate(
+            11, horizon_ns=SOAK_HORIZON_NS, num_generators=2
+        )
+        report = run_serve_chaos(
+            build_margined_table(),
+            schedule,
+            num_operators=3,
+            seed=11,
+            recalibrate=True,
+        )
+        assert report.ok, report.describe()
+        assert report.margin_violations == 0
+        assert report.accuracy_violations == 0
+        assert report.recal_epochs > 0
+        assert report.probe_energy_j > 0.0
+
+    def test_recalibrate_and_retreat_only_are_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_serve_chaos(
+                build_margined_table(),
+                FaultSchedule([]),
+                recalibrate=True,
+                retreat_only=True,
+            )
+
+    def test_run_chaos_recalibrate_nests_the_race_report(self):
+        report = run_chaos(
+            build_margined_table(),
+            recovery_schedule(SOAK_HORIZON_NS, 60.0, seed=2),
+            requests=96,
+            recalibrate=True,
+        )
+        assert report.recal is not None
+        assert report.ok
+        payload = report.to_dict()
+        assert payload["recal"]["ok"] is True
+        # The serve half of the report IS the recalibrating run.
+        assert payload["serve"] == payload["recal"]["recalibrating"]
+        assert "reclaimed" in report.describe()
 
 
 class TestExplorationSoak:

@@ -249,6 +249,73 @@ class TestSiliconEnvironment:
         assert env.transition_blocked(325.0)
         assert not env.transition_blocked(260.0)
 
+    def test_temp_ramp_edges_are_exactly_zero(self):
+        # Half-open window [100, 300): zero at the opening edge, full
+        # magnitude only at the midpoint, and -- because the end instant
+        # is outside the window -- *exactly* zero at and past the end,
+        # not merely small.  The margin guard leans on this: a mode is
+        # re-admittable the instant the excursion window closes.
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [FaultEvent(KIND_TEMP_DRIFT, 100.0, 200.0, magnitude=40.0)]
+            )
+        )
+        assert env.temperature_delta_c(100.0) == 0.0
+        assert env.temperature_delta_c(300.0) == 0.0
+        assert env.temperature_delta_c(300.0 - 1e-9) == pytest.approx(
+            0.0, abs=1e-6
+        )
+        # Erosion at the edges is therefore exactly zero too.
+        assert env.slack_erosion_ps(100.0, 0.8, 1000.0) == 0.0
+        assert env.slack_erosion_ps(300.0, 0.8, 1000.0) == 0.0
+        # And symmetric around the midpoint.
+        assert env.temperature_delta_c(150.0) == pytest.approx(
+            env.temperature_delta_c(250.0)
+        )
+
+    def test_aging_saturates_exactly_at_window_end(self):
+        # Aging uses of_kind (not active): progress clamps to 1.0 at
+        # the window-end instant itself, even though the half-open
+        # window no longer *covers* that instant -- the shift is
+        # permanent, so end_ns must already see the full magnitude.
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [FaultEvent(KIND_AGING_VTH, 100.0, 100.0, magnitude=0.01)]
+            )
+        )
+        assert env.aging_vth_shift_v(200.0) == pytest.approx(0.01)
+        assert env.aging_vth_shift_v(200.0 - 1e-6) < 0.01
+        assert env.aging_vth_shift_v(200.0 + 1e-6) == pytest.approx(0.01)
+        # The instant before the window opens contributes nothing.
+        assert env.aging_vth_shift_v(100.0 - 1e-9) == 0.0
+        assert env.aging_vth_shift_v(100.0) == 0.0
+
+    def test_overlapping_droop_and_temp_windows_compose(self):
+        # A droop square pulse [0, 200) under a temp triangle [50, 250):
+        # inside the overlap both effects add; on either side exactly
+        # one survives; at 250 everything is gone.
+        env = SiliconEnvironment(
+            FaultSchedule(
+                [
+                    FaultEvent(KIND_VDD_DROOP, 0.0, 200.0, magnitude=0.04),
+                    FaultEvent(KIND_TEMP_DRIFT, 50.0, 200.0, magnitude=30.0),
+                ]
+            )
+        )
+        vdd = 0.8
+        droop_only = DROOP_ALPHA * 0.04 / vdd
+        assert env.slowdown_fraction(25.0, vdd) == pytest.approx(droop_only)
+        # Overlap at the triangle's peak (t=150): both effects.
+        assert env.slowdown_fraction(150.0, vdd) == pytest.approx(
+            droop_only + TEMP_SLOWDOWN_PER_C * 30.0
+        )
+        # The droop window closes at 200; the triangle (progress 0.75)
+        # still contributes half its magnitude.
+        assert env.slowdown_fraction(200.0, vdd) == pytest.approx(
+            TEMP_SLOWDOWN_PER_C * 15.0
+        )
+        assert env.slowdown_fraction(250.0, vdd) == 0.0
+
     def test_describe_reflects_state(self):
         env = SiliconEnvironment(
             FaultSchedule(

@@ -109,6 +109,27 @@ class TestFleetBus:
         assert (seen_epoch, kind, origin) == (1, KIND_MARGIN_EROSION, 1)
         assert bus.post(KIND_MARGIN_EROSION, origin=0) == 2
 
+    def test_margin_state_round_trips_with_its_own_epoch(self):
+        bus = FleetBus(num_modes=3)
+        assert bus.recal_epoch == 0
+        epoch = bus.post_margins([48.0, 30.5, 12.0], [True, False, True], 1)
+        assert epoch == 1
+        seen, estimates, admissible, origin = bus.read_margins()
+        assert seen == 1
+        assert estimates == [48.0, 30.5, 12.0]
+        assert admissible == [True, False, True]
+        assert origin == 1
+        # The margin epoch is independent of the alert epoch.
+        bus.post(KIND_MARGIN_EROSION, origin=0)
+        assert bus.recal_epoch == 1
+
+    def test_margin_post_validates_shape(self):
+        with pytest.raises(ValueError, match="num_modes"):
+            FleetBus().post_margins([1.0], [True], 0)
+        bus = FleetBus(num_modes=2)
+        with pytest.raises(ValueError, match="mode count"):
+            bus.post_margins([1.0], [True], 0)
+
     def test_alert_codes_round_trip_every_kind(self):
         for kind in ALERT_KINDS:
             assert alert_kind(alert_code(kind)) == kind
@@ -287,6 +308,31 @@ class TestFleetChaos:
         assert report.workers_killed == 1
         assert report.failovers == 1
         assert report.unanswered_requests == 0
+
+    def test_recal_epochs_converge_within_propagation_bound(self):
+        """Worker 0 probes and posts committed margin states; every
+        guarded peer must adopt each epoch within the same bounded
+        window the degradation signal already guarantees."""
+        from repro.faults import recovery_schedule
+
+        horizon = 3e5
+        report = run_fleet_chaos(
+            build_margined_table(),
+            recovery_schedule(horizon, 60.0, relapse=True, seed=1),
+            workers=2,
+            num_operators=8,
+            requests=2048,
+            seed=7,
+            recal_interval_ns=horizon / 32,
+        )
+        assert report.ok, report.describe()
+        assert report.recal_enabled
+        assert report.bus_recal_epoch > 0
+        assert report.fleet_margin_syncs >= 1
+        assert report.recal_converged
+        assert 0 <= report.worst_recal_lag <= report.propagation_bound
+        payload = report.to_dict()
+        assert payload["recal_converged"] is True
 
     def test_rejects_unmargined_tables_and_lone_workers(self):
         with pytest.raises(ValueError, match="margined"):

@@ -101,12 +101,29 @@ class TestMarginGuard:
         # Erosion is ignored (nothing to compare against)...
         assert guard.mode_is_safe(2, 100.0)
         # ...but hardware reachability still applies.
-        with pytest.warns(RuntimeWarning):
-            guard = guard_for(
-                synthetic_table,
-                [FaultEvent(KIND_STUCK_NOBB, 0.0, 100.0)],
-            )
+        guard = guard_for(
+            synthetic_table,
+            [FaultEvent(KIND_STUCK_NOBB, 0.0, 100.0)],
+        )
         assert not guard.mode_is_safe(4, 50.0)
+
+    def test_margin_warning_fires_once_per_fingerprint(self, synthetic_table):
+        import warnings
+
+        with pytest.warns(RuntimeWarning, match="without margins"):
+            guard_for(synthetic_table)
+        # A second guard over the same table fingerprint stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            guard_for(synthetic_table)
+        # A different fingerprint (same design, other clock) warns anew.
+        faster = dataclasses.replace(synthetic_table, fclk_ghz=2.0)
+        with pytest.warns(RuntimeWarning, match="without margins"):
+            guard_for(faster)
+        # Resetting the dedup re-arms the original fingerprint.
+        MarginGuard.reset_margin_warnings()
+        with pytest.warns(RuntimeWarning, match="without margins"):
+            guard_for(synthetic_table)
 
     def test_negative_headroom_rejected(self, margined_table):
         with pytest.raises(ValueError, match="headroom"):
