@@ -19,6 +19,11 @@ Commands:
                       socket and exits (the CI smoke path).
 * ``replay``       -- replay a workload trace through the serve
                       scheduler under a chosen policy.
+* ``gen-traces``   -- generate the seeded workload-trace suite (bursty /
+                      diurnal / phase_structured / adversarial_flapping)
+                      as versioned JSON artifacts.
+* ``train-policy`` -- train the offline fitted-Q mode-selection policy
+                      on a trace suite and embed it in a ModeTable.
 * ``chaos``        -- replay a seeded fault schedule against a
                       margin-guarded serve session and a crash-resilient
                       sharded sweep; exits non-zero if any invariant
@@ -300,6 +305,35 @@ def _soak_requests(table, count, seed):
         )
 
 
+def _policy_kwargs(args):
+    """Parse + validate the shared ``--policy`` / ``--policy-arg`` surface.
+
+    Registry validation errors (unknown policy parameter, bad value) are
+    user errors: re-raise as :class:`ServeError` so ``main`` exits 2 with
+    the registry's message listing the policy's known parameters.
+    """
+    from repro.serve.errors import ServeError
+    from repro.serve.policy import parse_policy_args, validate_policy_kwargs
+
+    try:
+        return validate_policy_kwargs(
+            args.policy, parse_policy_args(args.policy_args)
+        )
+    except ValueError as error:
+        raise ServeError(str(error)) from None
+
+
+def _trace_workload(path):
+    """Load a trace file (gen-traces artifact or legacy list) as phases."""
+    from repro.serve.errors import ServeError
+    from repro.traces import TraceError, load_trace_file
+
+    try:
+        return load_trace_file(path)
+    except TraceError as error:
+        raise ServeError(str(error)) from None
+
+
 def cmd_serve(args) -> int:
     import asyncio
     import json as json_module
@@ -334,6 +368,7 @@ def cmd_serve(args) -> int:
         num_generators=args.generators,
         policy=args.policy,
         max_queue_depth=args.queue_depth,
+        policy_kwargs=_policy_kwargs(args),
         engine=args.serve_engine,
         guard=guard,
         recal=recal,
@@ -374,7 +409,17 @@ def cmd_serve(args) -> int:
                     writer.close()
                     await writer.wait_closed()
 
-            everything = list(_soak_requests(table, args.soak, args.seed))
+            if args.trace:
+                # A trace file drives a single-operator soak: the phase
+                # stream is the workload, exactly as replay sees it.
+                everything = [
+                    ("op0", bits, cycles)
+                    for bits, cycles in _trace_workload(args.trace)
+                ]
+            else:
+                everything = list(
+                    _soak_requests(table, args.soak, args.seed)
+                )
             shard = max(1, len(everything) // args.clients)
             await asyncio.gather(
                 *(
@@ -391,7 +436,7 @@ def cmd_serve(args) -> int:
             while True:
                 await asyncio.sleep(3600)
 
-    if args.soak:
+    if args.soak or args.trace:
         stats = asyncio.run(soak())
         counters = stats["counters"]
         print(
@@ -446,14 +491,23 @@ def cmd_fleet_serve(args) -> int:
         max_inflight=args.max_inflight,
         num_generators=args.generators,
         policy=args.policy,
+        policy_params=_policy_kwargs(args),
         max_queue_depth=args.queue_depth,
         guard=args.guard,
         retreat_budget=args.retreat_budget,
         engine=args.serve_engine,
     )
-    trace = list(
-        _fleet_soak_requests(table, args.operators, args.soak, args.seed)
-    )
+    if args.trace:
+        trace = [
+            (f"op{index % args.operators}", bits, cycles)
+            for index, (bits, cycles) in enumerate(
+                _trace_workload(args.trace)
+            )
+        ]
+    else:
+        trace = list(
+            _fleet_soak_requests(table, args.operators, args.soak, args.seed)
+        )
     violations = 0
     with router:
         print(
@@ -490,17 +544,15 @@ def cmd_fleet_serve(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    import json as json_module
-
     from repro.core.runtime import WorkloadPhase
     from repro.serve.scheduler import replay_trace
 
     table = _load_table(args.table)
+    policy_kwargs = _policy_kwargs(args)
     if args.trace:
-        with open(args.trace) as stream:
-            entries = json_module.load(stream)
         workload = [
-            WorkloadPhase(int(e["bits"]), int(e["cycles"])) for e in entries
+            WorkloadPhase(bits, cycles)
+            for bits, cycles in _trace_workload(args.trace)
         ]
     else:
         rng = np.random.default_rng(args.seed)
@@ -517,8 +569,71 @@ def cmd_replay(args) -> int:
         policy=args.policy,
         lookahead_window=args.window,
         engine=args.serve_engine,
+        **policy_kwargs,
     )
     print(f"policy {args.policy}: {report.summary()}")
+    return 0
+
+
+def cmd_gen_traces(args) -> int:
+    from pathlib import Path
+
+    from repro.traces import generate_suite, generate_trace
+
+    levels = tuple(int(token) for token in args.levels.split(","))
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.family == "all":
+        suite = generate_suite(
+            seed=args.seed,
+            length=args.length,
+            bits_levels=levels,
+            mean_cycles=args.mean_cycles,
+        )
+    else:
+        suite = {
+            args.family: generate_trace(
+                args.family,
+                seed=args.seed,
+                length=args.length,
+                bits_levels=levels,
+                mean_cycles=args.mean_cycles,
+            )
+        }
+    for family, trace in suite.items():
+        path = out_dir / f"trace_{family}.json"
+        trace.save(path)
+        print(
+            f"{family}: {len(trace.phases)} phases "
+            f"(seed {trace.seed}) -> {path}"
+        )
+    return 0
+
+
+def cmd_train_policy(args) -> int:
+    from repro.io.results import save_mode_table
+    from repro.serve.learned import train_on_suite
+
+    table = _load_table(args.table)
+    print(table.describe())
+    result = train_on_suite(
+        table,
+        seed=args.seed,
+        length=args.length,
+        mean_cycles=args.mean_cycles,
+        suites=args.suites,
+        gamma=args.gamma,
+        epsilon=args.epsilon,
+        rounds=args.rounds,
+    )
+    trained = table.with_learned(result.spec)
+    with open(args.output, "w") as stream:
+        save_mode_table(trained, stream)
+    print(
+        f"fitted-Q converged: {result.samples} samples, "
+        f"{result.states_visited} visited states, {result.rounds} rounds"
+    )
+    print(f"mode table with learned policy written to {args.output}")
     return 0
 
 
@@ -698,6 +813,36 @@ def build_parser() -> argparse.ArgumentParser:
             "per-request path; results are bit-identical either way)",
         )
 
+    # One declaration of the policy surface, shared by every serving
+    # command (serve / fleet-serve / replay): the registry drives the
+    # --policy choices, --policy-arg carries per-policy typed parameters
+    # and --trace points at a gen-traces artifact (or a legacy list).
+    from repro.serve.policy import POLICIES
+
+    policy_parent = argparse.ArgumentParser(add_help=False)
+    policy_parent.add_argument(
+        "--policy",
+        default="greedy",
+        choices=sorted(POLICIES),
+        help="mode-selection policy (learned needs a table trained with "
+        "`repro train-policy`)",
+    )
+    policy_parent.add_argument(
+        "--policy-arg",
+        dest="policy_args",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="per-policy parameter, repeatable (e.g. --policy hysteresis "
+        "--policy-arg dwell_cycles=50000); unknown keys exit with the "
+        "policy's known parameters",
+    )
+    policy_parent.add_argument(
+        "--trace",
+        help="workload trace file: a `repro gen-traces` artifact or a "
+        'legacy JSON list of {"bits": b, "cycles": c}',
+    )
+
     p = sub.add_parser("explore", help="implement + optimize one design")
     add_design_args(p)
     add_engine_args(p)
@@ -747,16 +892,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile_table, sweep_command=True)
 
     p = sub.add_parser(
-        "serve", help="run the asyncio accuracy server from a compiled table"
+        "serve",
+        help="run the asyncio accuracy server from a compiled table",
+        parents=[policy_parent],
     )
     p.add_argument("--table", required=True, help="compiled ModeTable JSON")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
-    p.add_argument(
-        "--policy",
-        default="greedy",
-        choices=["greedy", "hysteresis", "lookahead"],
-    )
     p.add_argument("--generators", type=int, default=2)
     p.add_argument("--queue-depth", type=int, default=8)
     p.add_argument("--max-pending", type=int, default=64)
@@ -785,6 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fleet-serve",
         help="soak the multi-process fleet tier from a compiled table",
+        parents=[policy_parent],
     )
     p.add_argument("--table", required=True, help="compiled ModeTable JSON")
     from repro.core.config import AUTO_WORKERS as _AUTO
@@ -797,11 +940,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="fleet worker processes (bare --workers auto-detects; "
         "$REPRO_FLEET_WORKERS overrides auto; default 2)",
-    )
-    p.add_argument(
-        "--policy",
-        default="greedy",
-        choices=["greedy", "hysteresis", "lookahead"],
     )
     p.add_argument("--generators", type=int, default=2)
     p.add_argument("--queue-depth", type=int, default=8)
@@ -847,17 +985,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fleet_serve)
 
     p = sub.add_parser(
-        "replay", help="replay a workload trace through the serve scheduler"
+        "replay",
+        help="replay a workload trace through the serve scheduler",
+        parents=[policy_parent],
     )
     p.add_argument("--table", required=True, help="compiled ModeTable JSON")
-    p.add_argument(
-        "--policy",
-        default="greedy",
-        choices=["greedy", "hysteresis", "lookahead"],
-    )
-    p.add_argument(
-        "--trace", help='JSON trace: a list of {"bits": b, "cycles": c}'
-    )
     p.add_argument(
         "--phases", type=int, default=64, help="synthetic trace length"
     )
@@ -865,6 +997,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=4, help="lookahead window")
     add_serve_engine_arg(p)
     p.set_defaults(func=cmd_replay)
+
+    from repro.traces import TRACE_FAMILIES
+
+    p = sub.add_parser(
+        "gen-traces",
+        help="generate the seeded workload-trace suite as JSON artifacts",
+    )
+    p.add_argument(
+        "--output-dir", required=True, help="directory for trace_*.json"
+    )
+    p.add_argument(
+        "--family",
+        default="all",
+        choices=["all", *TRACE_FAMILIES],
+        help="one family, or the whole suite (seeds offset per family)",
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--length", type=int, default=200, help="phases per trace"
+    )
+    p.add_argument(
+        "--levels",
+        default="2,4,6,8",
+        help="comma-separated precision levels requests draw from "
+        "(pass the served table's bitwidths)",
+    )
+    p.add_argument(
+        "--mean-cycles",
+        type=int,
+        default=2000,
+        help="mean per-phase cycle count (jittered +/-30%%)",
+    )
+    p.set_defaults(func=cmd_gen_traces)
+
+    p = sub.add_parser(
+        "train-policy",
+        help="train the offline fitted-Q policy and embed it in a table",
+    )
+    p.add_argument("--table", required=True, help="compiled ModeTable JSON")
+    p.add_argument(
+        "--output", required=True, help="write the trained table here"
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--length", type=int, default=400, help="phases per training trace"
+    )
+    p.add_argument(
+        "--mean-cycles", type=int, default=2000, help="mean phase length"
+    )
+    p.add_argument(
+        "--suites",
+        type=int,
+        default=3,
+        help="trace suites (one trace per family each) in the corpus",
+    )
+    p.add_argument("--gamma", type=float, default=0.95)
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="collect/fit alternations (round 0 explores uniformly)",
+    )
+    p.set_defaults(func=cmd_train_policy)
 
     p = sub.add_parser(
         "chaos",

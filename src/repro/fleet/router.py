@@ -124,6 +124,7 @@ class FleetRouter:
         max_inflight: int = 2,
         num_generators: int = 2,
         policy: str = "greedy",
+        policy_params: Optional[Dict] = None,
         max_queue_depth: int = 8,
         guard: bool = False,
         headroom_ps: float = 0.0,
@@ -152,6 +153,7 @@ class FleetRouter:
         self._config = {
             "num_generators": num_generators,
             "policy": policy,
+            "policy_params": dict(policy_params or {}),
             "max_queue_depth": max_queue_depth,
             "guard": guard,
             "headroom_ps": headroom_ps,

@@ -169,6 +169,7 @@ class _WorkerRuntime:
             table,
             num_generators=int(config.get("num_generators", 2)),
             policy=str(config.get("policy", "greedy")),
+            policy_kwargs=dict(config.get("policy_params") or {}),
             max_queue_depth=int(config.get("max_queue_depth", 8)),
             guard=guard,
             engine=config.get("engine"),

@@ -4,8 +4,10 @@ Turns exploration results into a live, concurrent accuracy-mode service:
 
 * :mod:`repro.serve.table` -- the compiled, versioned :class:`ModeTable`
   artifact (operating points + precomputed transition-cost matrix),
-* :mod:`repro.serve.policy` -- pluggable mode-selection policies
-  (greedy / hysteresis / lookahead),
+* :mod:`repro.serve.policy` -- the :class:`PolicyContext` policy API and
+  :func:`register_policy` registry (greedy / hysteresis / lookahead),
+* :mod:`repro.serve.learned` -- offline fitted-Q training over
+  :mod:`repro.traces` suites and the frozen :class:`LearnedPolicy`,
 * :mod:`repro.serve.scheduler` -- the event-driven shared-bias-generator
   scheduler with batching, backpressure and graceful degradation,
 * :mod:`repro.serve.server` -- the asyncio front end (in-proc API +
@@ -38,13 +40,26 @@ from repro.serve.recal import (
     RecalibrationLoop,
     run_canary_probe,
 )
+from repro.serve.learned import (
+    LearnedPolicy,
+    TrainingResult,
+    train_on_suite,
+    train_policy,
+)
 from repro.serve.policy import (
+    DemandTracker,
     GreedyPolicy,
     HysteresisPolicy,
     LookaheadPolicy,
     POLICIES,
+    PolicyContext,
+    PolicyParam,
     SelectionPolicy,
     make_policy,
+    parse_policy_args,
+    policy_params,
+    register_policy,
+    validate_policy_kwargs,
 )
 from repro.serve.scheduler import (
     AccuracyViolation,
@@ -56,6 +71,7 @@ from repro.serve.scheduler import (
 )
 from repro.serve.server import AccuracyServer
 from repro.serve.table import (
+    LearnedPolicySpec,
     MODE_TABLE_SCHEMA,
     ModeMargin,
     ModeTable,
@@ -72,10 +88,13 @@ __all__ = [
     "AccuracyViolation",
     "BatchResult",
     "CompiledTable",
+    "DemandTracker",
     "GeneratorPool",
     "GreedyPolicy",
     "Histogram",
     "HysteresisPolicy",
+    "LearnedPolicy",
+    "LearnedPolicySpec",
     "LookaheadPolicy",
     "MODE_TABLE_SCHEMA",
     "MarginGuard",
@@ -84,6 +103,8 @@ __all__ = [
     "ModeScheduler",
     "ModeTable",
     "POLICIES",
+    "PolicyContext",
+    "PolicyParam",
     "ProbeResult",
     "RecalibrationError",
     "RecalibrationLoop",
@@ -94,13 +115,20 @@ __all__ = [
     "ServedPhase",
     "SharedModeTable",
     "Telemetry",
+    "TrainingResult",
     "TransitionCost",
     "compile_margins",
     "compile_mode_table",
     "error_payload",
     "make_policy",
     "parse_counters",
+    "parse_policy_args",
+    "policy_params",
+    "register_policy",
     "replay_trace",
     "resolve_serve_engine",
     "run_canary_probe",
+    "train_on_suite",
+    "train_policy",
+    "validate_policy_kwargs",
 ]

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import resolve_env_choice
+from repro.serve.learned import LearnedPolicy
 from repro.serve.policy import (
     GreedyPolicy,
     HysteresisPolicy,
@@ -134,6 +135,9 @@ class CompiledTable:
         self.all_available = True
 
         self._decision_tables: Dict[Tuple, np.ndarray] = {}
+        # id(spec) -> mode-index lowering of a frozen learned policy
+        # (the spec object is pinned by the policy holding it).
+        self._learned_tables: Dict[int, np.ndarray] = {}
 
     # -- policy lowering -----------------------------------------------------
 
@@ -149,7 +153,12 @@ class CompiledTable:
 
     @staticmethod
     def is_known_policy(policy: SelectionPolicy) -> bool:
-        return type(policy) in (GreedyPolicy, HysteresisPolicy, LookaheadPolicy)
+        return type(policy) in (
+            GreedyPolicy,
+            HysteresisPolicy,
+            LookaheadPolicy,
+            LearnedPolicy,
+        )
 
     def decision_table(self, policy: SelectionPolicy) -> np.ndarray:
         """``next_index[state_row, required_bits]`` for a memoryless policy.
@@ -176,6 +185,39 @@ class CompiledTable:
             table[row, 0] = table[row, 1]
         self._decision_tables[key] = table
         return table
+
+    def learned_decision_table(self, policy: LearnedPolicy) -> np.ndarray:
+        """The frozen spec's decision tensor lowered to mode *indices*.
+
+        Shape ``(n_modes + 1, n_level, n_vol, n_occ, max_bits + 1)``.
+        ``spec.mode_states`` is validated against the table's compiled
+        mode order at policy construction, so the leading axis lines up
+        with this table's state rows (``none_row`` last) and the entries
+        are positions in the same order -- the batch kernel's fold lands
+        on exactly the key ``LearnedPolicy.decide`` returns.
+        """
+        spec = policy.spec
+        cached = self._learned_tables.get(id(spec))
+        if cached is not None:
+            return cached
+        lowered = np.array(
+            [
+                [
+                    [
+                        [
+                            [self.index_of[key] for key in cell]
+                            for cell in row
+                        ]
+                        for row in plane
+                    ]
+                    for plane in cube
+                ]
+                for cube in spec.decisions
+            ],
+            dtype=np.int64,
+        )
+        self._learned_tables[id(spec)] = lowered
+        return lowered
 
     # -- margin-guard availability -------------------------------------------
 

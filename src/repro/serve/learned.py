@@ -1,0 +1,469 @@
+"""Offline-trained mode-selection: fitted Q-iteration over trace suites.
+
+Mode selection is framed as an MDP:
+
+* **State** -- the current mode plus the requested bits plus the
+  recent-demand features the redesigned policy API exposes
+  (:class:`~repro.serve.policy.PolicyContext`): demand-level EWMA,
+  demand-volatility EWMA and generator-pool occupancy, each bucketized
+  against fixed edges.  The current mode matters because transition
+  energy is paid relative to it -- without it in the state the reward is
+  non-Markovian and fitted-Q averages switch costs over whatever modes
+  the behavior policy happened to visit.  The demand *features* are
+  still a pure function of the request stream, so the batched kernel
+  buckets them once per frame and only the final decision lookup walks
+  mode history (a cheap sequential fold, replayable from any forced
+  mode after degradation).
+* **Action** -- one compiled operating point (mode key).
+* **Reward** -- negative energy: the phase's compute energy in the
+  chosen mode plus the transition energy from the previous action.
+  Actions offering fewer bits than requested are hard-masked to
+  ``-inf`` -- the accuracy invariant is not a penalty, it is simply not
+  in the action space.
+
+Training is tabular fitted Q-iteration on batches of transitions
+collected by replaying :mod:`repro.traces` suites under an
+epsilon-greedy behavior policy (pure numpy, no heavy dependencies).
+The converged greedy policy is frozen into a
+:class:`~repro.serve.table.LearnedPolicySpec` decision tensor and
+embedded in the ModeTable artifact, where :class:`LearnedPolicy` (and
+the compiled batch kernel) serve it as a pure lookup.
+
+Why a lookup policy can beat the hand-written baselines: transition
+energy is paid per switch, so on flapping demand the cheap-per-phase
+greedy plan is globally expensive, while on long calm stretches the
+hold-the-peak plan wastes compute headroom.  The volatility EWMA tells
+the two regimes apart at serve time, and fitted-Q picks the
+energy-minimal mode per regime instead of per phase.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.errors import ServeError
+from repro.serve.policy import (
+    DEMAND_EWMA_ALPHA,
+    VOLATILITY_EWMA_ALPHA,
+    DemandTracker,
+    PolicyContext,
+    SelectionPolicy,
+    register_policy,
+)
+from repro.serve.table import LearnedPolicySpec, ModeTable
+from repro.traces import WorkloadTrace, generate_suite
+
+#: Default demand-volatility bucket edges (EWMA of |delta bits|).
+DEFAULT_VOLATILITY_EDGES: Tuple[float, ...] = (0.25, 1.0, 2.5)
+
+#: Default generator-pool occupancy bucket edges.  Training replays are
+#: single-operator (occupancy 0); buckets past the first hold the
+#: conservative cover decision.
+DEFAULT_OCCUPANCY_EDGES: Tuple[float, ...] = (0.5, 2.5)
+
+
+def bucketize(edges: Sequence[float], value: float) -> int:
+    """Index of *value*'s bucket: the count of edges <= value.
+
+    Matches ``np.searchsorted(edges, value, side="right")`` exactly, so
+    the scalar path and any vectorized consumer bucket identically.
+    """
+    return bisect_right(edges, value)
+
+
+def default_level_edges(table: ModeTable) -> Tuple[float, ...]:
+    """Demand-level edges at the midpoints between compiled bitwidths."""
+    bits = table.bitwidths
+    return tuple(
+        (bits[i] + bits[i + 1]) / 2.0 for i in range(len(bits) - 1)
+    )
+
+
+@register_policy
+class LearnedPolicy(SelectionPolicy):
+    """Serves the frozen fitted-Q decision tensor embedded in the table.
+
+    Construction fails with :class:`ServeError` if the table carries no
+    learned block, or if the spec's EWMA constants differ from the ones
+    the scheduler folds features with (trained and served features must
+    be the same function of the request stream).
+    """
+
+    name = "learned"
+    params = ()
+
+    def __init__(self, table: ModeTable, spec: Optional[LearnedPolicySpec] = None):
+        super().__init__(table)
+        if spec is None:
+            spec = table.learned
+        if spec is None:
+            raise ServeError(
+                "table carries no learned policy; train one with "
+                "`repro train-policy` (or pass spec=) before serving "
+                "--policy learned"
+            )
+        if (
+            spec.demand_alpha != DEMAND_EWMA_ALPHA
+            or spec.volatility_alpha != VOLATILITY_EWMA_ALPHA
+        ):
+            raise ServeError(
+                "learned policy was trained with EWMA constants "
+                f"({spec.demand_alpha}, {spec.volatility_alpha}) but this "
+                f"build folds features with ({DEMAND_EWMA_ALPHA}, "
+                f"{VOLATILITY_EWMA_ALPHA}); retrain the policy"
+            )
+        if spec.max_bits != table.max_bits:
+            raise ServeError(
+                f"learned policy covers bits up to {spec.max_bits} but "
+                f"the table serves up to {table.max_bits}; retrain"
+            )
+        spec.validate_for(table.modes)
+        self.spec = spec
+        self._row_of = {key: i for i, key in enumerate(spec.mode_states)}
+        self._none_row = len(spec.mode_states)
+
+    def decide(self, ctx: PolicyContext) -> int:
+        bits = ctx.required_bits
+        spec = self.spec
+        if bits > spec.max_bits or bits < 0:
+            # Out of the trained range: defer to the table, which raises
+            # the same infeasibility error every other policy raises.
+            return self.table.mode_key_for(bits)
+        row = (
+            self._row_of[ctx.current_bits]
+            if ctx.current_bits is not None
+            else self._none_row
+        )
+        level_b = bucketize(spec.level_edges, ctx.demand_level)
+        vol_b = bucketize(spec.volatility_edges, ctx.demand_volatility)
+        occ_b = bucketize(spec.occupancy_edges, float(ctx.pool_occupancy))
+        return spec.decisions[row][level_b][vol_b][occ_b][bits]
+
+
+# -- offline training ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """The frozen spec plus the diagnostics the trainer accumulated."""
+
+    spec: LearnedPolicySpec
+    samples: int
+    states_visited: int
+    rounds: int
+
+
+def _encode(
+    row: int,
+    bits: int,
+    level_b: int,
+    vol_b: int,
+    occ_b: int,
+    dims: Tuple[int, ...],
+) -> int:
+    _n_rows, n_level, n_vol, n_occ, n_bits = dims
+    return (
+        ((row * n_level + level_b) * n_vol + vol_b) * n_occ + occ_b
+    ) * n_bits + bits
+
+
+def _collect_transitions(
+    table: ModeTable,
+    trace: WorkloadTrace,
+    rng: random.Random,
+    q_values: np.ndarray,
+    valid: np.ndarray,
+    visited: np.ndarray,
+    epsilon: float,
+    dims: Tuple[int, ...],
+    level_edges: Sequence[float],
+    vol_edges: Sequence[float],
+    mode_keys: Sequence[int],
+) -> List[Tuple[int, int, float, int, bool]]:
+    """One episode: replay *trace* under an epsilon-greedy behavior policy.
+
+    Feature-level rollout -- the same :class:`DemandTracker` fold the
+    scheduler applies, no pool interaction (occupancy bucket 0
+    throughout, matching a dedicated single-operator replay).
+    """
+    fclk_hz = table.fclk_ghz * 1e9
+    powers = [table.modes[key].total_power_w for key in mode_keys]
+    none_row = len(mode_keys)
+    tracker = DemandTracker()
+    transitions: List[Tuple[int, int, float, int, bool]] = []
+    phases = trace.to_phases()
+    # Demand buckets are a pure function of the request stream --
+    # precomputed once; the mode row threads through the action loop.
+    buckets: List[Tuple[int, int, int]] = []
+    for bits, _cycles in phases:
+        level, vol = tracker.features_for(bits)
+        buckets.append(
+            (
+                bits,
+                bucketize(level_edges, level),
+                bucketize(vol_edges, vol),
+            )
+        )
+        tracker.update(bits)
+    prev_action: Optional[int] = None
+    for step, (bits, cycles) in enumerate(phases):
+        row = none_row if prev_action is None else prev_action
+        _b, level_b, vol_b = buckets[step]
+        state = _encode(row, bits, level_b, vol_b, 0, dims)
+        options = np.flatnonzero(valid[bits])
+        if rng.random() < epsilon:
+            action = int(options[rng.randrange(len(options))])
+        else:
+            q_row = np.where(
+                visited[state] & valid[bits], q_values[state], -np.inf
+            )
+            if np.isneginf(q_row).all():
+                action = int(options[rng.randrange(len(options))])
+            else:
+                action = int(np.argmax(q_row))
+        key = mode_keys[action]
+        energy = powers[action] * cycles / fclk_hz
+        if prev_action is not None and prev_action != action:
+            energy += table.transitions[
+                (mode_keys[prev_action], key)
+            ].energy_j
+        done = step + 1 == len(phases)
+        if done:
+            next_state = state
+        else:
+            n_bits, n_level, n_vol = buckets[step + 1]
+            next_state = _encode(
+                action, n_bits, n_level, n_vol, 0, dims
+            )
+        transitions.append((state, action, -energy, next_state, done))
+        prev_action = action
+    return transitions
+
+
+def _fitted_q(
+    transitions: Sequence[Tuple[int, int, float, int, bool]],
+    n_states: int,
+    n_actions: int,
+    valid_by_state_bits: np.ndarray,
+    state_bits: np.ndarray,
+    gamma: float,
+    iterations: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch fitted Q-iteration; returns (Q, visited-(s,a) mask)."""
+    s = np.fromiter((t[0] for t in transitions), dtype=np.int64)
+    a = np.fromiter((t[1] for t in transitions), dtype=np.int64)
+    r = np.fromiter((t[2] for t in transitions), dtype=np.float64)
+    s2 = np.fromiter((t[3] for t in transitions), dtype=np.int64)
+    done = np.fromiter((t[4] for t in transitions), dtype=bool)
+
+    flat = s * n_actions + a
+    counts = np.bincount(flat, minlength=n_states * n_actions).reshape(
+        n_states, n_actions
+    )
+    visited = counts > 0
+    q_values = np.zeros((n_states, n_actions))
+    # Masks: an action is considered at s' only if valid for s2's bits
+    # AND visited somewhere (unvisited cells hold the uninformative 0).
+    next_valid = valid_by_state_bits[state_bits[s2]]
+    for _ in range(iterations):
+        usable = next_valid & visited[s2]
+        next_q = np.where(usable, q_values[s2], -np.inf)
+        best_next = next_q.max(axis=1)
+        best_next[np.isneginf(best_next)] = 0.0
+        targets = r + np.where(done, 0.0, gamma * best_next)
+        sums = np.bincount(
+            flat, weights=targets, minlength=n_states * n_actions
+        ).reshape(n_states, n_actions)
+        with np.errstate(invalid="ignore"):
+            q_values = np.where(visited, sums / np.maximum(counts, 1), 0.0)
+    return q_values, visited
+
+
+def train_policy(
+    table: ModeTable,
+    traces: Iterable[WorkloadTrace],
+    *,
+    seed: int = 0,
+    gamma: float = 0.95,
+    epsilon: float = 0.2,
+    rounds: int = 4,
+    iterations: int = 40,
+    level_edges: Optional[Sequence[float]] = None,
+    volatility_edges: Sequence[float] = DEFAULT_VOLATILITY_EDGES,
+    occupancy_edges: Sequence[float] = DEFAULT_OCCUPANCY_EDGES,
+) -> TrainingResult:
+    """Train a frozen lookup policy on a corpus of workload traces.
+
+    Runs ``rounds`` alternations of (collect transitions under the
+    epsilon-greedy behavior policy) and (batch fitted Q-iteration); the
+    first round explores uniformly.  Deterministic for a given seed and
+    corpus.  The returned spec is safe by construction: every decision
+    is drawn from the bits-valid action set, and states fitted-Q never
+    visited fall back to the greedy cover mode.
+    """
+    trace_list = list(traces)
+    if not trace_list:
+        raise ValueError("need at least one training trace")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError("epsilon must be in [0, 1]")
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError("gamma must be in [0, 1)")
+    if rounds < 1 or iterations < 1:
+        raise ValueError("rounds and iterations must be >= 1")
+    l_edges = tuple(
+        float(e)
+        for e in (
+            level_edges if level_edges is not None else default_level_edges(table)
+        )
+    )
+    v_edges = tuple(float(e) for e in volatility_edges)
+    o_edges = tuple(float(e) for e in occupancy_edges)
+    mode_states = tuple(table.modes)
+    mode_keys = list(mode_states)
+    n_actions = len(mode_keys)
+    max_bits = table.max_bits
+    dims = (
+        n_actions + 1,
+        len(l_edges) + 1,
+        len(v_edges) + 1,
+        len(o_edges) + 1,
+        max_bits + 1,
+    )
+    n_states = dims[0] * dims[1] * dims[2] * dims[3] * dims[4]
+
+    active_bits = np.array(
+        [table.modes[key].active_bits for key in mode_keys]
+    )
+    # valid[bits, action]: the action's mode offers at least `bits` bits.
+    valid = (
+        active_bits[np.newaxis, :] >= np.arange(max_bits + 1)[:, np.newaxis]
+    )
+    state_bits = np.arange(n_states) % dims[4]
+
+    rng = random.Random(seed)
+    q_values = np.zeros((n_states, n_actions))
+    visited = np.zeros((n_states, n_actions), dtype=bool)
+    pool: List[Tuple[int, int, float, int, bool]] = []
+    for round_index in range(rounds):
+        round_epsilon = 1.0 if round_index == 0 else epsilon
+        for trace in trace_list:
+            pool.extend(
+                _collect_transitions(
+                    table,
+                    trace,
+                    rng,
+                    q_values,
+                    valid,
+                    visited,
+                    round_epsilon,
+                    dims,
+                    l_edges,
+                    v_edges,
+                    mode_keys,
+                )
+            )
+        q_values, visited = _fitted_q(
+            pool, n_states, n_actions, valid, state_bits, gamma, iterations
+        )
+
+    # Freeze: argmax over visited & valid actions; cover elsewhere.
+    decisions: List[List[List[List[List[int]]]]] = []
+    cover = [table.mode_key_for(bits) for bits in range(max_bits + 1)]
+    states_visited = 0
+    for mode_row in range(dims[0]):
+        cube: List[List[List[List[int]]]] = []
+        for level_b in range(dims[1]):
+            plane: List[List[List[int]]] = []
+            for vol_b in range(dims[2]):
+                rows: List[List[int]] = []
+                for occ_b in range(dims[3]):
+                    cell: List[int] = []
+                    for bits in range(dims[4]):
+                        state = _encode(
+                            mode_row, bits, level_b, vol_b, occ_b, dims
+                        )
+                        usable = visited[state] & valid[bits]
+                        if usable.any():
+                            states_visited += 1
+                            q_row = np.where(
+                                usable, q_values[state], -np.inf
+                            )
+                            cell.append(mode_keys[int(np.argmax(q_row))])
+                        else:
+                            cell.append(cover[bits])
+                    rows.append(cell)
+                plane.append(rows)
+            cube.append(plane)
+        decisions.append(cube)
+
+    spec = LearnedPolicySpec(
+        level_edges=l_edges,
+        volatility_edges=v_edges,
+        occupancy_edges=o_edges,
+        mode_states=mode_states,
+        demand_alpha=DEMAND_EWMA_ALPHA,
+        volatility_alpha=VOLATILITY_EWMA_ALPHA,
+        max_bits=max_bits,
+        decisions=tuple(
+            tuple(
+                tuple(tuple(tuple(cell) for cell in row) for row in plane)
+                for plane in cube
+            )
+            for cube in decisions
+        ),
+        training={
+            "seed": seed,
+            "gamma": gamma,
+            "epsilon": epsilon,
+            "rounds": rounds,
+            "iterations": iterations,
+            "samples": len(pool),
+            "families": sorted({t.family for t in trace_list}),
+            "trace_seeds": [t.seed for t in trace_list],
+        },
+    )
+    spec.validate_for(table.modes)
+    return TrainingResult(
+        spec=spec,
+        samples=len(pool),
+        states_visited=states_visited,
+        rounds=rounds,
+    )
+
+
+def train_on_suite(
+    table: ModeTable,
+    *,
+    seed: int = 0,
+    length: int = 400,
+    mean_cycles: int = 2000,
+    suites: int = 3,
+    **train_kwargs,
+) -> TrainingResult:
+    """Generate ``suites`` traces per family and train on the corpus.
+
+    The convenience entry the CLI and CI use: trace levels are taken
+    from the table's own compiled bitwidths so every request is
+    satisfiable, and the suite seeds are offset from the training seed
+    so evaluation traces generated at other seeds stay out-of-sample.
+    Multiple suites per family de-noise the tabular Q estimates (the
+    state space is small; sample diversity is what's scarce).
+    """
+    if suites < 1:
+        raise ValueError("suites must be >= 1")
+    traces: List[WorkloadTrace] = []
+    for index in range(suites):
+        traces.extend(
+            generate_suite(
+                seed=seed + 10 * index,
+                length=length,
+                bits_levels=table.bitwidths,
+                mean_cycles=mean_cycles,
+            ).values()
+        )
+    return train_policy(table, traces, seed=seed, **train_kwargs)

@@ -71,8 +71,10 @@ from repro.serve.compiled import (
     CompiledTable,
     resolve_serve_engine,
 )
+from repro.serve.learned import LearnedPolicy, bucketize
 from repro.serve.policy import (
-    LookaheadPolicy,
+    DemandTracker,
+    PolicyContext,
     SelectionPolicy,
     Upcoming,
     make_policy,
@@ -162,6 +164,17 @@ class GeneratorPool:
     def queue_depth(self, now_ns: float) -> int:
         """Number of scheduled slews that have not yet started."""
         self._prune(now_ns)
+        return self.occupancy(now_ns)
+
+    def occupancy(self, now_ns: float) -> int:
+        """:meth:`queue_depth` without the pruning side effect.
+
+        Operators run on independent virtual clocks, and pruning with a
+        fast operator's clock would discard grants a slower operator
+        could still batch-join.  Decision-time probes therefore must not
+        mutate the pool.  (Expired grants are never counted either way:
+        ``start_ns < end_ns <= now_ns``.)
+        """
         return sum(1 for grant in self.pending if grant.start_ns > now_ns)
 
     @property
@@ -251,6 +264,9 @@ class _OperatorState:
     transition_time_ns: float = 0.0
     switches: int = 0
     static_energy_j: float = 0.0
+    #: Recent-demand EWMA features of this operator's request stream,
+    #: folded identically by the scalar path and the batch planner.
+    tracker: DemandTracker = field(default_factory=DemandTracker)
 
 
 class _ScalarFrameFallback(Exception):
@@ -279,12 +295,22 @@ class _OperatorPlan:
     switched: np.ndarray
     margin: np.ndarray
     guard_active: bool
+    #: Which planner filled (and replans) this operator's decisions:
+    #: ``memoryless`` / ``lookahead`` / ``learned``.
+    kind: str = "memoryless"
     window: int = 0
     dtable: Optional[np.ndarray] = None
     dtable_list: Optional[List[List[int]]] = None
     bits_list: List[int] = field(default_factory=list)
     cycles_list: List[int] = field(default_factory=list)
     cover_pos: Optional[np.ndarray] = None
+    #: The operator's demand tracker after the whole frame folds in
+    #: (learned plans only; committed during accounting).
+    final_tracker: Optional[DemandTracker] = None
+    #: Per-position (level, volatility) buckets (learned plans only).
+    #: Pure function of the request stream, so a degradation replan
+    #: re-derives decisions from any forced mode without re-folding.
+    learned_buckets: List[Tuple[int, int]] = field(default_factory=list)
     complex_events: List[Tuple[int, int]] = field(default_factory=list)
     complex_ptr: int = 0
     fold_ptr: int = 0
@@ -400,8 +426,17 @@ class ModeScheduler:
             # already governs this request's safety check.
             self.recal.maybe_recalibrate(state.clock_ns, self.telemetry)
         decided_at_ns = state.clock_ns
-        bits_key = state.policy.select(
-            request.required_bits, state.current_bits, upcoming
+        level, volatility = state.tracker.features_for(request.required_bits)
+        bits_key = state.policy.decide(
+            PolicyContext(
+                required_bits=request.required_bits,
+                current_bits=state.current_bits,
+                upcoming=tuple(upcoming),
+                demand_level=level,
+                demand_volatility=volatility,
+                pool_occupancy=self.pool.occupancy(decided_at_ns),
+                virtual_time_ns=decided_at_ns,
+            )
         )
         margin_fallback = False
         if self.guard is not None:
@@ -497,6 +532,7 @@ class ModeScheduler:
             table, table.static_mode, request.cycles
         )
         state.clock_ns += request.cycles / table.fclk_ghz
+        state.tracker.update(request.required_bits)
         self.telemetry.record_phase(served)
         return served
 
@@ -537,6 +573,7 @@ class ModeScheduler:
             table, mode, request.cycles
         )
         state.clock_ns += request.cycles / table.fclk_ghz
+        state.tracker.update(request.required_bits)
         self.telemetry.record_phase(served)
         return served
 
@@ -733,6 +770,8 @@ class ModeScheduler:
             state.static_energy_j = acc
             state.current_bits = comp.keys[int(plan.decisions[-1])]
             state.clock_ns = plan.clock
+            if plan.final_tracker is not None:
+                state.tracker = plan.final_tracker
 
         fallbacks = int(np.count_nonzero(margin_g))
         if fallbacks:
@@ -885,7 +924,25 @@ class ModeScheduler:
                 # so the adjusted lookup degenerates to the plain one.
                 guard_active=guard is not None and not comp.all_available,
             )
-            if CompiledTable.policy_cache_key(policy) is not None:
+            if isinstance(policy, LearnedPolicy):
+                # The learned decision is a pure function of (current
+                # mode, bits, demand EWMAs, pool occupancy).  The mode
+                # row and EWMAs fold from the frame itself; occupancy
+                # must provably be 0 at every decision, which holds
+                # when (a) this operator is
+                # the only one in the frame -- no interleaved foreign
+                # grants -- and (b) no pre-frame grant is still waiting
+                # to start: the operator's own grants start at (and
+                # advance the clock past) acquisition, so they are
+                # never "not yet started" at a later decision.
+                if len(groups) > 1:
+                    raise _ScalarFrameFallback
+                if self.pool.occupancy(state.clock_ns) > 0:
+                    raise _ScalarFrameFallback
+                plan.kind = "learned"
+                plan.bits_list = op_bits.tolist()
+            elif CompiledTable.policy_cache_key(policy) is not None:
+                plan.kind = "memoryless"
                 plan.dtable = comp.decision_table(policy)
                 plan.dtable_list = plan.dtable.tolist()
                 if not self._memoryless_stable(
@@ -893,6 +950,7 @@ class ModeScheduler:
                 ):
                     raise _ScalarFrameFallback
             else:
+                plan.kind = "lookahead"
                 plan.window = (
                     policy.window
                     if upcoming_cap is None
@@ -908,8 +966,10 @@ class ModeScheduler:
                 else comp.none_row
             )
             plan.clock = state.clock_ns
-            if plan.dtable is not None:
+            if plan.kind == "memoryless":
                 self._plan_memoryless(plan, 0, start_row)
+            elif plan.kind == "learned":
+                self._plan_learned(plan, 0, start_row)
             else:
                 self._plan_lookahead(plan, 0, start_row)
             # Accuracy invariant, pre-verified so the walk cannot raise
@@ -1016,6 +1076,78 @@ class ModeScheduler:
             np.asarray(body_flags, dtype=bool), lengths
         )
         plan.margin[starts] = head_flags
+
+    def _plan_learned(
+        self, plan: _OperatorPlan, start: int, row: int
+    ) -> None:
+        """Fill decisions for ``[start:]`` from state *row* (learned).
+
+        The demand EWMAs are a pure function of the request stream, so
+        their buckets fold once (``start == 0``) in the same python
+        float arithmetic the scalar :class:`DemandTracker` applies.  The
+        decision lookup then walks mode history from *row* -- the spec's
+        mode-state axis is aligned with this table's rows by
+        construction -- indexing the tensor at occupancy bucket 0
+        (guaranteed by the eligibility gate).  A replan after
+        degradation (``start > 0``) re-derives the suffix decisions from
+        the forced *row* over the stored buckets.
+        """
+        total = len(plan.bits)
+        if start >= total:
+            return
+        comp = plan.compiled
+        policy = plan.state.policy
+        spec = policy.spec
+        ltable = comp.learned_decision_table(policy)
+        occ_zero = bucketize(spec.occupancy_edges, 0.0)
+        occ_plane = ltable[:, :, :, occ_zero, :]
+        if start == 0:
+            level_edges = spec.level_edges
+            vol_edges = spec.volatility_edges
+            tracker = plan.state.tracker.copy()
+            buckets: List[Tuple[int, int]] = []
+            for bits in plan.bits_list:
+                level, volatility = tracker.features_for(bits)
+                buckets.append(
+                    (
+                        bucketize(level_edges, level),
+                        bucketize(vol_edges, volatility),
+                    )
+                )
+                tracker.update(bits)
+            plan.learned_buckets = buckets
+            plan.final_tracker = tracker
+        guard_active = plan.guard_active
+        if guard_active:
+            available = comp.mode_available.tolist()
+            guarded = comp.guarded_cover_index.tolist()
+        free = comp._free_rows
+        events = plan.complex_events
+        bits_list = plan.bits_list
+        bucket_list = plan.learned_buckets
+        decisions: List[int] = []
+        switched: List[bool] = []
+        flags: List[bool] = []
+        for offset in range(start, total):
+            bits = bits_list[offset]
+            level_b, vol_b = bucket_list[offset]
+            decision = int(occ_plane[row, level_b, vol_b, bits])
+            flag = False
+            if guard_active and not available[decision]:
+                decision = guarded[bits]
+                flag = True
+            decisions.append(decision)
+            flags.append(flag)
+            if decision != row:
+                switched.append(True)
+                if not free[row][decision]:
+                    events.append((offset, row))
+                row = decision
+            else:
+                switched.append(False)
+        plan.decisions[start:] = decisions
+        plan.margin[start:] = flags
+        plan.switched[start:] = switched
 
     def _plan_lookahead(
         self, plan: _OperatorPlan, start: int, row: int
@@ -1194,8 +1326,10 @@ class ModeScheduler:
                     )
                 plan.complex_events = []
                 plan.complex_ptr = 0
-                if plan.dtable is not None:
+                if plan.kind == "memoryless":
                     self._plan_memoryless(plan, own + 1, static)
+                elif plan.kind == "learned":
+                    self._plan_learned(plan, own + 1, static)
                 else:
                     self._plan_lookahead(plan, own + 1, static)
             else:

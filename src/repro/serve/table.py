@@ -23,14 +23,24 @@ guard (:mod:`repro.serve.guard`) compares them against runtime margin
 erosion and falls back to a safer mode before timing is violated.
 Schema-1 tables (no margins) still load and serve; the guard simply has
 nothing to check and disables itself with a warning.
+
+Since schema 3 a table may additionally embed a **frozen learned
+mode-selection policy** (:class:`LearnedPolicySpec`): the bucketized
+decision tensor a fitted-Q trainer (:mod:`repro.serve.learned`) produced
+offline from a workload-trace suite.  The spec is pure data -- bucket
+edges, EWMA constants and mode-key decisions -- so loading it never
+imports the training stack, and its accuracy-invariant safety is
+re-validated structurally on every load.
 """
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.config import OperatingPoint
 from repro.core.exploration import ExplorationResult
@@ -44,12 +54,13 @@ from repro.serve.errors import ServeError
 
 #: Schema of the serialized artifact.  Bump on any layout change; loaders
 #: reject a mismatch rather than guess.  Schema 2 added the optional
-#: per-mode margin block; schema-1 artifacts are still readable (they
-#: simply carry no margins).
-MODE_TABLE_SCHEMA = 2
+#: per-mode margin block; schema 3 the optional frozen learned-policy
+#: block.  Older artifacts are still readable (they simply carry
+#: neither).
+MODE_TABLE_SCHEMA = 3
 
 #: Schemas :meth:`ModeTable.from_dict` accepts.
-COMPATIBLE_SCHEMAS = (1, MODE_TABLE_SCHEMA)
+COMPATIBLE_SCHEMAS = (1, 2, MODE_TABLE_SCHEMA)
 
 #: Artifact-parse instrumentation.  ``json`` counts full-table dict
 #: parses (:meth:`ModeTable.from_dict`), ``shared`` counts zero-copy
@@ -112,6 +123,163 @@ class ModeMargin:
 
 
 @dataclass(frozen=True)
+class LearnedPolicySpec:
+    """A frozen fitted-Q mode-selection policy, embedded in the artifact.
+
+    The policy is a pure lookup: the serving context's current mode and
+    its demand-level, demand-volatility and pool-occupancy features
+    (bucketized against the recorded edges) index
+    ``decisions[mode][level][vol][occ][bits]``, which names the mode key
+    to serve.  ``mode_states`` records the mode keys the leading axis is
+    indexed by -- the table's compiled mode order, re-checked on load --
+    and the final extra row stands for the power-on state (no current
+    mode).  The EWMA smoothing constants the features
+    were *trained* with travel in the spec; the serve-side policy
+    refuses to run if they differ from the constants the scheduler folds
+    with, so trained and served features can never drift apart.
+
+    ``decisions`` is indexed by the raw requested bits (0..max_bits); the
+    trainer guarantees -- and :meth:`validate_for` re-checks on load --
+    that every entry names a compiled mode offering at least the indexed
+    bits, which is what makes the accuracy invariant hold by
+    construction for the frozen policy.
+    """
+
+    level_edges: Tuple[float, ...]
+    volatility_edges: Tuple[float, ...]
+    occupancy_edges: Tuple[float, ...]
+    mode_states: Tuple[int, ...]
+    demand_alpha: float
+    volatility_alpha: float
+    max_bits: int
+    decisions: Tuple[
+        Tuple[Tuple[Tuple[Tuple[int, ...], ...], ...], ...], ...
+    ]
+    training: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        for label, edges in (
+            ("level_edges", self.level_edges),
+            ("volatility_edges", self.volatility_edges),
+            ("occupancy_edges", self.occupancy_edges),
+        ):
+            if list(edges) != sorted(edges):
+                raise ValueError(f"{label} must be ascending, got {edges}")
+        if self.max_bits <= 0:
+            raise ValueError("max_bits must be positive")
+        if not self.mode_states:
+            raise ValueError("mode_states must name at least one mode")
+        shape = (
+            len(self.mode_states) + 1,
+            len(self.level_edges) + 1,
+            len(self.volatility_edges) + 1,
+            len(self.occupancy_edges) + 1,
+            self.max_bits + 1,
+        )
+        if len(self.decisions) != shape[0] or any(
+            len(cube) != shape[1]
+            or any(
+                len(plane) != shape[2]
+                or any(
+                    len(row) != shape[3]
+                    or any(len(cell) != shape[4] for cell in row)
+                    for row in plane
+                )
+                for plane in cube
+            )
+            for cube in self.decisions
+        ):
+            raise ValueError(
+                f"decisions tensor must have shape {shape} "
+                "(mode states + power-on row, one bucket more than each "
+                "edge list, bits 0..max_bits)"
+            )
+
+    @property
+    def num_states(self) -> int:
+        return (
+            (len(self.mode_states) + 1)
+            * (len(self.level_edges) + 1)
+            * (len(self.volatility_edges) + 1)
+            * (len(self.occupancy_edges) + 1)
+            * (self.max_bits + 1)
+        )
+
+    def validate_for(self, modes: Mapping[int, "OperatingPoint"]) -> None:
+        """Check mode-state alignment and that every decision covers."""
+        if tuple(modes) != self.mode_states:
+            raise ValueError(
+                f"learned policy was trained over mode states "
+                f"{self.mode_states} but the table compiles "
+                f"{tuple(modes)}; retrain the policy"
+            )
+        for cube in self.decisions:
+            for plane in cube:
+                for row in plane:
+                    for cell in row:
+                        for bits, key in enumerate(cell):
+                            point = modes.get(key)
+                            if point is None:
+                                raise ValueError(
+                                    f"learned policy decides unknown "
+                                    f"mode {key} for {bits} bits"
+                                )
+                            if point.active_bits < bits:
+                                raise ValueError(
+                                    f"learned policy violates the "
+                                    f"accuracy invariant: mode {key} "
+                                    f"({point.active_bits} bits) decided "
+                                    f"for {bits}-bit requests"
+                                )
+
+    def to_dict(self) -> Dict:
+        return {
+            "level_edges": list(self.level_edges),
+            "volatility_edges": list(self.volatility_edges),
+            "occupancy_edges": list(self.occupancy_edges),
+            "mode_states": list(self.mode_states),
+            "demand_alpha": self.demand_alpha,
+            "volatility_alpha": self.volatility_alpha,
+            "max_bits": self.max_bits,
+            "decisions": [
+                [
+                    [[list(cell) for cell in row] for row in plane]
+                    for plane in cube
+                ]
+                for cube in self.decisions
+            ],
+            "training": dict(self.training),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "LearnedPolicySpec":
+        return LearnedPolicySpec(
+            level_edges=tuple(float(e) for e in data["level_edges"]),
+            volatility_edges=tuple(
+                float(e) for e in data["volatility_edges"]
+            ),
+            occupancy_edges=tuple(
+                float(e) for e in data["occupancy_edges"]
+            ),
+            mode_states=tuple(int(k) for k in data["mode_states"]),
+            demand_alpha=float(data["demand_alpha"]),
+            volatility_alpha=float(data["volatility_alpha"]),
+            max_bits=int(data["max_bits"]),
+            decisions=tuple(
+                tuple(
+                    tuple(
+                        tuple(tuple(int(k) for k in cell) for cell in row)
+                        for row in plane
+                    )
+                    for plane in cube
+                )
+                for cube in data["decisions"]
+            ),
+            training=dict(data.get("training", {})),
+        )
+
+
+@dataclass(frozen=True)
 class TransitionCost:
     """Cost of moving the hardware between two compiled modes."""
 
@@ -144,6 +312,9 @@ class ModeTable:
     #: Optional per-mode n-sigma slack margins (schema 2).  ``None`` means
     #: "compiled without margins": the table serves, the guard disables.
     margins: Optional[Mapping[int, ModeMargin]] = None
+    #: Optional frozen learned mode-selection policy (schema 3).
+    #: ``None`` means "no policy trained": ``--policy learned`` refuses.
+    learned: Optional[LearnedPolicySpec] = None
 
     def __post_init__(self):
         if not self.modes:
@@ -165,6 +336,14 @@ class ModeTable:
                 f"(modes {sorted(self.modes)}, margins "
                 f"{sorted(self.margins)})"
             )
+        if self.learned is not None:
+            if self.learned.max_bits != max(self.modes):
+                raise ValueError(
+                    f"learned policy covers bits up to "
+                    f"{self.learned.max_bits} but the table serves up to "
+                    f"{max(self.modes)}"
+                )
+            self.learned.validate_for(self.modes)
 
     # -- queries -------------------------------------------------------------
 
@@ -188,6 +367,16 @@ class ModeTable:
     @property
     def has_margins(self) -> bool:
         return self.margins is not None
+
+    @property
+    def has_learned_policy(self) -> bool:
+        return self.learned is not None
+
+    def with_learned(self, spec: Optional[LearnedPolicySpec]) -> "ModeTable":
+        """A copy of this table with the learned-policy block replaced."""
+        import dataclasses
+
+        return dataclasses.replace(self, learned=spec)
 
     def margin_for(self, bits: int) -> ModeMargin:
         if self.margins is None:
@@ -233,12 +422,17 @@ class ModeTable:
         margins = (
             "margin-guarded" if self.has_margins else "no margins"
         )
+        learned = (
+            f", learned policy ({self.learned.num_states} states)"
+            if self.has_learned_policy
+            else ""
+        )
         return (
             f"{self.design_name}: {len(self.modes)} modes "
             f"({min(self.modes)}..{self.max_bits} bits), "
             f"{self.num_domains} domains over {self.total_area_um2:.0f} um^2, "
             f"fclk {self.fclk_ghz:.2f} GHz, "
-            f"{costly} costed transitions, {margins}"
+            f"{costly} costed transitions, {margins}{learned}"
         )
 
     # -- serialization -------------------------------------------------------
@@ -280,6 +474,9 @@ class ModeTable:
                 }
                 if self.margins is not None
                 else None
+            ),
+            "learned": (
+                self.learned.to_dict() if self.learned is not None else None
             ),
         }
 
@@ -327,6 +524,12 @@ class ModeTable:
                 if raw_margins is not None
                 else None
             )
+            raw_learned = payload.get("learned")
+            learned = (
+                LearnedPolicySpec.from_dict(raw_learned)
+                if raw_learned is not None
+                else None
+            )
             return ModeTable(
                 design_name=payload["design_name"],
                 fclk_ghz=float(payload["fclk_ghz"]),
@@ -339,6 +542,7 @@ class ModeTable:
                 modes=modes,
                 transitions=transitions,
                 margins=margins,
+                learned=learned,
             )
         except ServeError:
             raise
@@ -508,13 +712,14 @@ class _SharedLayout:
     Fixed header (magic, schema, attach refcount, dimensions, scalars,
     design name) followed by 8-byte-aligned dense blocks: mode keys,
     per-mode operating-point fields, the per-mode/per-domain FBB matrix,
-    domain areas, the two transition matrices and (schema-2 tables) the
-    per-mode margin matrix.  Everything numeric is little-endian
-    ``int64``/``float64``, so attached views are bit-identical to the
-    exported arrays.
+    domain areas, the two transition matrices, (margined tables) the
+    per-mode margin matrix and (schema-3 tables with a trained policy)
+    the learned-policy spec as a UTF-8 JSON block.  Everything numeric
+    is little-endian ``int64``/``float64``, so attached views are
+    bit-identical to the exported arrays.
     """
 
-    N_DIMS = 6
+    N_DIMS = 7
     N_SCALARS = 8
     MODE_FIELDS = 5  # vdd, total/dynamic/leakage power, worst slack
     MARGIN_FIELDS = 6  # guarded/mean/sigma slack, 2 yields, samples
@@ -527,6 +732,7 @@ class _SharedLayout:
         bb_width: int,
         has_margins: bool,
         name_len: int,
+        learned_len: int = 0,
     ):
         self.n_modes = n_modes
         self.num_domains = num_domains
@@ -534,6 +740,7 @@ class _SharedLayout:
         self.bb_width = bb_width
         self.has_margins = has_margins
         self.name_len = name_len
+        self.learned_len = learned_len
         self.magic = 0
         self.schema = 8
         self.refcount = 16
@@ -556,7 +763,11 @@ class _SharedLayout:
         self.margins = offset
         if has_margins:
             offset += 8 * n_modes * self.MARGIN_FIELDS
-        self.size = offset
+        self.learned = offset
+        offset += learned_len
+        # Whole-buffer int64 views require 8-byte total size; the
+        # learned JSON block is the only variable-byte-length tail.
+        self.size = _align8(offset)
 
 
 class SharedModeTable:
@@ -605,6 +816,13 @@ class SharedModeTable:
             )
         bb_width = bb_widths.pop()
         encoded_name = table.design_name.encode("utf-8")
+        encoded_learned = (
+            json.dumps(table.learned.to_dict(), sort_keys=True).encode(
+                "utf-8"
+            )
+            if table.learned is not None
+            else b""
+        )
         layout = _SharedLayout(
             n_modes=len(mode_keys),
             num_domains=table.num_domains,
@@ -612,6 +830,7 @@ class SharedModeTable:
             bb_width=bb_width,
             has_margins=table.has_margins,
             name_len=len(encoded_name),
+            learned_len=len(encoded_learned),
         )
         shm = shared_memory.SharedMemory(
             create=True, size=layout.size, name=name
@@ -640,6 +859,7 @@ class SharedModeTable:
                 layout.bb_width,
                 int(layout.has_margins),
                 layout.name_len,
+                layout.learned_len,
             ],
         )
         generator = table.generator
@@ -715,6 +935,10 @@ class SharedModeTable:
                     margin.target_yield,
                     float(margin.samples),
                 ]
+        if encoded_learned:
+            buf[layout.learned : layout.learned + layout.learned_len] = (
+                encoded_learned
+            )
         del ints, fields, bb, energy, settle  # release exported views
         handle = cls(shm, owner=True)
         handle._table = table
@@ -753,11 +977,14 @@ class SharedModeTable:
                 "(bad magic)"
             )
         schema = int(np.frombuffer(shm.buf, "<i8", count=1, offset=8)[0])
-        if schema not in COMPATIBLE_SCHEMAS:
+        # The binary layout is exactly the current schema's: segments are
+        # created and attached within one process family, never archived,
+        # so unlike the JSON artifact there is no back-compat window.
+        if schema != MODE_TABLE_SCHEMA:
             shm.close()
             raise ServeError(
                 f"unsupported shared mode-table schema {schema!r} (this "
-                f"build reads schemas {COMPATIBLE_SCHEMAS})"
+                f"build maps schema {MODE_TABLE_SCHEMA} segments)"
             )
         handle = cls(shm, owner=False)
         handle._bump_refcount(+1)
@@ -777,6 +1004,7 @@ class SharedModeTable:
             bb_width=int(dims[3]),
             has_margins=bool(dims[4]),
             name_len=int(dims[5]),
+            learned_len=int(dims[6]),
         )
 
     def _bump_refcount(self, delta: int) -> int:
@@ -950,6 +1178,15 @@ class SharedModeTable:
         areas = tuple(
             float(a) for a in self._float_view(layout.areas, layout.n_areas)
         )
+        learned = None
+        if layout.learned_len:
+            learned_payload = bytes(
+                buf[layout.learned : layout.learned + layout.learned_len]
+            ).decode("utf-8")
+            # Decoding the embedded spec is not a table re-parse: the
+            # ``json`` counter tracks full-artifact ModeTable.from_dict
+            # calls the shared segment exists to avoid.
+            learned = LearnedPolicySpec.from_dict(json.loads(learned_payload))
         return ModeTable(
             design_name=design_name,
             fclk_ghz=float(scalars[0]),
@@ -967,4 +1204,5 @@ class SharedModeTable:
             modes=modes,
             transitions=transitions,
             margins=margins,
+            learned=learned,
         )

@@ -1,0 +1,27 @@
+"""Seeded, replayable workload-trace artifacts for the serving tier.
+
+See :mod:`repro.traces.generator` for the trace families and the
+versioned JSON schema.
+"""
+
+from repro.traces.generator import (
+    TRACE_FAMILIES,
+    TRACE_KIND,
+    TRACE_SCHEMA,
+    TraceError,
+    WorkloadTrace,
+    generate_trace,
+    generate_suite,
+    load_trace_file,
+)
+
+__all__ = [
+    "TRACE_FAMILIES",
+    "TRACE_KIND",
+    "TRACE_SCHEMA",
+    "TraceError",
+    "WorkloadTrace",
+    "generate_trace",
+    "generate_suite",
+    "load_trace_file",
+]

@@ -134,6 +134,31 @@ def build_margined_table(guarded_slack_ps=None, generator=None):
     return dataclasses.replace(table, margins=margins)
 
 
+def build_learned_table():
+    """The synthetic table (expensive-slew variant) with a small trained
+    learned-policy block.  Cached: training runs once per test session.
+    """
+    global _LEARNED_TABLE
+    if _LEARNED_TABLE is None:
+        from repro.core.runtime import BiasGeneratorModel
+        from repro.serve.learned import train_on_suite
+
+        table = build_synthetic_table(
+            BiasGeneratorModel(
+                well_cap_ff_per_um2=400.0, rail_cap_ff_per_um2=1500.0
+            )
+        )
+        result = train_on_suite(
+            table, seed=3, length=120, mean_cycles=300, suites=1, rounds=2
+        )
+        _LEARNED_TABLE = (table, result)
+    table, result = _LEARNED_TABLE
+    return table.with_learned(result.spec), result
+
+
+_LEARNED_TABLE = None
+
+
 @pytest.fixture()
 def synthetic_table():
     return build_synthetic_table()

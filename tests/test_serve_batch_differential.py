@@ -7,12 +7,13 @@ equal ServedPhase streams, equal telemetry snapshots (histogram float
 sums included), equal per-operator reports.  This is the serve-tier
 analogue of ``tests/test_sta_lattice_differential.py``.
 
-Covered surfaces: trace replay for all three policies, multi-operator
-frames with pool contention and queue-depth degradation, array-out
-serving, the time-invariant margin guard (including statically unsafe
-modes), the scalar fallback under a time-varying fault schedule,
-exception parity for uncoverable requests, the asyncio server's drain
-window, and a real 2-worker fleet.
+Covered surfaces: trace replay for all four policies (the learned
+policy's deeper differential lives in ``tests/test_serve_learned.py``),
+multi-operator frames with pool contention and queue-depth degradation,
+array-out serving, the time-invariant margin guard (including
+statically unsafe modes), the scalar fallback under a time-varying
+fault schedule, exception parity for uncoverable requests, the asyncio
+server's drain window, and a real 2-worker fleet.
 """
 
 import asyncio
@@ -33,7 +34,11 @@ from repro.serve import (
     replay_trace,
 )
 from repro.serve.server import AccuracyServer, phase_to_dict
-from tests.conftest import build_margined_table, build_synthetic_table
+from tests.conftest import (
+    build_learned_table,
+    build_margined_table,
+    build_synthetic_table,
+)
 
 POLICIES = ("greedy", "hysteresis", "lookahead")
 BITWIDTHS = (2, 4, 6, 8)
@@ -143,6 +148,41 @@ class TestReplayDifferential:
             assert replay_trace(
                 table, trace, policy=policy, engine="scalar"
             ) == replay_trace(table, trace, policy=policy, engine="batch")
+
+
+class TestLearnedReplayDifferential:
+    """The fourth policy needs a table with a learned block; its full
+    differential (degradation replan, fallback gates) is in
+    ``tests/test_serve_learned.py`` -- this keeps the wall's per-policy
+    sweep complete in one place."""
+
+    @pytest.mark.parametrize("length", [1, 2, 7, 63, 400])
+    def test_reports_bit_identical(self, length):
+        table, _result = build_learned_table()
+        trace = phase_trace(length, seed=length)
+        assert replay_trace(
+            table, trace, policy="learned", engine="scalar"
+        ) == replay_trace(table, trace, policy="learned", engine="batch")
+
+    def test_two_worker_fleet_with_policy_params(self):
+        from repro.fleet import FleetRouter
+
+        table, _result = build_learned_table()
+        requests = [
+            (r.operator, r.required_bits, r.cycles)
+            for r in request_mix(120, ("op0", "op1", "op2"), seed=4)
+        ]
+        results = {}
+        for engine in ("scalar", "batch"):
+            with FleetRouter(
+                table, workers=2, policy="learned", engine=engine
+            ) as router:
+                results[engine] = router.submit_many(requests)
+        assert results["batch"] == results["scalar"]
+        for phase, (_op, bits, _cycles) in zip(
+            results["batch"], requests
+        ):
+            assert phase.served_bits >= bits
 
 
 class TestFrameDifferential:

@@ -1,0 +1,338 @@
+"""Learned mode-selection: offline training, frozen spec, serving parity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.runtime import BiasGeneratorModel, WorkloadPhase
+from repro.io.results import load_mode_table, save_mode_table
+from repro.serve import ModeScheduler, ServeRequest, replay_trace
+from repro.serve.errors import ServeError
+from repro.serve.learned import (
+    DEFAULT_OCCUPANCY_EDGES,
+    DEFAULT_VOLATILITY_EDGES,
+    LearnedPolicy,
+    bucketize,
+    default_level_edges,
+    train_on_suite,
+    train_policy,
+)
+from repro.serve.policy import (
+    DemandTracker,
+    PolicyContext,
+    make_policy,
+)
+from repro.serve.table import LearnedPolicySpec
+from repro.traces import generate_suite, generate_trace
+from tests.conftest import build_learned_table, build_synthetic_table
+
+#: Slew energies comparable to phase compute -- the regime the learned
+#: policy is trained for (and the benchmark uses).
+GENERATOR = BiasGeneratorModel(
+    well_cap_ff_per_um2=400.0, rail_cap_ff_per_um2=1500.0
+)
+
+
+def expensive_table():
+    return build_synthetic_table(GENERATOR)
+
+
+TABLE = expensive_table()
+LEARNED, RESULT = build_learned_table()
+SPEC = RESULT.spec
+
+
+def suite_phases(seed=77, length=100):
+    return {
+        family: [
+            WorkloadPhase(bits, cycles) for bits, cycles in trace.phases
+        ]
+        for family, trace in generate_suite(
+            seed=seed,
+            length=length,
+            bits_levels=tuple(TABLE.bitwidths),
+            mean_cycles=300,
+        ).items()
+    }
+
+
+class TestTraining:
+    def test_deterministic_for_seed_and_corpus(self):
+        again = train_on_suite(
+            TABLE, seed=3, length=120, mean_cycles=300, suites=1, rounds=2
+        )
+        assert again.spec == SPEC
+        assert again.samples == RESULT.samples
+        assert again.states_visited == RESULT.states_visited
+
+    def test_different_seed_changes_diagnostics(self):
+        other = train_on_suite(
+            TABLE, seed=4, length=120, mean_cycles=300, suites=1, rounds=2
+        )
+        assert other.spec.decisions != SPEC.decisions
+
+    def test_spec_shape_and_provenance(self):
+        assert SPEC.mode_states == tuple(TABLE.modes)
+        assert SPEC.max_bits == TABLE.max_bits
+        assert len(SPEC.decisions) == len(TABLE.modes) + 1
+        assert SPEC.training["seed"] == 3
+        assert RESULT.samples > 0
+        assert 0 < RESULT.states_visited <= SPEC.num_states
+
+    def test_every_decision_respects_accuracy(self):
+        for cube in SPEC.decisions:
+            for plane in cube:
+                for row in plane:
+                    for cell in row:
+                        for bits, key in enumerate(cell):
+                            assert TABLE.modes[key].active_bits >= bits
+
+    def test_trainer_validates_arguments(self):
+        trace = generate_trace("bursty", seed=0, length=10)
+        with pytest.raises(ValueError, match="at least one"):
+            train_policy(TABLE, [])
+        with pytest.raises(ValueError, match="epsilon"):
+            train_policy(TABLE, [trace], epsilon=1.5)
+        with pytest.raises(ValueError, match="gamma"):
+            train_policy(TABLE, [trace], gamma=1.0)
+        with pytest.raises(ValueError, match="rounds"):
+            train_policy(TABLE, [trace], rounds=0)
+        with pytest.raises(ValueError, match="suites"):
+            train_on_suite(TABLE, suites=0)
+
+
+class TestSpecValidation:
+    def test_mode_states_mismatch_rejected(self):
+        shifted = dataclasses.replace(
+            SPEC, mode_states=tuple(reversed(SPEC.mode_states))
+        )
+        with pytest.raises(ValueError, match="trained over mode states"):
+            shifted.validate_for(TABLE.modes)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            dataclasses.replace(SPEC, level_edges=(5.0, 3.0))
+
+    def test_wrong_decision_shape_rejected(self):
+        with pytest.raises(ValueError, match="decisions"):
+            dataclasses.replace(SPEC, decisions=SPEC.decisions[:-1])
+
+    def test_alpha_mismatch_refused_at_serve_time(self):
+        stale = dataclasses.replace(SPEC, demand_alpha=0.5)
+        with pytest.raises(ServeError, match="EWMA constants"):
+            LearnedPolicy(TABLE, spec=stale)
+
+    def test_max_bits_mismatch_refused(self):
+        # A spec trained for a smaller device must not serve this one.
+        stale = dataclasses.replace(
+            SPEC,
+            max_bits=SPEC.max_bits + 2,
+            decisions=tuple(
+                tuple(
+                    tuple(
+                        tuple(tuple(cell) + (cell[-1], cell[-1]) for cell in row)
+                        for row in plane
+                    )
+                    for plane in cube
+                )
+                for cube in SPEC.decisions
+            ),
+        )
+        with pytest.raises(ServeError, match="covers bits up to"):
+            LearnedPolicy(TABLE, spec=stale)
+
+    def test_table_without_learned_block_refused(self):
+        with pytest.raises(ServeError, match="no learned policy"):
+            make_policy("learned", TABLE)
+
+
+class TestDecide:
+    def test_lookup_matches_spec_tensor(self):
+        policy = LearnedPolicy(LEARNED)
+        ctx = PolicyContext(
+            required_bits=4,
+            current_bits=8,
+            demand_level=4.2,
+            demand_volatility=0.9,
+            pool_occupancy=0,
+        )
+        row = list(SPEC.mode_states).index(8)
+        expected = SPEC.decisions[row][
+            bucketize(SPEC.level_edges, 4.2)
+        ][bucketize(SPEC.volatility_edges, 0.9)][
+            bucketize(SPEC.occupancy_edges, 0.0)
+        ][4]
+        assert policy.decide(ctx) == expected
+
+    def test_cold_start_uses_power_on_row(self):
+        policy = LearnedPolicy(LEARNED)
+        none_row = len(SPEC.mode_states)
+        got = policy.decide(PolicyContext(required_bits=6))
+        assert got == SPEC.decisions[none_row][
+            bucketize(SPEC.level_edges, 0.0)
+        ][0][bucketize(SPEC.occupancy_edges, 0.0)][6]
+
+    def test_out_of_range_bits_defer_to_table(self):
+        policy = LearnedPolicy(LEARNED)
+        with pytest.raises(ValueError):
+            policy.decide(PolicyContext(required_bits=SPEC.max_bits + 1))
+
+    def test_never_serves_fewer_bits_than_requested(self):
+        policy = LearnedPolicy(LEARNED)
+        for bits in range(SPEC.max_bits + 1):
+            for current in (None, *SPEC.mode_states):
+                key = policy.decide(
+                    PolicyContext(required_bits=bits, current_bits=current)
+                )
+                assert LEARNED.modes[key].active_bits >= bits
+
+
+class TestArtifactRoundTrip:
+    def test_json_round_trip_preserves_learned_block(self, tmp_path):
+        path = tmp_path / "table.json"
+        with open(path, "w") as stream:
+            save_mode_table(LEARNED, stream)
+        with open(path) as stream:
+            reloaded = load_mode_table(stream)
+        assert reloaded.learned == SPEC
+        # The reloaded artifact must serve, not just parse.
+        report = replay_trace(
+            reloaded,
+            [WorkloadPhase(4, 100), WorkloadPhase(8, 100)],
+            policy="learned",
+        )
+        assert report.phases == 2
+
+    def test_spec_dict_round_trip(self):
+        assert (
+            LearnedPolicySpec.from_dict(json.loads(json.dumps(SPEC.to_dict())))
+            == SPEC
+        )
+
+
+class TestBatchDifferential:
+    @pytest.mark.parametrize(
+        "family",
+        ["bursty", "diurnal", "phase_structured", "adversarial_flapping"],
+    )
+    def test_replay_bit_identical(self, family):
+        phases = suite_phases()[family]
+        scalar = replay_trace(
+            LEARNED, phases, policy="learned", engine="scalar"
+        )
+        batch = replay_trace(LEARNED, phases, policy="learned", engine="batch")
+        assert scalar == batch
+
+    def test_submit_batch_equals_submit_loop(self):
+        phases = suite_phases(seed=5)["adversarial_flapping"]
+        requests = [ServeRequest("op", p.required_bits, p.cycles) for p in phases]
+        reference = ModeScheduler(LEARNED, policy="learned", engine="scalar")
+        batch = ModeScheduler(LEARNED, policy="learned", engine="batch")
+        expected = [reference.submit(r) for r in requests]
+        assert batch.submit_batch(requests) == expected
+        assert reference.telemetry.snapshot() == batch.telemetry.snapshot()
+        assert reference.report("op") == batch.report("op")
+
+    @pytest.mark.parametrize("saturate_at", [1, 3, 7])
+    def test_degradation_replan_parity(self, monkeypatch, saturate_at):
+        # A single operator's own slews always start at acquisition, so
+        # a lone learned frame can never saturate the pool naturally --
+        # force saturation at the Nth depth probe instead, identically
+        # for both engines (scalar and batch probe at the same non-free
+        # switch decisions), and check the learned plan re-derives its
+        # suffix from the forced static mode bit-identically.
+        from repro.serve.scheduler import GeneratorPool
+
+        phases = suite_phases(seed=9)["phase_structured"]
+        requests = [
+            ServeRequest("op", p.required_bits, p.cycles) for p in phases
+        ]
+        real_queue_depth = GeneratorPool.queue_depth
+        pair = []
+        for engine in ("scalar", "batch"):
+            calls = {"n": 0}
+
+            def fake_depth(pool, now_ns, _calls=calls):
+                _calls["n"] += 1
+                if _calls["n"] == saturate_at:
+                    return 999
+                return real_queue_depth(pool, now_ns)
+
+            monkeypatch.setattr(GeneratorPool, "queue_depth", fake_depth)
+            scheduler = ModeScheduler(
+                LEARNED, policy="learned", engine=engine, num_generators=1
+            )
+            pair.append((scheduler, scheduler.submit_batch(requests)))
+        monkeypatch.setattr(GeneratorPool, "queue_depth", real_queue_depth)
+        (scalar, scalar_phases), (batch, batch_phases) = pair
+        assert scalar_phases == batch_phases
+        assert scalar.telemetry.snapshot() == batch.telemetry.snapshot()
+        assert scalar.telemetry.counters["degraded"] > 0
+
+    def test_multi_operator_frame_falls_back_identically(self):
+        # >1 operator per frame: the batch engine must refuse the
+        # learned fast path (occupancy is not provably zero) and serve
+        # through the scalar loop -- results stay identical.
+        requests = []
+        trace = suite_phases(seed=13)["bursty"]
+        for index, phase in enumerate(trace):
+            requests.append(
+                ServeRequest(
+                    f"op{index % 3}", phase.required_bits, phase.cycles
+                )
+            )
+        pair = []
+        for engine in ("scalar", "batch"):
+            scheduler = ModeScheduler(
+                LEARNED, policy="learned", engine=engine, num_generators=2
+            )
+            pair.append((scheduler, scheduler.submit_batch(requests)))
+        (scalar, scalar_phases), (batch, batch_phases) = pair
+        assert scalar_phases == batch_phases
+        assert scalar.telemetry.snapshot() == batch.telemetry.snapshot()
+
+    def test_state_carries_across_frames(self):
+        suite = suite_phases(seed=21)
+        scalar = ModeScheduler(LEARNED, policy="learned", engine="scalar")
+        batch = ModeScheduler(LEARNED, policy="learned", engine="batch")
+        for family in suite:
+            requests = [
+                ServeRequest("op", p.required_bits, p.cycles)
+                for p in suite[family][:40]
+            ]
+            assert scalar.submit_batch(requests) == batch.submit_batch(
+                requests
+            ), f"diverged on {family}"
+            probe = ServeRequest("op", 4, 111)
+            assert scalar.submit(probe) == batch.submit(probe)
+        assert scalar.telemetry.snapshot() == batch.telemetry.snapshot()
+
+
+class TestSchedulerIntegration:
+    def test_make_policy_learned(self):
+        policy = make_policy("learned", LEARNED)
+        assert isinstance(policy, LearnedPolicy)
+        assert policy.spec == SPEC
+
+    def test_scheduler_serves_learned_end_to_end(self):
+        scheduler = ModeScheduler(LEARNED, policy="learned")
+        for phase in suite_phases(seed=31)["phase_structured"][:60]:
+            served = scheduler.submit(
+                ServeRequest("op", phase.required_bits, phase.cycles)
+            )
+            assert served.served_bits >= phase.required_bits
+
+    def test_default_edges_sit_between_bitwidths(self):
+        assert default_level_edges(TABLE) == (3.0, 5.0, 7.0)
+        assert bucketize(DEFAULT_VOLATILITY_EDGES, 0.0) == 0
+        assert bucketize(DEFAULT_OCCUPANCY_EDGES, 1.0) == 1
+
+    def test_tracker_features_match_training_fold(self):
+        tracker = DemandTracker()
+        assert tracker.features_for(8) == (8.0, 0.0)
+        tracker.update(8)
+        tracker.update(2)
+        level, vol = tracker.features_for(4)
+        assert level == pytest.approx(0.25 * 2 + 0.75 * 8.0)
+        assert vol == pytest.approx(0.25 * 6.0)

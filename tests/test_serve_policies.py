@@ -1,4 +1,6 @@
-"""Mode-selection policies: accuracy invariant, hysteresis, lookahead."""
+"""Mode-selection policies: accuracy invariant, registry, legacy shim."""
+
+import warnings
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -9,18 +11,33 @@ from repro.serve.policy import (
     HysteresisPolicy,
     LookaheadPolicy,
     POLICIES,
+    PolicyContext,
+    PolicyParam,
+    SelectionPolicy,
     make_policy,
+    parse_policy_args,
+    policy_params,
+    validate_policy_kwargs,
 )
 from repro.serve.scheduler import ModeScheduler, ServeRequest, replay_trace
-from tests.conftest import build_synthetic_table
+from tests.conftest import build_learned_table, build_synthetic_table
 
 TABLE = build_synthetic_table()
 MODE_BITS = sorted(TABLE.modes)
 
+#: The same table with a (small, cached) trained learned block, so the
+#: property tests can sweep every registered policy including "learned".
+LEARNED_TABLE = TABLE.with_learned(build_learned_table()[1].spec)
+
 
 class TestRegistry:
     def test_all_policies_registered(self):
-        assert set(POLICIES) == {"greedy", "hysteresis", "lookahead"}
+        assert set(POLICIES) == {
+            "greedy",
+            "hysteresis",
+            "lookahead",
+            "learned",
+        }
 
     def test_make_policy_by_name(self):
         policy = make_policy("hysteresis", TABLE, dwell_cycles=5)
@@ -38,6 +55,105 @@ class TestRegistry:
             HysteresisPolicy(TABLE, margin=-1.0)
         with pytest.raises(ValueError, match="window"):
             LookaheadPolicy(TABLE, window=-1)
+
+    def test_declared_params_are_typed(self):
+        declared = {p.name: p for p in policy_params("hysteresis")}
+        assert declared["dwell_cycles"].kind is int
+        assert declared["margin"].kind is float
+        assert policy_params("greedy") == ()
+
+    def test_kwargs_coerced_to_declared_types(self):
+        coerced = validate_policy_kwargs(
+            "hysteresis", {"dwell_cycles": "500", "margin": "1.5"}
+        )
+        assert coerced == {"dwell_cycles": 500, "margin": 1.5}
+        policy = make_policy("hysteresis", TABLE, **coerced)
+        assert policy.dwell_cycles == 500
+
+    def test_unknown_kwarg_lists_known_params(self):
+        with pytest.raises(ValueError, match="knows dwell_cycles"):
+            validate_policy_kwargs("hysteresis", {"dwell": "5"})
+        with pytest.raises(ValueError, match="takes no parameters"):
+            validate_policy_kwargs("greedy", {"window": "4"})
+
+    def test_parse_policy_args(self):
+        assert parse_policy_args(["a=1", " b = x=y "]) == {
+            "a": "1",
+            "b": "x=y",
+        }
+        with pytest.raises(ValueError, match="bad --policy-arg"):
+            parse_policy_args(["no-equals"])
+
+    def test_duplicate_name_rejected(self):
+        from repro.serve.policy import register_policy
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_policy
+            class Impostor(SelectionPolicy):
+                name = "greedy"
+
+                def decide(self, ctx):
+                    return self.table.mode_key_for(ctx.required_bits)
+
+        assert POLICIES["greedy"] is GreedyPolicy
+
+    def test_bool_param_coercion(self):
+        param = PolicyParam("flag", bool, False)
+        assert param.coerce("yes") is True
+        assert param.coerce("0") is False
+        with pytest.raises(ValueError, match="expects bool"):
+            param.coerce("maybe")
+
+
+class _LegacySelectOnly(SelectionPolicy):
+    """A pre-redesign policy: overrides only positional select()."""
+
+    name = "_legacy_test_only"
+
+    def select(self, required_bits, current_bits=None, upcoming=()):
+        return self.table.mode_key_for(required_bits)
+
+
+class _NeitherOverridden(SelectionPolicy):
+    name = "_abstract_test_only"
+
+
+class TestLegacyShim:
+    def test_decide_adapts_onto_legacy_select(self):
+        legacy = _LegacySelectOnly(TABLE)
+        modern = GreedyPolicy(TABLE)
+        for bits in MODE_BITS:
+            ctx = PolicyContext(required_bits=bits, current_bits=8)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                assert legacy.decide(ctx) == modern.decide(ctx)
+
+    def test_legacy_select_warns_once_per_class(self):
+        from repro.serve import policy as policy_module
+
+        policy_module._LEGACY_WARNED.discard(_LegacySelectOnly)
+        legacy = _LegacySelectOnly(TABLE)
+        with pytest.warns(DeprecationWarning, match="legacy positional"):
+            legacy.decide(PolicyContext(required_bits=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            legacy.decide(PolicyContext(required_bits=4))  # no second warn
+
+    def test_modern_policy_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            GreedyPolicy(TABLE).decide(PolicyContext(required_bits=2))
+
+    def test_overriding_neither_hook_raises(self):
+        with pytest.raises(TypeError, match="must override decide"):
+            _NeitherOverridden(TABLE).decide(PolicyContext(required_bits=2))
+
+    def test_select_entry_point_builds_context(self):
+        policy = HysteresisPolicy(TABLE, dwell_cycles=5)
+        assert policy.select(4, None) == policy.decide(
+            PolicyContext(required_bits=4)
+        )
 
 
 class TestGreedy:
@@ -139,7 +255,10 @@ class TestAccuracyInvariant:
     @given(trace=traces(), policy=st.sampled_from(sorted(POLICIES)))
     def test_served_bits_always_sufficient(self, trace, policy):
         scheduler = ModeScheduler(
-            TABLE, num_generators=1, policy=policy, max_queue_depth=1_000
+            LEARNED_TABLE,
+            num_generators=1,
+            policy=policy,
+            max_queue_depth=1_000,
         )
         window = 4
         for index, phase in enumerate(trace):
@@ -157,7 +276,7 @@ class TestAccuracyInvariant:
     @given(trace=traces())
     def test_policies_agree_on_total_cycles_and_phase_count(self, trace):
         reports = {
-            name: replay_trace(TABLE, trace, policy=name)
+            name: replay_trace(LEARNED_TABLE, trace, policy=name)
             for name in POLICIES
         }
         for report in reports.values():

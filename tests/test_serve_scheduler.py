@@ -224,14 +224,16 @@ class TestDegradation:
     def test_violating_policy_is_caught_centrally(self, synthetic_table):
         scheduler = ModeScheduler(synthetic_table, max_queue_depth=10)
 
-        class Liar:
+        from repro.serve.policy import SelectionPolicy
+
+        class Liar(SelectionPolicy):
             name = "liar"
 
             def select(self, required_bits, current_bits, upcoming=()):
                 return 2  # always the cheapest mode, sufficient or not
 
         scheduler.register("op")
-        scheduler._operators["op"].policy = Liar()
+        scheduler._operators["op"].policy = Liar(synthetic_table)
         with pytest.raises(AccuracyViolation, match="2-bit mode"):
             scheduler.submit(ServeRequest("op", 8, 100))
         assert scheduler.telemetry.counters["accuracy_violations"] == 1

@@ -33,6 +33,15 @@ class TestRoundTrip:
                 assert attached.table == table
                 assert attached.table.margins == table.margins
 
+    def test_learned_table_round_trips_bit_identically(self):
+        from tests.conftest import build_learned_table
+
+        table, result = build_learned_table()
+        with table.to_shared() as shared:
+            with ModeTable.from_shared(shared.name) as attached:
+                assert attached.table == table
+                assert attached.table.learned == result.spec
+
     def test_mode_insertion_order_preserved(self):
         # Power tie-breaks replay identically only if key order survives.
         table = build_synthetic_table()
